@@ -1,0 +1,84 @@
+// Engineering ablation: parallel scaling of the two expensive stages --
+// the HiCS contrast lattice (per-subspace Monte Carlo, embarrassingly
+// parallel) and LOF's kNN pass (quadratic, read-only). Verifies the
+// determinism guarantee (identical scores for any worker count) and
+// reports the speedups, backing DESIGN.md §5.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/hics.h"
+#include "data/synthetic.h"
+#include "outlier/lof.h"
+
+namespace {
+
+using hics::bench::Unwrap;
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: deterministic parallelism ==\n");
+  std::printf("hardware concurrency: %zu\n\n", hics::DefaultNumThreads());
+
+  hics::SyntheticParams gen;
+  gen.num_objects = 1500;
+  gen.num_attributes = 30;
+  gen.seed = 1;
+  const hics::Dataset data =
+      Unwrap(hics::GenerateSynthetic(gen), "synthetic data").data;
+
+  // --- HiCS search.
+  std::printf("HiCS search (N=%zu, D=%zu, M=50):\n", data.num_objects(),
+              data.num_attributes());
+  std::vector<hics::ScoredSubspace> reference;
+  double serial_seconds = 0.0;
+  for (std::size_t threads : {1ul, 2ul, 4ul, 8ul}) {
+    hics::HicsParams params;
+    params.num_threads = threads;
+    hics::Timer timer;
+    auto result = Unwrap(hics::RunHicsSearch(data, params), "HiCS");
+    const double seconds = timer.ElapsedSeconds();
+    if (threads == 1) {
+      serial_seconds = seconds;
+      reference = result;
+    }
+    bool identical = result.size() == reference.size();
+    for (std::size_t i = 0; identical && i < result.size(); ++i) {
+      identical = result[i].subspace == reference[i].subspace &&
+                  result[i].score == reference[i].score;
+    }
+    std::printf("  threads=%zu  %6.2fs  speedup %4.2fx  identical=%s\n",
+                threads, seconds, serial_seconds / seconds,
+                identical ? "yes" : "NO (BUG)");
+    std::fflush(stdout);
+  }
+
+  // --- LOF.
+  std::printf("\nfull-space LOF (N=%zu, D=%zu, MinPts=10):\n",
+              data.num_objects(), data.num_attributes());
+  std::vector<double> lof_reference;
+  serial_seconds = 0.0;
+  for (std::size_t threads : {1ul, 2ul, 4ul, 8ul}) {
+    hics::LofScorer lof({.min_pts = 10, .num_threads = threads});
+    hics::Timer timer;
+    const auto scores = lof.ScoreFullSpace(data);
+    const double seconds = timer.ElapsedSeconds();
+    if (threads == 1) {
+      serial_seconds = seconds;
+      lof_reference = scores;
+    }
+    std::printf("  threads=%zu  %6.2fs  speedup %4.2fx  identical=%s\n",
+                threads, seconds, serial_seconds / seconds,
+                scores == lof_reference ? "yes" : "NO (BUG)");
+    std::fflush(stdout);
+  }
+
+  std::printf("\nexpected shape: results stay bit-identical for every "
+              "worker count\n(per-subspace RNG streams / read-only kNN "
+              "pass); speedup approaches the\ncore count on multi-core "
+              "machines (flat ~1.0x on a single-core host).\n");
+  return 0;
+}

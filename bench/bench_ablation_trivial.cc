@@ -1,0 +1,102 @@
+// Ablation (paper §V-B): the paper observes that HiCS's ROC curves lose
+// steepness at very low false positive rates when datasets also contain
+// *trivial* (one-dimensional) outliers -- the multi-dimensional subspace
+// focus de-emphasizes them -- and conjectures that "applying a
+// pre-processing step that takes care of the detection of trivial outliers
+// ... would result in even higher quality".
+//
+// This bench tests that conjecture: synthetic data with BOTH non-trivial
+// subspace outliers and injected trivial 1-D outliers, ranked by
+// (a) HiCS+LOF alone, (b) the univariate channel alone, (c) the combined
+// ranking (rank-normalized max).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "outlier/univariate.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using hics::bench::Unwrap;
+
+constexpr std::size_t kLofMinPts = 10;
+constexpr int kRepetitions = 3;
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: trivial-outlier pre-processing (paper §V-B "
+              "conjecture) ==\n");
+  std::printf("synthetic data: N=1000, D=20 + injected 1-D extremes; "
+              "%d repetitions\n\n",
+              kRepetitions);
+
+  hics::stats::RunningStats subspace_only, trivial_only, combined_auc;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    hics::SyntheticParams gen;
+    gen.num_objects = 1000;
+    gen.num_attributes = 20;
+    // 10 attributes stay uncorrelated noise: that is where the trivial
+    // outliers go, so no high-contrast subspace covers them -- the regime
+    // the paper observed on Ionosphere (§V-B).
+    gen.noise_attributes = 10;
+    gen.seed = 6000 + rep;
+    auto generated = Unwrap(hics::GenerateSynthetic(gen), "synthetic data");
+    hics::Dataset data = std::move(generated.data);
+
+    // Identify the noise attributes (not in any relevant subspace).
+    std::vector<bool> is_relevant(data.num_attributes(), false);
+    for (const hics::Subspace& s : generated.relevant_subspaces) {
+      for (std::size_t dim : s) is_relevant[dim] = true;
+    }
+    std::vector<std::size_t> noise_attrs;
+    for (std::size_t j = 0; j < data.num_attributes(); ++j) {
+      if (!is_relevant[j]) noise_attrs.push_back(j);
+    }
+
+    // Inject 10 trivial outliers: extreme value in one noise attribute.
+    hics::Rng rng(100 + rep);
+    std::vector<bool> labels = data.labels();
+    for (int t = 0; t < 10; ++t) {
+      const std::size_t id = rng.UniformIndex(data.num_objects());
+      const std::size_t attr =
+          noise_attrs[rng.UniformIndex(noise_attrs.size())];
+      data.Set(id, attr, 1.8 + 0.05 * t);
+      labels[id] = true;
+    }
+    hics::bench::CheckOk(data.SetLabels(labels), "labels");
+
+    hics::HicsParams params;
+    params.seed = rep + 1;
+    params.output_top_k = 10;  // concise selection, as the paper enforces
+    const hics::LofScorer lof({kLofMinPts});
+    auto pipeline =
+        Unwrap(hics::RunHicsPipeline(data, params, lof), "pipeline");
+
+    const hics::UnivariateScorer univariate;
+    const auto trivial = univariate.ScoreFullSpace(data);
+    const auto combined =
+        hics::CombineTrivialAndSubspaceScores(trivial, pipeline.scores);
+
+    subspace_only.Add(
+        Unwrap(hics::ComputeAuc(pipeline.scores, data.labels()), "AUC"));
+    trivial_only.Add(
+        Unwrap(hics::ComputeAuc(trivial, data.labels()), "AUC"));
+    combined_auc.Add(
+        Unwrap(hics::ComputeAuc(combined, data.labels()), "AUC"));
+  }
+
+  std::printf("%-28s %5.1f +- %.1f\n", "HiCS+LOF alone [AUC %]",
+              100.0 * subspace_only.mean(), 100.0 * subspace_only.stddev());
+  std::printf("%-28s %5.1f +- %.1f\n", "univariate alone [AUC %]",
+              100.0 * trivial_only.mean(), 100.0 * trivial_only.stddev());
+  std::printf("%-28s %5.1f +- %.1f\n", "combined [AUC %]",
+              100.0 * combined_auc.mean(), 100.0 * combined_auc.stddev());
+  std::printf("\nexpected shape: the combined ranking beats both channels "
+              "alone when trivial\nand non-trivial outliers co-occur -- "
+              "confirming the paper's conjecture.\n");
+  return 0;
+}

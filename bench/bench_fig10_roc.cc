@@ -1,0 +1,108 @@
+// Fig. 10 reproduction: ROC curves on the Ionosphere and Pendigits
+// benchmark stand-ins (see DESIGN.md §4 for the dataset substitution).
+//
+// Paper claims: HiCS tends to reach the maximal true positive rate earlier
+// than the other methods (high recall regime), with a minor weakness at
+// very low false positive rates on Ionosphere (full-space outliers that a
+// multi-dimensional subspace focus de-emphasizes).
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/uci_like.h"
+#include "eval/svg_plot.h"
+#include "search/enclus.h"
+#include "search/random_subspaces.h"
+#include "search/ris.h"
+
+namespace {
+
+using hics::bench::MethodRun;
+using hics::bench::RunFullSpaceLof;
+using hics::bench::RunSubspaceMethod;
+using hics::bench::Unwrap;
+
+constexpr std::size_t kLofMinPts = 10;
+
+void PrintCurve(const MethodRun& run, const hics::Dataset& data,
+                hics::SvgPlot* plot) {
+  const auto curve =
+      Unwrap(hics::ComputeRoc(run.scores, data.labels()), "ROC");
+  std::vector<double> fpr, tpr;
+  fpr.reserve(curve.points.size());
+  tpr.reserve(curve.points.size());
+  for (const auto& p : curve.points) {
+    fpr.push_back(p.false_positive_rate);
+    tpr.push_back(p.true_positive_rate);
+  }
+  char label[64];
+  std::snprintf(label, sizeof(label), "%s (AUC %.1f%%)",
+                run.method.c_str(), 100.0 * curve.auc);
+  plot->AddSeries(label, std::move(fpr), std::move(tpr));
+  std::printf("  %-8s (AUC %5.1f%%): fpr->tpr ", run.method.c_str(),
+              100.0 * curve.auc);
+  // Downsample the curve to ~12 readable points.
+  const auto& pts = curve.points;
+  const std::size_t step = pts.size() > 12 ? pts.size() / 12 : 1;
+  for (std::size_t i = 0; i < pts.size(); i += step) {
+    std::printf("(%.2f,%.2f) ", pts[i].false_positive_rate,
+                pts[i].true_positive_rate);
+  }
+  std::printf("(1.00,1.00)\n");
+}
+
+void RunDataset(const std::string& name, double scale, std::uint64_t seed) {
+  const hics::Dataset data =
+      Unwrap(hics::MakeUciLike(name, seed, scale), name.c_str());
+  std::printf("%s stand-in: %zu objects x %zu attributes, %zu outliers"
+              "%s\n",
+              name.c_str(), data.num_objects(), data.num_attributes(),
+              data.CountOutliers(),
+              scale < 1.0 ? " (scaled for bench runtime)" : "");
+
+  hics::SvgPlot plot("Fig. 10 ROC: " + name + " (stand-in)",
+                     "false positive rate", "true positive rate");
+  plot.SetXRange(0.0, 1.0);
+  plot.SetYRange(0.0, 1.0);
+  plot.AddDiagonalReference();
+
+  PrintCurve(RunFullSpaceLof(data, kLofMinPts), data, &plot);
+  PrintCurve(RunSubspaceMethod(*hics::MakeHicsMethod(), data, kLofMinPts),
+             data, &plot);
+  PrintCurve(
+      RunSubspaceMethod(*hics::MakeEnclusMethod(), data, kLofMinPts), data,
+      &plot);
+  hics::RisParams ris;
+  ris.eps = 0.1;
+  ris.min_pts = 16;
+  ris.max_dimensionality = 3;
+  PrintCurve(RunSubspaceMethod(*hics::MakeRisMethod(ris), data, kLofMinPts),
+             data, &plot);
+  PrintCurve(RunSubspaceMethod(*hics::MakeRandomSubspacesMethod(), data,
+                               kLofMinPts),
+             data, &plot);
+
+  std::string file = "fig10_roc_" + name + ".svg";
+  for (char& c : file) {
+    c = c == '-' ? '_'
+                 : static_cast<char>(
+                       std::tolower(static_cast<unsigned char>(c)));
+  }
+  const hics::Status written = plot.WriteFile(file);
+  std::printf("  figure written to ./%s%s\n\n", file.c_str(),
+              written.ok() ? "" : (" FAILED: " + written.ToString()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 10: ROC plots for two real-world experiments ==\n\n");
+  RunDataset("Ionosphere", 1.0, 10);
+  RunDataset("Pendigits", 0.3, 11);
+  std::printf("expected shape: HiCS reaches tpr ~= 1 at lower fpr than the "
+              "competitors\n(early maximal recall).\n");
+  return 0;
+}

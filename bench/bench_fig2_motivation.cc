@@ -1,0 +1,70 @@
+// Fig. 2 reproduction: the motivating toy example. Two 2-D datasets with
+// identical marginals -- dataset A uncorrelated, dataset B correlated.
+// Shows (a) the HiCS contrast separating them, and (b) LOF detecting the
+// non-trivial outlier o2 only in the correlated dataset.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/contrast.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "stats/ks_test.h"
+#include "stats/welch_t_test.h"
+
+namespace {
+
+void Report(const char* name, const hics::Dataset& data) {
+  hics::Rng rng(99);
+  const hics::Subspace s01{0, 1};
+
+  const hics::stats::WelchTDeviation welch;
+  const hics::stats::KsDeviation ks;
+  const hics::ContrastParams params{/*num_iterations=*/200, /*alpha=*/0.15};
+  const hics::ContrastEstimator est_wt(data, welch, params);
+  const hics::ContrastEstimator est_ks(data, ks, params);
+
+  const double contrast_wt = est_wt.Contrast(s01, &rng);
+  const double contrast_ks = est_ks.Contrast(s01, &rng);
+
+  const hics::LofScorer lof({/*min_pts=*/15});
+  const auto scores = lof.ScoreSubspace(data, s01);
+  // o1 is the second-to-last object in the correlated set, last in the
+  // uncorrelated one; o2 (non-trivial) is the last of the correlated set.
+  const std::size_t n = data.num_objects();
+  std::printf("%s\n", name);
+  std::printf("  contrast(HiCS_WT) = %.3f   contrast(HiCS_KS) = %.3f\n",
+              contrast_wt, contrast_ks);
+  const auto ranking = hics::RankingFromScores(scores);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!data.labels()[i]) continue;
+    // Rank position of this ground-truth outlier.
+    std::size_t position = 0;
+    for (std::size_t r = 0; r < ranking.size(); ++r) {
+      if (ranking[r] == i) {
+        position = r + 1;
+        break;
+      }
+    }
+    std::printf("  outlier object %3zu: LOF score %.2f, rank %zu/%zu\n", i,
+                scores[i], position, n);
+  }
+  const double auc =
+      hics::bench::Unwrap(hics::ComputeAuc(scores, data.labels()), "AUC");
+  std::printf("  LOF AUC in {s1,s2}: %.3f\n\n", auc);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 2: high vs low contrast and the effect on outlier "
+              "ranking ==\n");
+  std::printf("paper claim: both datasets share marginals; only dataset B "
+              "(correlated)\nhas high contrast and a detectable non-trivial "
+              "outlier o2.\n\n");
+  const auto a = hics::MakeToyUncorrelated(500, 42);
+  const auto b = hics::MakeToyCorrelated(500, 42);
+  Report("dataset A (uncorrelated joint pdf)", a);
+  Report("dataset B (correlated joint pdf)", b);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 5 reproduction: total runtime (subspace search + outlier ranking)
+// w.r.t. dimensionality D, with fixed DB size 1000.
+//
+// Paper claims: HiCS's runtime flattens once the candidate cutoff (400)
+// kicks in (~40 dimensions); Enclus is comparably fast; RANDSUB spends more
+// time than HiCS/Enclus because it draws much larger subspaces, which makes
+// the LOF step expensive; RIS is the slowest of the searches.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/synthetic.h"
+#include "search/enclus.h"
+#include "search/random_subspaces.h"
+#include "search/ris.h"
+
+namespace {
+
+using hics::bench::RunSubspaceMethod;
+using hics::bench::Unwrap;
+
+constexpr std::size_t kNumObjects = 1000;
+constexpr std::size_t kLofMinPts = 10;
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 5: runtime [s] w.r.t. dimensionality D "
+              "(DB size fixed at %zu) ==\n", kNumObjects);
+  std::printf("total processing time: subspace search + LOF ranking on the "
+              "best 100 subspaces\n\n");
+  std::printf("%5s  %10s %10s %10s %10s\n", "D", "HiCS", "ENCLUS", "RIS",
+              "RANDSUB");
+
+  const std::vector<std::size_t> dimensions = {10, 20, 30, 40, 50, 75, 100};
+  for (std::size_t dims : dimensions) {
+    hics::SyntheticParams gen;
+    gen.num_objects = kNumObjects;
+    gen.num_attributes = dims;
+    gen.seed = dims;
+    const hics::Dataset data =
+        Unwrap(hics::GenerateSynthetic(gen), "synthetic data").data;
+
+    hics::HicsParams hics_params;  // cutoff 400 as in the paper's run
+    const double t_hics =
+        RunSubspaceMethod(*hics::MakeHicsMethod(hics_params), data,
+                          kLofMinPts)
+            .runtime_seconds;
+
+    hics::EnclusParams enclus;
+    const double t_enclus =
+        RunSubspaceMethod(*hics::MakeEnclusMethod(enclus), data, kLofMinPts)
+            .runtime_seconds;
+
+    hics::RisParams ris;
+    ris.eps = 0.1;
+    ris.min_pts = 16;
+    ris.max_dimensionality = 4;
+    const double t_ris =
+        RunSubspaceMethod(*hics::MakeRisMethod(ris), data, kLofMinPts)
+            .runtime_seconds;
+
+    const double t_rand =
+        RunSubspaceMethod(*hics::MakeRandomSubspacesMethod(), data,
+                          kLofMinPts)
+            .runtime_seconds;
+
+    std::printf("%5zu  %10.2f %10.2f %10.2f %10.2f\n", dims, t_hics,
+                t_enclus, t_ris, t_rand);
+    std::fflush(stdout);
+  }
+  std::printf("\nexpected shape: HiCS flattens once the cutoff applies; "
+              "ENCLUS similar; RANDSUB\ncostlier (larger subspaces in the "
+              "ranking step); RIS slowest search.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 7 reproduction: ranking quality (AUC) as a function of the number of
+// Monte Carlo statistical tests M, for both statistical instantiations
+// (HiCS_WT and HiCS_KS).
+//
+// Paper claims: quality saturates quickly; M = 50 suffices (the paper's
+// recommended default); the parameter has no critical impact.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/synthetic.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using hics::bench::RunSubspaceMethod;
+using hics::bench::Unwrap;
+
+constexpr std::size_t kLofMinPts = 10;
+constexpr int kRepetitions = 3;
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 7: dependence on the number of statistical tests "
+              "(M) ==\n");
+  std::printf("synthetic data: N=1000, D=20, %d repetitions (mean +- sd)\n\n",
+              kRepetitions);
+  std::printf("%5s  %-16s %-16s\n", "M", "HiCS_WT", "HiCS_KS");
+
+  const std::vector<std::size_t> test_counts = {2, 5, 10, 25, 50, 100, 200};
+  for (std::size_t m : test_counts) {
+    hics::stats::RunningStats wt, ks;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      hics::SyntheticParams gen;
+      gen.num_objects = 1000;
+      gen.num_attributes = 20;
+      gen.seed = 7000 + rep;
+      const hics::Dataset data =
+          Unwrap(hics::GenerateSynthetic(gen), "synthetic data").data;
+
+      hics::HicsParams params;
+      params.num_iterations = m;
+      params.seed = rep + 1;
+      wt.Add(RunSubspaceMethod(*hics::MakeHicsMethod(params), data,
+                               kLofMinPts)
+                 .auc);
+      params.statistical_test = "ks";
+      ks.Add(RunSubspaceMethod(*hics::MakeHicsMethod(params), data,
+                               kLofMinPts)
+                 .auc);
+    }
+    std::printf("%5zu  %5.1f +- %-6.1f  %5.1f +- %-6.1f\n", m,
+                100.0 * wt.mean(), 100.0 * wt.stddev(), 100.0 * ks.mean(),
+                100.0 * ks.stddev());
+    std::fflush(stdout);
+  }
+  std::printf("\nexpected shape: quality saturates by M ~= 50 for both "
+              "variants; small M only\nadds fluctuation, it does not "
+              "change the level.\n");
+  return 0;
+}

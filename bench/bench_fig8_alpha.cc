@@ -1,0 +1,64 @@
+// Fig. 8 reproduction: ranking quality (AUC) as a function of the test
+// statistic size alpha, for HiCS_WT and HiCS_KS.
+//
+// Paper claims: quality is robust across a wide alpha range; very small
+// alpha (< 5%, i.e. fewer than ~50 selected objects here) adds fluctuation,
+// very large alpha slightly reduces test sensitivity. Default: 0.1.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/synthetic.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using hics::bench::RunSubspaceMethod;
+using hics::bench::Unwrap;
+
+constexpr std::size_t kLofMinPts = 10;
+constexpr int kRepetitions = 3;
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 8: dependence on the size of the test statistic "
+              "(alpha) ==\n");
+  std::printf("synthetic data: N=1000, D=20, M=50, %d repetitions "
+              "(mean +- sd)\n\n",
+              kRepetitions);
+  std::printf("%6s  %-16s %-16s\n", "alpha", "HiCS_WT", "HiCS_KS");
+
+  const std::vector<double> alphas = {0.01, 0.025, 0.05, 0.1,
+                                      0.15, 0.2,   0.3,  0.5};
+  for (double alpha : alphas) {
+    hics::stats::RunningStats wt, ks;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      hics::SyntheticParams gen;
+      gen.num_objects = 1000;
+      gen.num_attributes = 20;
+      gen.seed = 8000 + rep;
+      const hics::Dataset data =
+          Unwrap(hics::GenerateSynthetic(gen), "synthetic data").data;
+
+      hics::HicsParams params;
+      params.alpha = alpha;
+      params.seed = rep + 1;
+      wt.Add(RunSubspaceMethod(*hics::MakeHicsMethod(params), data,
+                               kLofMinPts)
+                 .auc);
+      params.statistical_test = "ks";
+      ks.Add(RunSubspaceMethod(*hics::MakeHicsMethod(params), data,
+                               kLofMinPts)
+                 .auc);
+    }
+    std::printf("%6.3f  %5.1f +- %-6.1f  %5.1f +- %-6.1f\n", alpha,
+                100.0 * wt.mean(), 100.0 * wt.stddev(), 100.0 * ks.mean(),
+                100.0 * ks.stddev());
+    std::fflush(stdout);
+  }
+  std::printf("\nexpected shape: flat plateau over alpha in [0.05, 0.3]; "
+              "extra fluctuation below\n5%%; mild quality loss at 0.5.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 9 reproduction: quality (AUC) and runtime w.r.t. the candidate
+// cutoff parameter, averaged over several synthetic datasets.
+//
+// Paper claims: quality peaks around cutoff ~= 500 and is only mildly
+// reduced for small cutoffs (good candidates get dropped / redundancy
+// creeps in), while the runtime is controlled almost linearly by the
+// cutoff -- the parameter that makes HiCS's runtime predictable.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/hics.h"
+#include "data/synthetic.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using hics::bench::RunSubspaceMethod;
+using hics::bench::Unwrap;
+
+constexpr std::size_t kLofMinPts = 10;
+constexpr int kRepetitions = 3;
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 9: quality and runtime w.r.t. the candidate cutoff "
+              "parameter ==\n");
+  std::printf("synthetic data: N=1000, D=30, M=50, alpha=0.1, "
+              "%d datasets (mean)\n\n",
+              kRepetitions);
+  std::printf("%7s  %-16s %12s %14s\n", "cutoff", "AUC [%]", "runtime [s]",
+              "evaluations");
+
+  const std::vector<std::size_t> cutoffs = {50,  100, 200, 400,
+                                            500, 700, 1000};
+  for (std::size_t cutoff : cutoffs) {
+    hics::stats::RunningStats auc, runtime, evals;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      hics::SyntheticParams gen;
+      gen.num_objects = 1000;
+      gen.num_attributes = 30;
+      gen.seed = 9000 + rep;
+      const hics::Dataset data =
+          Unwrap(hics::GenerateSynthetic(gen), "synthetic data").data;
+
+      hics::HicsParams params;
+      params.candidate_cutoff = cutoff;
+      params.seed = rep + 1;
+
+      // Run the search directly too, to report evaluation counts.
+      hics::HicsRunStats stats;
+      (void)Unwrap(hics::RunHicsSearch(data, params, &stats), "HiCS");
+      evals.Add(static_cast<double>(stats.contrast_evaluations));
+
+      const auto run = RunSubspaceMethod(*hics::MakeHicsMethod(params),
+                                         data, kLofMinPts);
+      auc.Add(run.auc);
+      runtime.Add(run.runtime_seconds);
+    }
+    std::printf("%7zu  %5.1f +- %-6.1f %12.2f %14.0f\n", cutoff,
+                100.0 * auc.mean(), 100.0 * auc.stddev(), runtime.mean(),
+                evals.mean());
+    std::fflush(stdout);
+  }
+  std::printf("\nexpected shape: AUC peaks near ~500 and loses little for "
+              "small cutoffs; runtime\n(and contrast evaluations) grow "
+              "steadily with the cutoff.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Engineering micro-benchmarks (google-benchmark): cost of the primitives
+// the HiCS pipeline is built from. Not a paper artifact; used to verify
+// the design decisions called out in DESIGN.md §5 (sorted-index slicing,
+// brute force vs KD-tree neighbor search, Welch vs KS deviation cost).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/contrast.h"
+#include "core/slice.h"
+#include "data/synthetic.h"
+#include "index/neighbor_searcher.h"
+#include "outlier/lof.h"
+#include "stats/ks_test.h"
+#include "stats/welch_t_test.h"
+
+namespace hics {
+namespace {
+
+Dataset UniformData(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) ds.Set(i, j, rng.UniformDouble());
+  }
+  return ds;
+}
+
+Subspace FirstDims(std::size_t k) {
+  std::vector<std::size_t> dims(k);
+  for (std::size_t i = 0; i < k; ++i) dims[i] = i;
+  return Subspace(dims);
+}
+
+void BM_SortedIndexBuild(benchmark::State& state) {
+  const Dataset ds = UniformData(state.range(0), 25, 1);
+  for (auto _ : state) {
+    SortedAttributeIndex index(ds);
+    benchmark::DoNotOptimize(index.num_objects());
+  }
+}
+BENCHMARK(BM_SortedIndexBuild)->Arg(1000)->Arg(4000);
+
+void BM_SliceDraw(benchmark::State& state) {
+  const Dataset ds = UniformData(2000, 25, 2);
+  const SortedAttributeIndex index(ds);
+  const SliceSampler sampler(ds, index);
+  const Subspace s = FirstDims(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Draw(s, 0.1, &rng).selected_count);
+  }
+}
+BENCHMARK(BM_SliceDraw)->Arg(2)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_WelchDeviation(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> a(state.range(0)), b(state.range(0) / 10);
+  for (double& v : a) v = rng.Gaussian();
+  for (double& v : b) v = rng.Gaussian();
+  const stats::WelchTDeviation dev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dev.Deviation(a, b));
+  }
+}
+BENCHMARK(BM_WelchDeviation)->Arg(1000)->Arg(10000);
+
+void BM_KsDeviation(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> a(state.range(0)), b(state.range(0) / 10);
+  for (double& v : a) v = rng.Gaussian();
+  for (double& v : b) v = rng.Gaussian();
+  const stats::KsDeviation dev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dev.Deviation(a, b));
+  }
+}
+BENCHMARK(BM_KsDeviation)->Arg(1000)->Arg(10000);
+
+void BM_ContrastEstimate(benchmark::State& state) {
+  const Dataset ds = UniformData(1000, 25, 6);
+  const stats::WelchTDeviation welch;
+  const ContrastEstimator estimator(ds, welch, {50, 0.1});
+  const Subspace s = FirstDims(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Contrast(s, &rng));
+  }
+}
+BENCHMARK(BM_ContrastEstimate)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_KnnBruteForce(benchmark::State& state) {
+  const Dataset ds = UniformData(2000, state.range(0), 8);
+  const auto searcher = MakeBruteForceSearcher(ds, ds.FullSpace());
+  std::size_t query = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher->QueryKnn(query, 10).size());
+    query = (query + 1) % ds.num_objects();
+  }
+}
+BENCHMARK(BM_KnnBruteForce)->Arg(2)->Arg(8)->Arg(25);
+
+void BM_KnnKdTree(benchmark::State& state) {
+  const Dataset ds = UniformData(2000, state.range(0), 9);
+  const auto searcher = MakeKdTreeSearcher(ds, ds.FullSpace());
+  std::size_t query = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher->QueryKnn(query, 10).size());
+    query = (query + 1) % ds.num_objects();
+  }
+}
+BENCHMARK(BM_KnnKdTree)->Arg(2)->Arg(8)->Arg(25);
+
+void BM_LofScore(benchmark::State& state) {
+  const Dataset ds = UniformData(state.range(0), 5, 10);
+  const LofScorer lof({.min_pts = 10});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lof.ScoreFullSpace(ds).size());
+  }
+}
+BENCHMARK(BM_LofScore)->Arg(500)->Arg(1000)->Arg(2000);
+
+}  // namespace
+}  // namespace hics
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Fraud-detection scenario from the paper's introduction: "suspicious
+// customers show fraud activity only w.r.t. some financial transactions".
+//
+// We simulate customer accounts with correlated spending behaviour
+// (transaction volume scales with income; card-present ratio scales with
+// local purchases) plus irrelevant attributes. Fraudulent accounts break
+// exactly one behavioural correlation while staying unremarkable in every
+// single attribute. The example compares three plug-in scorers (LOF,
+// kNN-dist, kNN-avg) on the same HiCS subspace selection -- the
+// "decoupling" the paper advertises.
+//
+// Build & run:  ./build/examples/fraud_detection
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/hics.h"
+#include "eval/roc.h"
+#include "outlier/knn_outlier.h"
+#include "outlier/lof.h"
+#include "outlier/subspace_ranker.h"
+
+namespace {
+
+constexpr std::size_t kAccounts = 600;
+constexpr std::size_t kFraudulent = 12;
+
+hics::Dataset SimulateAccounts() {
+  hics::Rng rng(777);
+  hics::Dataset data(kAccounts, 8);
+  (void)data.SetAttributeNames({"income", "txn_volume", "card_present_ratio",
+                                "local_purchases", "account_age",
+                                "support_calls", "logins_per_week",
+                                "newsletter_clicks"});
+  std::vector<bool> labels(kAccounts, false);
+
+  for (std::size_t i = 0; i < kAccounts; ++i) {
+    // Income tier drives transaction volume (3 tiers).
+    const int tier = static_cast<int>(rng.UniformIndex(3));
+    const double income = 0.2 + 0.3 * tier;
+    data.Set(i, 0, income + rng.Gaussian(0.0, 0.03));
+    data.Set(i, 1, income + rng.Gaussian(0.0, 0.03));
+
+    // Card-present ratio tracks the share of local purchases.
+    const double locality = rng.Bernoulli(0.5) ? 0.3 : 0.8;
+    data.Set(i, 2, locality + rng.Gaussian(0.0, 0.03));
+    data.Set(i, 3, locality + rng.Gaussian(0.0, 0.03));
+
+    // Independent profile attributes.
+    for (std::size_t j = 4; j < 8; ++j) data.Set(i, j, rng.UniformDouble());
+  }
+
+  // Fraud: half break the income/volume correlation (low income, high
+  // volume of a *different* tier), half break the locality correlation
+  // (all card-present yet no local purchases).
+  for (std::size_t f = 0; f < kFraudulent; ++f) {
+    const std::size_t id = 13 + f * 41;
+    if (f % 2 == 0) {
+      data.Set(id, 0, 0.2 + rng.Gaussian(0.0, 0.03));   // low income
+      data.Set(id, 1, 0.8 + rng.Gaussian(0.0, 0.03));   // huge volume
+    } else {
+      data.Set(id, 2, 0.8 + rng.Gaussian(0.0, 0.03));   // card present
+      data.Set(id, 3, 0.3 + rng.Gaussian(0.0, 0.03));   // but not local
+    }
+    labels[id] = true;
+  }
+  (void)data.SetLabels(labels);
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  const hics::Dataset data = SimulateAccounts();
+  std::printf("accounts: %zu x %zu attributes, %zu fraudulent\n\n",
+              data.num_objects(), data.num_attributes(),
+              data.CountOutliers());
+
+  // Step 1 -- subspace search, done once.
+  hics::HicsParams params;
+  params.output_top_k = 8;
+  params.num_iterations = 100;
+  auto subspaces = hics::RunHicsSearch(data, params);
+  if (!subspaces.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 subspaces.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("selected subspaces:\n");
+  for (const auto& s : *subspaces) {
+    std::printf("  contrast %.3f: {", s.score);
+    for (std::size_t i = 0; i < s.subspace.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  data.attribute_names()[s.subspace[i]].c_str());
+    }
+    std::printf("}\n");
+  }
+
+  // Step 2 -- any density-based scorer plugs in (decoupled processing).
+  const hics::LofScorer lof({/*min_pts=*/15});
+  const hics::KnnDistanceScorer knn_dist(15);
+  const hics::KnnAverageScorer knn_avg(15);
+  const hics::OutlierScorer* scorers[] = {&lof, &knn_dist, &knn_avg};
+
+  std::printf("\nranking quality with interchangeable scorers:\n");
+  for (const hics::OutlierScorer* scorer : scorers) {
+    const auto scores = hics::RankWithSubspaces(data, *subspaces, *scorer);
+    const double auc = *hics::ComputeAuc(scores, data.labels());
+    const double p_at_k =
+        *hics::PrecisionAtN(scores, data.labels(), kFraudulent);
+    std::printf("  %-9s AUC %.3f   precision@%zu %.2f\n",
+                scorer->name().c_str(), auc, kFraudulent, p_at_k);
+  }
+
+  std::printf("\nexpected: every scorer benefits from the same subspace "
+              "selection -- the two\nbehavioural subspaces are found and "
+              "fraudulent accounts rank on top.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Gene-expression scenario from the paper's introduction: "genes show
+// unexpected expression only under specific medical conditions".
+//
+// We simulate an expression matrix (samples x genes) where groups of
+// co-regulated genes form pathways (strong correlations). A few samples
+// carry a *pathway-breaking* signature: the individual expression levels
+// stay in their normal ranges, but the usual co-regulation between the
+// pathway's genes is violated -- exactly the non-trivial outlier HiCS
+// targets. The example also demonstrates the trivial-outlier
+// pre-processing the paper suggests in §V-B: one sample with a plain
+// over-expressed gene is caught by the univariate channel, and the
+// combined ranking surfaces both kinds.
+//
+// Build & run:  ./build/examples/gene_expression
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/pipeline.h"
+#include "eval/roc.h"
+#include "outlier/lof.h"
+#include "outlier/univariate.h"
+
+namespace {
+
+constexpr std::size_t kSamples = 500;
+constexpr std::size_t kGenes = 16;
+
+hics::Dataset SimulateExpressionMatrix() {
+  hics::Rng rng(1879);
+  hics::Dataset data(kSamples, kGenes);
+  std::vector<std::string> names(kGenes);
+  for (std::size_t g = 0; g < kGenes; ++g) {
+    names[g] = "gene" + std::to_string(g);
+  }
+  (void)data.SetAttributeNames(std::move(names));
+  std::vector<bool> labels(kSamples, false);
+
+  for (std::size_t s = 0; s < kSamples; ++s) {
+    // Pathway A: genes 0-3 co-regulated (two expression programs).
+    const double program_a = rng.Bernoulli(0.5) ? 0.3 : 0.7;
+    for (std::size_t g = 0; g < 4; ++g) {
+      data.Set(s, g, program_a + rng.Gaussian(0.0, 0.03));
+    }
+    // Pathway B: genes 4-6 co-regulated (three programs).
+    const double program_b = 0.2 + 0.3 * rng.UniformIndex(3);
+    for (std::size_t g = 4; g < 7; ++g) {
+      data.Set(s, g, program_b + rng.Gaussian(0.0, 0.03));
+    }
+    // Housekeeping genes: independent baseline expression.
+    for (std::size_t g = 7; g < kGenes; ++g) {
+      data.Set(s, g, rng.UniformDouble());
+    }
+  }
+
+  // Dysregulated samples: pathway A broken (half high / half low), every
+  // level individually normal.
+  for (std::size_t s : {71u, 402u}) {
+    data.Set(s, 0, 0.3 + rng.Gaussian(0.0, 0.03));
+    data.Set(s, 1, 0.3 + rng.Gaussian(0.0, 0.03));
+    data.Set(s, 2, 0.7 + rng.Gaussian(0.0, 0.03));
+    data.Set(s, 3, 0.7 + rng.Gaussian(0.0, 0.03));
+    labels[s] = true;
+  }
+  // Pathway B broken for one sample.
+  data.Set(222, 4, 0.2);
+  data.Set(222, 5, 0.8);
+  data.Set(222, 6, 0.5);
+  labels[222] = true;
+  // One classic over-expression: trivially visible in gene 9 alone.
+  data.Set(333, 9, 2.5);
+  labels[333] = true;
+
+  (void)data.SetLabels(labels);
+  return data;
+}
+
+void ReportRanks(const char* what, const std::vector<double>& scores) {
+  const auto ranking = hics::RankingFromScores(scores);
+  std::printf("%s\n", what);
+  for (std::size_t target : {71u, 402u, 222u, 333u}) {
+    for (std::size_t r = 0; r < ranking.size(); ++r) {
+      if (ranking[r] == target) {
+        std::printf("  sample %3zu -> rank %3zu\n", target, r + 1);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const hics::Dataset data = SimulateExpressionMatrix();
+  std::printf("expression matrix: %zu samples x %zu genes, %zu anomalous "
+              "samples\n\n",
+              data.num_objects(), data.num_attributes(),
+              data.CountOutliers());
+
+  hics::HicsParams params;
+  params.output_top_k = 10;
+  params.num_iterations = 100;
+  const hics::LofScorer lof({/*min_pts=*/15});
+  auto pipeline = hics::RunHicsPipeline(data, params, lof);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("top pathway subspaces by contrast:\n");
+  for (std::size_t i = 0; i < 3 && i < pipeline->subspaces.size(); ++i) {
+    const auto& s = pipeline->subspaces[i];
+    std::printf("  contrast %.3f: %s\n", s.score,
+                s.subspace.ToString().c_str());
+  }
+  std::printf("\n");
+
+  ReportRanks("HiCS subspace ranking alone:", pipeline->scores);
+
+  // §V-B: add the trivial-outlier channel.
+  const hics::UnivariateScorer univariate;
+  const auto trivial = univariate.ScoreFullSpace(data);
+  const auto combined =
+      hics::CombineTrivialAndSubspaceScores(trivial, pipeline->scores);
+  ReportRanks("\nwith trivial-outlier pre-processing (combined):", combined);
+
+  const double auc_subspace =
+      *hics::ComputeAuc(pipeline->scores, data.labels());
+  const double auc_combined = *hics::ComputeAuc(combined, data.labels());
+  std::printf("\nAUC subspace-only %.3f -> combined %.3f\n", auc_subspace,
+              auc_combined);
+  std::printf("\nexpected: the pathway-breaking samples (71, 402, 222) rank "
+              "top in both;\nthe over-expression sample (333) is rescued by "
+              "the trivial channel.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// The paper's Fig. 1 scenario: an environmental sensor network where
+// suspicious readings hide in *specific attribute combinations*.
+//
+//  - outlier1 deviates w.r.t. {air pollution index, noise level} only,
+//  - outlier2 deviates w.r.t. {humidity, temperature} only,
+//  - both look perfectly normal in every single attribute and in the
+//    full 12-dimensional space (8 telemetry channels are pure noise).
+//
+// The example shows (a) full-space LOF failing to isolate them and
+// (b) the HiCS pipeline surfacing exactly the two meaningful attribute
+// combinations and both sensors.
+//
+// Build & run:  ./build/examples/sensor_surveillance
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/pipeline.h"
+#include "outlier/lof.h"
+
+namespace {
+
+constexpr std::size_t kNumSensors = 400;
+// Attribute layout.
+enum : std::size_t {
+  kPollution = 0,
+  kNoise = 1,
+  kHumidity = 2,
+  kTemperature = 3,
+  kWindSpeed = 4,
+  kBattery = 5,
+};
+
+hics::Dataset SimulateSensorNetwork() {
+  hics::Rng rng(20120401);
+  hics::Dataset data(kNumSensors, 12);
+  (void)data.SetAttributeNames(
+      {"air_pollution", "noise_level", "humidity", "temperature",
+       "wind_speed", "battery", "uptime", "rssi", "cpu_temp", "queue_len",
+       "uv_index", "rainfall"});
+  std::vector<bool> labels(kNumSensors, false);
+
+  for (std::size_t i = 0; i < kNumSensors; ++i) {
+    // Pollution correlates with noise (traffic drives both): sensors sit
+    // either in a busy zone or a quiet zone.
+    const bool busy_zone = rng.Bernoulli(0.5);
+    const double traffic = busy_zone ? 0.75 : 0.25;
+    data.Set(i, kPollution, traffic + rng.Gaussian(0.0, 0.04));
+    data.Set(i, kNoise, traffic + rng.Gaussian(0.0, 0.04));
+
+    // Humidity anti-correlates with temperature (weather front).
+    const bool warm_front = rng.Bernoulli(0.5);
+    data.Set(i, kHumidity, (warm_front ? 0.3 : 0.7) + rng.Gaussian(0.0, 0.04));
+    data.Set(i, kTemperature,
+             (warm_front ? 0.7 : 0.3) + rng.Gaussian(0.0, 0.04));
+
+    // Wind speed, battery level, and six more telemetry channels:
+    // independent noise that scatters the full space.
+    for (std::size_t j = kWindSpeed; j < 12; ++j) {
+      data.Set(i, j, rng.UniformDouble());
+    }
+  }
+
+  // outlier1 (sensor 42): high pollution but LOW noise -- a reading that
+  // matches no traffic pattern (defective pollution sensor? illegal
+  // emission at night?). Each value alone is perfectly common.
+  data.Set(42, kPollution, 0.75);
+  data.Set(42, kNoise, 0.25);
+  labels[42] = true;
+
+  // outlier2 (sensor 300): warm AND humid -- violates the front pattern.
+  data.Set(300, kHumidity, 0.7);
+  data.Set(300, kTemperature, 0.7);
+  labels[300] = true;
+
+  (void)data.SetLabels(labels);
+  return data;
+}
+
+void PrintRank(const char* what, const std::vector<double>& scores,
+               std::size_t id) {
+  const auto ranking = hics::RankingFromScores(scores);
+  for (std::size_t r = 0; r < ranking.size(); ++r) {
+    if (ranking[r] == id) {
+      std::printf("  %s: sensor %3zu ranked %3zu / %zu (score %.2f)\n", what,
+                  id, r + 1, scores.size(), scores[id]);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const hics::Dataset data = SimulateSensorNetwork();
+  std::printf("sensor network: %zu sensors x %zu attributes\n",
+              data.num_objects(), data.num_attributes());
+  std::printf("hidden anomalies: sensor 42 in {air_pollution, noise_level}, "
+              "sensor 300 in\n{humidity, temperature}\n\n");
+
+  const hics::LofScorer lof({/*min_pts=*/15});
+
+  std::printf("-- traditional full-space LOF --\n");
+  const auto full_scores = lof.ScoreFullSpace(data);
+  PrintRank("outlier1", full_scores, 42);
+  PrintRank("outlier2", full_scores, 300);
+
+  std::printf("\n-- HiCS pipeline (subspace search + LOF) --\n");
+  hics::HicsParams params;
+  params.output_top_k = 5;
+  params.num_iterations = 100;
+  auto result = hics::RunHicsPipeline(data, params, lof);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("high contrast subspaces found:\n");
+  for (const auto& s : result->subspaces) {
+    std::printf("  contrast %.3f: {", s.score);
+    for (std::size_t i = 0; i < s.subspace.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  data.attribute_names()[s.subspace[i]].c_str());
+    }
+    std::printf("}\n");
+  }
+  PrintRank("outlier1", result->scores, 42);
+  PrintRank("outlier2", result->scores, 300);
+
+  std::printf("\nexpected: HiCS surfaces the two correlated sensor-pair "
+              "subspaces and ranks both\nhidden anomalies at the very top, "
+              "while full-space LOF buries them.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "index/neighbor_searcher.h"
+
+namespace hics {
+
+std::size_t DbscanResult::CountCoreObjects() const {
+  return static_cast<std::size_t>(
+      std::count(is_core.begin(), is_core.end(), true));
+}
+
+std::size_t DbscanResult::CountNoise() const {
+  return static_cast<std::size_t>(
+      std::count(cluster_of.begin(), cluster_of.end(), kNoise));
+}
+
+DbscanResult Dbscan(const Dataset& dataset, const Subspace& subspace,
+                    const DbscanParams& params) {
+  const std::size_t n = dataset.num_objects();
+  DbscanResult result;
+  result.cluster_of.assign(n, DbscanResult::kNoise);
+  result.is_core.assign(n, false);
+  if (n == 0) return result;
+
+  const auto searcher = MakeBruteForceSearcher(dataset, subspace);
+
+  // Neighborhoods include the query object itself per the DBSCAN
+  // definition; QueryRadius excludes it, hence the +1 below.
+  auto neighborhood = [&](std::size_t id) {
+    return searcher->QueryRadius(id, params.eps);
+  };
+
+  std::vector<bool> visited(n, false);
+  int next_cluster = 0;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    std::vector<Neighbor> seed_neighbors = neighborhood(seed);
+    if (seed_neighbors.size() + 1 < params.min_pts) continue;  // noise (so far)
+    result.is_core[seed] = true;
+    const int cluster = next_cluster++;
+    result.cluster_of[seed] = cluster;
+
+    std::deque<std::size_t> frontier;
+    for (const Neighbor& nb : seed_neighbors) frontier.push_back(nb.id);
+    while (!frontier.empty()) {
+      const std::size_t current = frontier.front();
+      frontier.pop_front();
+      if (result.cluster_of[current] == DbscanResult::kNoise) {
+        result.cluster_of[current] = cluster;  // border or core, claim it
+      }
+      if (visited[current]) continue;
+      visited[current] = true;
+      std::vector<Neighbor> current_neighbors = neighborhood(current);
+      if (current_neighbors.size() + 1 >= params.min_pts) {
+        result.is_core[current] = true;
+        for (const Neighbor& nb : current_neighbors) {
+          if (!visited[nb.id] ||
+              result.cluster_of[nb.id] == DbscanResult::kNoise) {
+            frontier.push_back(nb.id);
+          }
+        }
+      }
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+std::size_t CountCoreObjects(const Dataset& dataset, const Subspace& subspace,
+                             const DbscanParams& params) {
+  const std::size_t n = dataset.num_objects();
+  if (n == 0) return 0;
+  const auto searcher = MakeBruteForceSearcher(dataset, subspace);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (searcher->CountRadius(i, params.eps) + 1 >= params.min_pts) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace hics

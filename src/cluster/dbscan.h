@@ -1,0 +1,47 @@
+#ifndef HICS_CLUSTER_DBSCAN_H_
+#define HICS_CLUSTER_DBSCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/subspace.h"
+
+namespace hics {
+
+/// DBSCAN parameters (Ester et al. 1996).
+struct DbscanParams {
+  double eps = 0.1;
+  /// Minimum neighborhood size (query object included) for a core object.
+  std::size_t min_pts = 5;
+};
+
+/// DBSCAN clustering result.
+struct DbscanResult {
+  /// Cluster id per object; kNoise (== -1) marks noise.
+  std::vector<int> cluster_of;
+  /// Per-object core flag: |N_eps(o)| >= min_pts.
+  std::vector<bool> is_core;
+  int num_clusters = 0;
+
+  static constexpr int kNoise = -1;
+
+  std::size_t CountCoreObjects() const;
+  std::size_t CountNoise() const;
+};
+
+/// Runs DBSCAN on `dataset` with distances restricted to `subspace`.
+/// The substrate RIS (Kailing et al. 2003) builds on: RIS's subspace
+/// quality is derived from the density of core objects under the DBSCAN
+/// paradigm.
+DbscanResult Dbscan(const Dataset& dataset, const Subspace& subspace,
+                    const DbscanParams& params);
+
+/// Counts only the core objects (cheaper than full clustering: no
+/// expansion bookkeeping). Exactly what RIS needs.
+std::size_t CountCoreObjects(const Dataset& dataset, const Subspace& subspace,
+                             const DbscanParams& params);
+
+}  // namespace hics
+
+#endif  // HICS_CLUSTER_DBSCAN_H_

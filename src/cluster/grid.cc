@@ -1,0 +1,84 @@
+#include "cluster/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/histogram.h"
+
+namespace hics {
+
+SubspaceGrid::SubspaceGrid(const Dataset& dataset, const Subspace& subspace,
+                           std::size_t bins_per_dim)
+    : bins_per_dim_(bins_per_dim) {
+  HICS_CHECK_GT(bins_per_dim, 0u);
+  HICS_CHECK(!subspace.empty());
+  const std::size_t n = dataset.num_objects();
+
+  // Per-attribute ranges.
+  std::vector<double> lo(subspace.size()), width(subspace.size());
+  for (std::size_t j = 0; j < subspace.size(); ++j) {
+    const auto& col = dataset.Column(subspace[j]);
+    if (col.empty()) {
+      lo[j] = 0.0;
+      width[j] = 1.0;
+      continue;
+    }
+    auto [mn, mx] = std::minmax_element(col.begin(), col.end());
+    lo[j] = *mn;
+    width[j] = *mx - *mn;
+    if (width[j] <= 0.0) width[j] = 1.0;  // constant attribute -> one bin
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t key = 0;
+    for (std::size_t j = 0; j < subspace.size(); ++j) {
+      const double v = dataset.Get(i, subspace[j]);
+      std::size_t bin = static_cast<std::size_t>(
+          (v - lo[j]) / width[j] * static_cast<double>(bins_per_dim_));
+      if (bin >= bins_per_dim_) bin = bins_per_dim_ - 1;
+      key = key * (bins_per_dim_ + 1) + bin + 1;
+    }
+    ++cell_counts_[key];
+    ++total_;
+  }
+}
+
+std::vector<std::size_t> SubspaceGrid::NonEmptyCellCounts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(cell_counts_.size());
+  for (const auto& [key, count] : cell_counts_) counts.push_back(count);
+  return counts;
+}
+
+double SubspaceGrid::Entropy() const {
+  if (total_ == 0) return 0.0;
+  double entropy = 0.0;
+  for (const auto& [key, count] : cell_counts_) {
+    const double p = static_cast<double>(count) / static_cast<double>(total_);
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+double SubspaceGrid::Coverage(std::size_t density_threshold) const {
+  if (total_ == 0) return 0.0;
+  std::size_t covered = 0;
+  for (const auto& [key, count] : cell_counts_) {
+    if (count >= density_threshold) covered += count;
+  }
+  return static_cast<double>(covered) / static_cast<double>(total_);
+}
+
+double GridInterest(const Dataset& dataset, const Subspace& subspace,
+                    std::size_t bins_per_dim) {
+  double marginal_sum = 0.0;
+  for (std::size_t dim : subspace) {
+    marginal_sum += SubspaceGrid(dataset, Subspace{dim}, bins_per_dim)
+                        .Entropy();
+  }
+  const double joint = SubspaceGrid(dataset, subspace, bins_per_dim)
+                           .Entropy();
+  return marginal_sum - joint;
+}
+
+}  // namespace hics

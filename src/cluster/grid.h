@@ -1,0 +1,58 @@
+#ifndef HICS_CLUSTER_GRID_H_
+#define HICS_CLUSTER_GRID_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/subspace.h"
+
+namespace hics {
+
+/// Equi-width multidimensional grid over a subspace projection: the CLIQUE
+/// partitioning that Enclus's entropy measure is defined on. Each attribute
+/// range is split into `bins_per_dim` equal intervals; a cell is the
+/// Cartesian product of one interval per subspace attribute. Only non-empty
+/// cells are materialized (sparse map), so high-dimensional subspaces stay
+/// cheap even though the nominal cell count is bins^|S|.
+class SubspaceGrid {
+ public:
+  /// Builds the grid. Attribute ranges come from the data (min/max per
+  /// attribute over the full dataset), matching CLIQUE.
+  SubspaceGrid(const Dataset& dataset, const Subspace& subspace,
+               std::size_t bins_per_dim);
+
+  std::size_t bins_per_dim() const { return bins_per_dim_; }
+  std::size_t num_nonempty_cells() const { return cell_counts_.size(); }
+  std::size_t total_objects() const { return total_; }
+
+  /// Occupancy counts of all non-empty cells (order unspecified).
+  std::vector<std::size_t> NonEmptyCellCounts() const;
+
+  /// Shannon entropy (natural log) of the cell occupancy distribution,
+  /// Enclus's H(S). Low entropy = mass concentrated in few cells = good
+  /// clustering structure.
+  double Entropy() const;
+
+  /// Enclus "coverage": fraction of objects that lie in dense cells, where
+  /// dense means count >= `density_threshold`.
+  double Coverage(std::size_t density_threshold) const;
+
+ private:
+  std::size_t bins_per_dim_;
+  std::size_t total_ = 0;
+  std::unordered_map<std::uint64_t, std::size_t> cell_counts_;
+};
+
+/// Enclus interest measure (Cheng et al. 1999):
+///   interest(S) = sum_{s in S} H({s}) - H(S),
+/// the total correlation (multi-information) of the subspace under the grid
+/// approximation. Zero for independent attributes, positive for correlated
+/// ones.
+double GridInterest(const Dataset& dataset, const Subspace& subspace,
+                    std::size_t bins_per_dim);
+
+}  // namespace hics
+
+#endif  // HICS_CLUSTER_GRID_H_

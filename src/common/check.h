@@ -1,0 +1,61 @@
+#ifndef HICS_COMMON_CHECK_H_
+#define HICS_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace hics::internal_check {
+
+/// Collects a failure message via operator<< and aborts on destruction.
+/// Used only by the HICS_CHECK macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "HICS_CHECK failure: (" << condition << ") at " << file << ":"
+            << line << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace hics::internal_check
+
+/// Aborts with a message if `condition` is false. For programming errors /
+/// invariant violations, not for recoverable failures (use Status for those).
+#define HICS_CHECK(condition)                                         \
+  if (condition) {                                                    \
+  } else                                                              \
+    ::hics::internal_check::CheckFailureStream(#condition, __FILE__,  \
+                                               __LINE__)
+
+#define HICS_CHECK_EQ(a, b) HICS_CHECK((a) == (b))
+#define HICS_CHECK_NE(a, b) HICS_CHECK((a) != (b))
+#define HICS_CHECK_LT(a, b) HICS_CHECK((a) < (b))
+#define HICS_CHECK_LE(a, b) HICS_CHECK((a) <= (b))
+#define HICS_CHECK_GT(a, b) HICS_CHECK((a) > (b))
+#define HICS_CHECK_GE(a, b) HICS_CHECK((a) >= (b))
+
+/// Cheap assert in debug builds, no-op in release builds.
+#ifndef NDEBUG
+#define HICS_DCHECK(condition) HICS_CHECK(condition)
+#else
+#define HICS_DCHECK(condition) \
+  if (true) {                  \
+  } else                       \
+    ::hics::internal_check::CheckFailureStream(#condition, __FILE__, __LINE__)
+#endif
+
+#endif  // HICS_COMMON_CHECK_H_

@@ -1,0 +1,158 @@
+#include "common/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hics {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, delimiter)) cells.push_back(cell);
+  // A trailing delimiter means a final empty cell that getline drops.
+  if (!line.empty() && line.back() == delimiter) cells.emplace_back();
+  return cells;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  std::size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(trimmed.c_str(), &end);
+  return end == trimmed.c_str() + trimmed.size();
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options) {
+  std::istringstream stream(text);
+  std::string line;
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+  std::vector<bool> labels;
+  bool saw_header = !options.has_header;
+  std::size_t line_number = 0;
+
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> cells = SplitLine(line, options.delimiter);
+    if (!saw_header) {
+      for (auto& cell : cells) cell = Trim(cell);
+      header = std::move(cells);
+      saw_header = true;
+      continue;
+    }
+    const int label_col = options.label_column;
+    if (label_col >= 0 && static_cast<std::size_t>(label_col) >= cells.size()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": label column out of range");
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    bool label = false;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (label_col >= 0 && i == static_cast<std::size_t>(label_col)) {
+        double numeric = 0.0;
+        if (ParseDouble(cells[i], &numeric)) {
+          label = numeric != 0.0;
+        } else {
+          label = Trim(cells[i]) == options.outlier_label;
+        }
+        continue;
+      }
+      double value = 0.0;
+      if (!ParseDouble(cells[i], &value)) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ", column " +
+            std::to_string(i) + ": cannot parse '" + Trim(cells[i]) +
+            "' as a number");
+      }
+      row.push_back(value);
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": ragged row");
+    }
+    rows.push_back(std::move(row));
+    labels.push_back(label);
+  }
+
+  HICS_ASSIGN_OR_RETURN(Dataset ds, Dataset::FromRows(rows));
+  if (options.label_column >= 0) {
+    HICS_RETURN_NOT_OK(ds.SetLabels(std::move(labels)));
+  }
+  if (!header.empty()) {
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (options.label_column >= 0 &&
+          i == static_cast<std::size_t>(options.label_column)) {
+        continue;
+      }
+      names.push_back(header[i]);
+    }
+    if (names.size() == ds.num_attributes()) {
+      HICS_RETURN_NOT_OK(ds.SetAttributeNames(std::move(names)));
+    }
+  }
+  return ds;
+}
+
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string WriteCsv(const Dataset& dataset, char delimiter) {
+  std::ostringstream out;
+  // max_digits10 so written values parse back bit-exact.
+  out.precision(17);
+  const auto& names = dataset.attribute_names();
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    if (j > 0) out << delimiter;
+    out << names[j];
+  }
+  if (dataset.has_labels()) {
+    if (!names.empty()) out << delimiter;
+    out << "label";
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < dataset.num_objects(); ++i) {
+    for (std::size_t j = 0; j < dataset.num_attributes(); ++j) {
+      if (j > 0) out << delimiter;
+      out << dataset.Get(i, j);
+    }
+    if (dataset.has_labels()) {
+      if (dataset.num_attributes() > 0) out << delimiter;
+      out << (dataset.labels()[i] ? 1 : 0);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char delimiter) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
+  file << WriteCsv(dataset, delimiter);
+  if (!file) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace hics

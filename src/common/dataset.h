@@ -1,0 +1,99 @@
+#ifndef HICS_COMMON_DATASET_H_
+#define HICS_COMMON_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "common/subspace.h"
+
+namespace hics {
+
+/// In-memory real-valued dataset: N objects x D attributes, stored
+/// column-major (one contiguous vector per attribute) because contrast
+/// estimation and slicing scan single attributes. Optionally carries binary
+/// ground-truth outlier labels for evaluation.
+class Dataset {
+ public:
+  /// Empty dataset (0 x 0).
+  Dataset() = default;
+
+  /// Creates an all-zero dataset with the given shape.
+  Dataset(std::size_t num_objects, std::size_t num_attributes);
+
+  /// Builds a dataset from column vectors; all columns must have equal
+  /// length. Attribute names default to "a0", "a1", ...
+  static Result<Dataset> FromColumns(std::vector<std::vector<double>> columns);
+
+  /// Builds a dataset from row vectors; all rows must have equal length.
+  static Result<Dataset> FromRows(
+      const std::vector<std::vector<double>>& rows);
+
+  std::size_t num_objects() const { return num_objects_; }
+  std::size_t num_attributes() const { return columns_.size(); }
+
+  /// Full attribute set {0, ..., D-1}.
+  Subspace FullSpace() const;
+
+  double Get(std::size_t object, std::size_t attribute) const {
+    HICS_DCHECK(object < num_objects_);
+    HICS_DCHECK(attribute < columns_.size());
+    return columns_[attribute][object];
+  }
+  void Set(std::size_t object, std::size_t attribute, double value) {
+    HICS_DCHECK(object < num_objects_);
+    HICS_DCHECK(attribute < columns_.size());
+    columns_[attribute][object] = value;
+  }
+
+  const std::vector<double>& Column(std::size_t attribute) const {
+    HICS_DCHECK(attribute < columns_.size());
+    return columns_[attribute];
+  }
+
+  /// Gathers one object's values restricted to `subspace`, appended to
+  /// `*out` (cleared first). Hot path of subspace-restricted distance
+  /// computations.
+  void ProjectObject(std::size_t object, const Subspace& subspace,
+                     std::vector<double>* out) const;
+
+  /// Returns a new dataset containing only the attributes in `subspace`
+  /// (labels preserved).
+  Dataset ProjectSubspace(const Subspace& subspace) const;
+
+  /// Attribute names (size D). Settable for nicer reports.
+  const std::vector<std::string>& attribute_names() const { return names_; }
+  Status SetAttributeNames(std::vector<std::string> names);
+
+  /// Ground-truth outlier labels. Empty if unlabeled; otherwise size N with
+  /// true = outlier.
+  bool has_labels() const { return !labels_.empty(); }
+  const std::vector<bool>& labels() const { return labels_; }
+  Status SetLabels(std::vector<bool> labels);
+  std::size_t CountOutliers() const;
+
+  /// Appends one row (size must be D; label optional when labeled).
+  void AppendRow(const std::vector<double>& row, bool label = false);
+
+  /// Min-max normalizes every attribute to [0, 1] in place. Constant
+  /// attributes map to 0. Returns *this for chaining.
+  Dataset& NormalizeMinMax();
+
+  /// Z-score standardizes every attribute in place (constant attributes map
+  /// to 0). Returns *this for chaining.
+  Dataset& Standardize();
+
+ private:
+  std::size_t num_objects_ = 0;
+  std::vector<std::vector<double>> columns_;
+  std::vector<std::string> names_;
+  std::vector<bool> labels_;
+
+  void ResetDefaultNames();
+};
+
+}  // namespace hics
+
+#endif  // HICS_COMMON_DATASET_H_

@@ -1,0 +1,122 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hics {
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  HICS_CHECK_EQ(cols_, other.rows_);
+  Matrix result(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        result(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return result;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  HICS_CHECK_EQ(a.rows(), b.rows());
+  HICS_CHECK_EQ(a.cols(), b.cols());
+  double max_diff = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      max_diff = std::max(max_diff, std::fabs(a(r, c) - b(r, c)));
+    }
+  }
+  return max_diff;
+}
+
+void JacobiEigenSymmetric(const Matrix& a, std::vector<double>* eigenvalues,
+                          Matrix* eigenvectors, double tolerance,
+                          int max_sweeps) {
+  HICS_CHECK(eigenvalues != nullptr && eigenvectors != nullptr);
+  HICS_CHECK_EQ(a.rows(), a.cols());
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&]() {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) sum += m(i, j) * m(i, j);
+    }
+    return std::sqrt(sum);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tolerance) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable computation of tan of the rotation angle.
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return m(i, i) > m(j, j);
+  });
+
+  eigenvalues->resize(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t out = 0; out < n; ++out) {
+    const std::size_t in = order[out];
+    (*eigenvalues)[out] = m(in, in);
+    for (std::size_t k = 0; k < n; ++k) sorted_vectors(k, out) = v(k, in);
+  }
+  *eigenvectors = std::move(sorted_vectors);
+}
+
+}  // namespace hics

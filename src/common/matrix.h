@@ -1,0 +1,55 @@
+#ifndef HICS_COMMON_MATRIX_H_
+#define HICS_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hics {
+
+/// Small dense row-major matrix of doubles. Sized for PCA-scale work
+/// (D x D covariance matrices with D up to a few hundred); not a general
+/// linear-algebra library.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    HICS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) {
+    HICS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix Transposed() const;
+  Matrix operator*(const Matrix& other) const;
+
+  /// Max |a(i,j) - b(i,j)|; matrices must have equal shape.
+  static double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Eigen decomposition of a symmetric matrix via the cyclic Jacobi method.
+/// Returns eigenvalues in `*eigenvalues` (descending) and the matching
+/// eigenvectors as *columns* of `*eigenvectors`. `a` must be symmetric.
+void JacobiEigenSymmetric(const Matrix& a, std::vector<double>* eigenvalues,
+                          Matrix* eigenvectors, double tolerance = 1e-12,
+                          int max_sweeps = 100);
+
+}  // namespace hics
+
+#endif  // HICS_COMMON_MATRIX_H_

@@ -1,0 +1,40 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hics {
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t num_threads,
+                 const std::function<void(std::size_t)>& fn) {
+  HICS_CHECK_LE(begin, end);
+  const std::size_t count = end - begin;
+  if (count == 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t workers = std::min(num_threads, count);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+std::size_t DefaultNumThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace hics

@@ -1,0 +1,26 @@
+#ifndef HICS_COMMON_PARALLEL_H_
+#define HICS_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace hics {
+
+/// Runs fn(i) for every i in [begin, end) using up to `num_threads` worker
+/// threads (static contiguous partitioning). With num_threads <= 1 the
+/// loop runs inline on the calling thread. `fn` must be safe to call
+/// concurrently for distinct indices; iteration order within a worker is
+/// ascending, across workers unspecified.
+///
+/// Deliberately minimal: the library's parallel sections are coarse
+/// (one contrast estimate / one kNN query per index), so spawn-per-call
+/// threads beat the complexity of a persistent pool.
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t num_threads,
+                 const std::function<void(std::size_t)>& fn);
+
+/// Default worker count: hardware concurrency, at least 1.
+std::size_t DefaultNumThreads();
+
+}  // namespace hics
+
+#endif  // HICS_COMMON_PARALLEL_H_

@@ -1,0 +1,87 @@
+#ifndef HICS_COMMON_RANDOM_H_
+#define HICS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hics {
+
+/// Deterministic pseudo-random number generator used by every randomized
+/// component in the library (slice sampling, synthetic data, feature
+/// bagging, ...). Wraps a xoshiro256** engine; all algorithms take an
+/// explicit seed so experiments are reproducible.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rng instances with the same seed produce the
+  /// same stream.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator via SplitMix64 state expansion.
+  void Seed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling to avoid modulo bias.
+  std::uint64_t UniformUint64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform size_t index in [0, n).
+  std::size_t UniformIndex(std::size_t n) {
+    return static_cast<std::size_t>(UniformUint64(n));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double Gaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Exponential deviate with the given rate (lambda > 0).
+  double Exponential(double rate);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    HICS_CHECK(values != nullptr);
+    for (std::size_t i = values->size(); i > 1; --i) {
+      std::size_t j = UniformIndex(i);
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement
+  /// (partial Fisher-Yates). Requires k <= n. Result order is random.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  /// Derives an independent child generator; useful to give each Monte Carlo
+  /// iteration or worker its own stream.
+  Rng Split();
+
+ private:
+  std::uint64_t state_[4];
+  // Cached second value from the polar method, NaN when absent.
+  double gaussian_spare_;
+  bool has_gaussian_spare_ = false;
+};
+
+}  // namespace hics
+
+#endif  // HICS_COMMON_RANDOM_H_

@@ -1,0 +1,144 @@
+#ifndef HICS_COMMON_STATUS_H_
+#define HICS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace hics {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. Cheap to copy in the OK case.
+///
+/// Functions that can fail in ways the caller must handle return `Status`
+/// (or `Result<T>` when they also produce a value). Programming errors are
+/// handled with HICS_CHECK instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never holds an OK status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value, so `return value;` works.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. CHECK-fails on OK status:
+  /// an OK Result must carry a value.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    HICS_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the contained value. CHECK-fails if this holds an error.
+  const T& ValueOrDie() const& {
+    HICS_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    HICS_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    HICS_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates an error status out of the enclosing function.
+#define HICS_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::hics::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or propagates the
+/// error. `lhs` may include a declaration, e.g.
+/// HICS_ASSIGN_OR_RETURN(auto ds, LoadCsv(path));
+#define HICS_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  HICS_ASSIGN_OR_RETURN_IMPL(                                  \
+      HICS_STATUS_CONCAT(_hics_result_, __LINE__), lhs, rexpr)
+
+#define HICS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define HICS_STATUS_CONCAT_INNER(a, b) a##b
+#define HICS_STATUS_CONCAT(a, b) HICS_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace hics
+
+#endif  // HICS_COMMON_STATUS_H_

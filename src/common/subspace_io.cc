@@ -1,0 +1,81 @@
+#include "common/subspace_io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace hics {
+
+std::string WriteSubspaces(const std::vector<ScoredSubspace>& subspaces) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "# hics subspaces v1: <contrast> <dim> <dim> ...\n";
+  for (const ScoredSubspace& s : subspaces) {
+    out << s.score;
+    for (std::size_t dim : s.subspace) out << ' ' << dim;
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<std::vector<ScoredSubspace>> ParseSubspaces(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  std::vector<ScoredSubspace> result;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    double score = 0.0;
+    if (!(fields >> score)) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": cannot parse score");
+    }
+    std::vector<std::size_t> dims;
+    long long dim = 0;
+    while (fields >> dim) {
+      if (dim < 0) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": negative dimension");
+      }
+      dims.push_back(static_cast<std::size_t>(dim));
+    }
+    if (!fields.eof()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": trailing garbage");
+    }
+    if (dims.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": empty subspace");
+    }
+    Subspace subspace(dims);
+    if (subspace.size() != dims.size()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": duplicate dimension");
+    }
+    result.push_back({std::move(subspace), score});
+  }
+  return result;
+}
+
+Status WriteSubspacesFile(const std::vector<ScoredSubspace>& subspaces,
+                          const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
+  file << WriteSubspaces(subspaces);
+  if (!file) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<std::vector<ScoredSubspace>> ReadSubspacesFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseSubspaces(buffer.str());
+}
+
+}  // namespace hics

@@ -1,0 +1,36 @@
+#ifndef HICS_COMMON_SUBSPACE_IO_H_
+#define HICS_COMMON_SUBSPACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/subspace.h"
+
+namespace hics {
+
+/// Text serialization of scored subspace lists, so the two halves of the
+/// decoupled pipeline can run in separate processes / sessions: run the
+/// (expensive) subspace search once, save the result, and re-rank with
+/// different scorers later without repeating the search.
+///
+/// Format: one subspace per line, "<score> <dim> <dim> ...", '#' comments
+/// and blank lines ignored. Scores use max_digits10, so a round trip is
+/// bit-exact.
+
+/// Serializes the list (keeps order).
+std::string WriteSubspaces(const std::vector<ScoredSubspace>& subspaces);
+
+/// Parses a serialized list. Fails on malformed lines, duplicate
+/// dimensions within a line, or empty subspaces.
+Result<std::vector<ScoredSubspace>> ParseSubspaces(const std::string& text);
+
+/// File variants.
+Status WriteSubspacesFile(const std::vector<ScoredSubspace>& subspaces,
+                          const std::string& path);
+Result<std::vector<ScoredSubspace>> ReadSubspacesFile(
+    const std::string& path);
+
+}  // namespace hics
+
+#endif  // HICS_COMMON_SUBSPACE_IO_H_

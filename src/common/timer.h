@@ -1,0 +1,29 @@
+#ifndef HICS_COMMON_TIMER_H_
+#define HICS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace hics {
+
+/// Wall-clock stopwatch for runtime experiments.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hics
+
+#endif  // HICS_COMMON_TIMER_H_

@@ -1,0 +1,56 @@
+#include "core/contrast.h"
+
+namespace hics {
+
+Status ContrastParams::Validate() const {
+  if (num_iterations == 0) {
+    return Status::InvalidArgument("num_iterations must be >= 1");
+  }
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must lie in (0, 1)");
+  }
+  return Status::OK();
+}
+
+ContrastEstimator::ContrastEstimator(const Dataset& dataset,
+                                     const stats::TwoSampleTest& test,
+                                     ContrastParams params)
+    : dataset_(dataset),
+      test_(test),
+      params_(params),
+      index_(dataset),
+      sampler_(dataset, index_) {
+  HICS_CHECK(params_.Validate().ok()) << params_.Validate().ToString();
+  sorted_columns_.reserve(dataset.num_attributes());
+  for (std::size_t a = 0; a < dataset.num_attributes(); ++a) {
+    const std::vector<double>& column = dataset.Column(a);
+    std::vector<double> sorted;
+    sorted.reserve(column.size());
+    for (std::size_t id : index_.SortedOrder(a)) sorted.push_back(column[id]);
+    sorted_columns_.push_back(std::move(sorted));
+  }
+}
+
+double ContrastEstimator::Contrast(const Subspace& subspace, Rng* rng) const {
+  std::vector<std::uint16_t> scratch;
+  return Contrast(subspace, rng, &scratch);
+}
+
+double ContrastEstimator::Contrast(const Subspace& subspace, Rng* rng,
+                                   std::vector<std::uint16_t>* scratch) const {
+  HICS_CHECK(rng != nullptr);
+  HICS_CHECK_GE(subspace.size(), 2u);
+  double deviation_sum = 0.0;
+  for (std::size_t iteration = 0; iteration < params_.num_iterations;
+       ++iteration) {
+    const SliceDraw draw =
+        sampler_.Draw(subspace, params_.alpha, rng, scratch);
+    // Degenerate slices (empty conditional sample) contribute deviation 0;
+    // the test implementations handle small samples the same way.
+    deviation_sum += test_.DeviationPresortedMarginal(
+        sorted_columns_[draw.test_attribute], draw.conditional_sample);
+  }
+  return deviation_sum / static_cast<double>(params_.num_iterations);
+}
+
+}  // namespace hics

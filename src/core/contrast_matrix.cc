@@ -1,0 +1,55 @@
+#include "core/contrast_matrix.h"
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/subspace.h"
+#include "stats/two_sample_test.h"
+
+namespace hics {
+
+Result<Matrix> ComputeContrastMatrix(const Dataset& dataset,
+                                     const ContrastMatrixParams& params) {
+  HICS_RETURN_NOT_OK(params.contrast.Validate());
+  const auto test = stats::MakeTwoSampleTest(params.statistical_test);
+  if (test == nullptr) {
+    return Status::InvalidArgument("unknown statistical_test '" +
+                                   params.statistical_test + "'");
+  }
+  const std::size_t d = dataset.num_attributes();
+  if (d < 2) return Status::InvalidArgument("need at least 2 attributes");
+  if (dataset.num_objects() < 2) {
+    return Status::InvalidArgument("need at least 2 objects");
+  }
+
+  const ContrastEstimator estimator(dataset, *test, params.contrast);
+  const std::size_t num_threads =
+      params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
+
+  // Flatten the upper triangle into a task list.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(d * (d - 1) / 2);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) pairs.emplace_back(i, j);
+  }
+  std::vector<double> values(pairs.size());
+  ParallelFor(0, pairs.size(), num_threads, [&](std::size_t t) {
+    const Subspace s{pairs[t].first, pairs[t].second};
+    // Same per-subspace stream derivation as the lattice search, so the
+    // matrix entries equal the level-2 scores of RunHicsSearch with the
+    // same seed.
+    Rng rng(params.seed ^ (SubspaceHash{}(s) * 0x9e3779b97f4a7c15ULL));
+    std::vector<std::uint16_t> scratch;
+    values[t] = estimator.Contrast(s, &rng, &scratch);
+  });
+
+  Matrix result(d, d);
+  for (std::size_t t = 0; t < pairs.size(); ++t) {
+    result(pairs[t].first, pairs[t].second) = values[t];
+    result(pairs[t].second, pairs[t].first) = values[t];
+  }
+  return result;
+}
+
+}  // namespace hics

@@ -1,0 +1,183 @@
+#include "core/hics.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "stats/two_sample_test.h"
+
+namespace hics {
+
+Status HicsParams::Validate() const {
+  ContrastParams contrast{num_iterations, alpha};
+  HICS_RETURN_NOT_OK(contrast.Validate());
+  if (candidate_cutoff == 0) {
+    return Status::InvalidArgument("candidate_cutoff must be >= 1");
+  }
+  if (output_top_k == 0) {
+    return Status::InvalidArgument("output_top_k must be >= 1");
+  }
+  if (statistical_test != "welch" && statistical_test != "ks" &&
+      statistical_test != "wt" && statistical_test != "cvm") {
+    return Status::InvalidArgument(
+        "unknown statistical_test '" + statistical_test +
+        "' (expected 'welch', 'ks', or 'cvm')");
+  }
+  if (max_dimensionality == 1) {
+    return Status::InvalidArgument(
+        "max_dimensionality must be 0 (unbounded) or >= 2");
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+std::vector<Subspace> AllTwoDimensionalSubspaces(std::size_t num_attributes) {
+  std::vector<Subspace> result;
+  if (num_attributes >= 2) {
+    result.reserve(num_attributes * (num_attributes - 1) / 2);
+  }
+  for (std::size_t i = 0; i < num_attributes; ++i) {
+    for (std::size_t j = i + 1; j < num_attributes; ++j) {
+      result.push_back(Subspace{i, j});
+    }
+  }
+  return result;
+}
+
+std::vector<Subspace> GenerateCandidates(const std::vector<Subspace>& level) {
+  std::vector<Subspace> candidates;
+  for (std::size_t i = 0; i < level.size(); ++i) {
+    for (std::size_t j = i + 1; j < level.size(); ++j) {
+      bool ok = false;
+      Subspace merged = level[i].AprioriJoin(level[j], &ok);
+      if (ok) {
+        candidates.push_back(std::move(merged));
+      } else if (level[i].size() >= 2) {
+        // Sorted input: once the shared prefix breaks, no later j matches i.
+        const std::size_t d = level[i].size();
+        bool prefix_equal = true;
+        for (std::size_t p = 0; p + 1 < d; ++p) {
+          if (level[i][p] != level[j][p]) {
+            prefix_equal = false;
+            break;
+          }
+        }
+        if (!prefix_equal) break;
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+std::size_t PruneRedundant(std::vector<ScoredSubspace>* subspaces) {
+  HICS_CHECK(subspaces != nullptr);
+  std::vector<bool> redundant(subspaces->size(), false);
+  for (std::size_t t = 0; t < subspaces->size(); ++t) {
+    const ScoredSubspace& lower = (*subspaces)[t];
+    for (std::size_t s = 0; s < subspaces->size(); ++s) {
+      const ScoredSubspace& upper = (*subspaces)[s];
+      if (upper.subspace.size() != lower.subspace.size() + 1) continue;
+      if (upper.score > lower.score &&
+          upper.subspace.ContainsAll(lower.subspace)) {
+        redundant[t] = true;
+        break;
+      }
+    }
+  }
+  std::vector<ScoredSubspace> kept;
+  kept.reserve(subspaces->size());
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < subspaces->size(); ++i) {
+    if (redundant[i]) {
+      ++removed;
+    } else {
+      kept.push_back(std::move((*subspaces)[i]));
+    }
+  }
+  *subspaces = std::move(kept);
+  return removed;
+}
+
+}  // namespace internal
+
+Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
+                                                  const HicsParams& params,
+                                                  HicsRunStats* stats) {
+  HICS_RETURN_NOT_OK(params.Validate());
+  if (dataset.num_attributes() < 2) {
+    return Status::InvalidArgument(
+        "HiCS requires at least 2 attributes, got " +
+        std::to_string(dataset.num_attributes()));
+  }
+  if (dataset.num_objects() < 2) {
+    return Status::InvalidArgument("HiCS requires at least 2 objects");
+  }
+
+  const auto test = stats::MakeTwoSampleTest(params.statistical_test);
+  HICS_CHECK(test != nullptr);
+  const ContrastParams contrast_params{params.num_iterations, params.alpha};
+  const ContrastEstimator estimator(dataset, *test, contrast_params);
+  const std::size_t num_threads =
+      params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
+  HicsRunStats local_stats;
+
+  // Every subspace gets its own Monte Carlo stream derived from
+  // (seed, subspace), making the search reproducible independent of the
+  // level evaluation order and the worker count.
+  auto subspace_rng = [&params](const Subspace& s) {
+    return Rng(params.seed ^ (SubspaceHash{}(s) * 0x9e3779b97f4a7c15ULL));
+  };
+
+  std::vector<ScoredSubspace> pool;   // everything retained across levels
+  std::vector<Subspace> level = internal::AllTwoDimensionalSubspaces(
+      dataset.num_attributes());
+
+  while (!level.empty()) {
+    const std::size_t dims = level.front().size();
+    if (params.max_dimensionality != 0 &&
+        dims > params.max_dimensionality) {
+      break;
+    }
+    ++local_stats.levels_processed;
+    local_stats.max_level_reached =
+        std::max(local_stats.max_level_reached, dims);
+
+    // Score the whole level (in parallel when configured), then apply the
+    // adaptive threshold: keep only the candidate_cutoff best (§IV-B).
+    std::vector<ScoredSubspace> scored(level.size());
+    ParallelFor(0, level.size(), num_threads, [&](std::size_t i) {
+      Rng rng = subspace_rng(level[i]);
+      std::vector<std::uint16_t> scratch;
+      const double contrast = estimator.Contrast(level[i], &rng, &scratch);
+      scored[i] = {std::move(level[i]), contrast};
+    });
+    local_stats.contrast_evaluations += scored.size();
+    if (scored.size() > params.candidate_cutoff) {
+      ++local_stats.cutoff_applications;
+    }
+    KeepTopK(&scored, params.candidate_cutoff);
+
+    // Survivors seed the next level and enter the output pool.
+    std::vector<Subspace> survivors;
+    survivors.reserve(scored.size());
+    for (const ScoredSubspace& s : scored) survivors.push_back(s.subspace);
+    std::sort(survivors.begin(), survivors.end());
+    for (ScoredSubspace& s : scored) pool.push_back(std::move(s));
+
+    level = internal::GenerateCandidates(survivors);
+  }
+
+  if (params.prune_redundant) {
+    local_stats.pruned_redundant = internal::PruneRedundant(&pool);
+  }
+  KeepTopK(&pool, params.output_top_k);
+
+  if (stats != nullptr) *stats = local_stats;
+  return pool;
+}
+
+}  // namespace hics

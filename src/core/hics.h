@@ -1,0 +1,93 @@
+#ifndef HICS_CORE_HICS_H_
+#define HICS_CORE_HICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "common/subspace.h"
+#include "core/contrast.h"
+
+namespace hics {
+
+/// Full configuration of the HiCS subspace search.
+struct HicsParams {
+  /// Monte Carlo iterations per contrast estimate (the paper's M).
+  std::size_t num_iterations = 50;
+  /// Slice selection ratio (the paper's alpha).
+  double alpha = 0.1;
+  /// Maximum number of candidates retained per lattice level before
+  /// generating the next level (the paper's "candidate cutoff"; 400 in the
+  /// scalability experiments, quality peak around 500).
+  std::size_t candidate_cutoff = 400;
+  /// Number of best subspaces returned after redundancy pruning; the
+  /// paper's experiments feed the best 100 to the outlier ranker.
+  std::size_t output_top_k = 100;
+  /// Deviation function: "welch" (HiCS_WT, default) or "ks" (HiCS_KS).
+  std::string statistical_test = "welch";
+  /// Optional hard bound on subspace dimensionality; 0 = unbounded (search
+  /// stops when the Apriori merge yields no candidates).
+  std::size_t max_dimensionality = 0;
+  /// Apply the redundancy pruning step (drop a d-dim subspace when a
+  /// higher-contrast (d+1)-dim superset is in the result).
+  bool prune_redundant = true;
+  /// RNG seed; identical seeds give identical searches. Each subspace's
+  /// Monte Carlo stream is derived from (seed, subspace), so results are
+  /// also independent of evaluation order and thread count.
+  std::uint64_t seed = 42;
+  /// Worker threads for the per-level contrast evaluations. 1 = serial
+  /// (default), 0 = hardware concurrency.
+  std::size_t num_threads = 1;
+
+  Status Validate() const;
+};
+
+/// Progress/diagnostic statistics of one HiCS run.
+struct HicsRunStats {
+  std::size_t contrast_evaluations = 0;   ///< total subspaces scored
+  std::size_t levels_processed = 0;       ///< lattice levels visited
+  std::size_t max_level_reached = 0;      ///< highest dimensionality scored
+  std::size_t pruned_redundant = 0;       ///< dropped by redundancy pruning
+  std::size_t cutoff_applications = 0;    ///< levels where cutoff truncated
+};
+
+/// HiCS subspace search (paper §IV): level-wise Apriori-style generation of
+/// subspace candidates scored by Monte Carlo contrast, with adaptive
+/// candidate cutoff and redundancy pruning.
+///
+/// Typical use:
+///   HicsParams params;
+///   HICS_ASSIGN_OR_RETURN(auto subspaces, RunHicsSearch(dataset, params));
+///   // feed `subspaces` to RankWithSubspaces(...)
+///
+/// Returns the output_top_k highest-contrast subspaces, sorted by
+/// descending contrast. `stats`, when non-null, receives run diagnostics.
+Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
+                                                  const HicsParams& params,
+                                                  HicsRunStats* stats =
+                                                      nullptr);
+
+/// Exposed lattice utilities (used internally and unit-tested directly).
+namespace internal {
+
+/// Generates all two-dimensional subspaces of a D-dimensional space in
+/// lexicographic order.
+std::vector<Subspace> AllTwoDimensionalSubspaces(std::size_t num_attributes);
+
+/// Apriori merge step: joins every pair of d-dimensional subspaces sharing
+/// their first d-1 attributes into (d+1)-dimensional candidates. `level`
+/// must be sorted lexicographically; output is sorted and duplicate-free.
+std::vector<Subspace> GenerateCandidates(const std::vector<Subspace>& level);
+
+/// Redundancy pruning (paper §IV-B): removes a subspace T when the list
+/// contains a superset S with |S| = |T|+1 and strictly higher score.
+/// Returns the number of removed subspaces.
+std::size_t PruneRedundant(std::vector<ScoredSubspace>* subspaces);
+
+}  // namespace internal
+
+}  // namespace hics
+
+#endif  // HICS_CORE_HICS_H_

@@ -1,0 +1,31 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hics {
+
+Result<PipelineResult> RunHicsPipeline(const Dataset& dataset,
+                                       const HicsParams& params,
+                                       const OutlierScorer& scorer,
+                                       ScoreAggregation aggregation) {
+  PipelineResult result;
+  HICS_ASSIGN_OR_RETURN(result.subspaces,
+                        RunHicsSearch(dataset, params, &result.search_stats));
+  result.scores =
+      RankWithSubspaces(dataset, result.subspaces, scorer, aggregation);
+  return result;
+}
+
+std::vector<std::size_t> RankingFromScores(
+    const std::vector<double>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace hics

@@ -1,0 +1,43 @@
+#ifndef HICS_CORE_PIPELINE_H_
+#define HICS_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "common/subspace.h"
+#include "core/hics.h"
+#include "outlier/outlier_scorer.h"
+#include "outlier/subspace_ranker.h"
+
+namespace hics {
+
+/// Result of the full two-step HiCS outlier ranking.
+struct PipelineResult {
+  /// Final outlier score per object (higher = more outlying), aggregated
+  /// over the selected subspaces per Definition 1.
+  std::vector<double> scores;
+  /// The high-contrast subspaces the scores were computed in, sorted by
+  /// descending contrast.
+  std::vector<ScoredSubspace> subspaces;
+  /// Search diagnostics.
+  HicsRunStats search_stats;
+};
+
+/// Runs the complete decoupled pipeline from the paper:
+/// (1) HiCS subspace search, (2) density-based outlier ranking with
+/// `scorer` in each selected subspace, averaged (or maxed) per object.
+///
+/// If the search returns no subspace (degenerate data), the scorer runs on
+/// the full space so the pipeline always produces a ranking.
+Result<PipelineResult> RunHicsPipeline(
+    const Dataset& dataset, const HicsParams& params,
+    const OutlierScorer& scorer,
+    ScoreAggregation aggregation = ScoreAggregation::kAverage);
+
+/// Returns object indices sorted by descending score — the outlier ranking.
+std::vector<std::size_t> RankingFromScores(const std::vector<double>& scores);
+
+}  // namespace hics
+
+#endif  // HICS_CORE_PIPELINE_H_

@@ -1,0 +1,75 @@
+#ifndef HICS_CORE_SLICE_H_
+#define HICS_CORE_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/random.h"
+#include "common/subspace.h"
+#include "index/sorted_index.h"
+
+namespace hics {
+
+/// One Monte Carlo draw: a random subspace slice (Definition 4) plus the
+/// two samples the deviation function compares.
+struct SliceDraw {
+  /// The attribute whose marginal vs conditional distribution is tested.
+  std::size_t test_attribute = 0;
+  /// Values of the test attribute for the objects selected by the slice
+  /// conditions (the empirical conditional sample p̂_s|C).
+  std::vector<double> conditional_sample;
+  /// Number of objects the slice selected (== conditional_sample.size()).
+  std::size_t selected_count = 0;
+};
+
+/// Generates random adaptive subspace slices over pre-sorted attribute
+/// indices (paper §III-C / §IV-A).
+///
+/// For a subspace S, one draw:
+///  1. randomly permutes the attributes of S; the last one becomes the test
+///     attribute, the other |S|-1 carry conditions,
+///  2. for each conditioning attribute picks a random contiguous block of
+///     its sorted index of size ceil(N * alpha^(1/|S|)) and intersects the
+///     selections via a boolean mask,
+///  3. collects the test attribute's values of the surviving objects.
+///
+/// The block size N*alpha1 with alpha1 = |S|-th root of alpha follows
+/// Algorithm 1 verbatim; it keeps the conditional sample size stable as the
+/// subspace dimensionality grows, which is what lets the contrast estimate
+/// escape the curse of dimensionality.
+class SliceSampler {
+ public:
+  /// Both references must outlive the sampler. `index` must be built over
+  /// the same dataset.
+  SliceSampler(const Dataset& dataset, const SortedAttributeIndex& index);
+
+  /// Draws one random slice for `subspace` with selection ratio `alpha`
+  /// (in (0,1)). Requires |subspace| >= 2. Uses an internal scratch
+  /// buffer, so concurrent calls on one sampler must use the overload
+  /// below with per-thread scratch.
+  SliceDraw Draw(const Subspace& subspace, double alpha, Rng* rng) const;
+
+  /// Thread-safe variant: `scratch` is caller-provided per-thread storage
+  /// (resized as needed).
+  SliceDraw Draw(const Subspace& subspace, double alpha, Rng* rng,
+                 std::vector<std::uint16_t>* scratch) const;
+
+  /// Block size used for one condition of a |dims|-dimensional subspace:
+  /// ceil(N * alpha^(1/dims)), clamped to [1, N].
+  std::size_t BlockSize(std::size_t dims, double alpha) const;
+
+  const Dataset& dataset() const { return dataset_; }
+
+ private:
+  const Dataset& dataset_;
+  const SortedAttributeIndex& index_;
+  // Scratch per-object condition counter reused across draws; an object is
+  // selected when its counter reaches the number of conditions.
+  mutable std::vector<std::uint16_t> selected_;
+};
+
+}  // namespace hics
+
+#endif  // HICS_CORE_SLICE_H_

@@ -1,0 +1,39 @@
+#ifndef HICS_DATA_ARFF_H_
+#define HICS_DATA_ARFF_H_
+
+#include <string>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace hics {
+
+/// Options controlling ARFF parsing.
+struct ArffOptions {
+  /// Name of the attribute holding the class label (case-insensitive).
+  /// Empty = use the last nominal attribute; if none exists the dataset is
+  /// unlabeled.
+  std::string class_attribute;
+  /// Nominal value marking outliers (case-sensitive). Empty = the *least
+  /// frequent* class value is the outlier class (the convention the paper
+  /// uses for the UCI datasets: "we assume the minority class to contain
+  /// the outliers").
+  std::string outlier_value;
+};
+
+/// Minimal ARFF reader for the subset UCI datasets use: `@relation`,
+/// `@attribute <name> numeric|real|integer` and
+/// `@attribute <name> {v1,v2,...}` (nominal), `@data` with comma-separated
+/// rows, `%` comments, and `?` missing values (imputed with the attribute
+/// mean). Numeric attributes become dataset columns; the class attribute
+/// becomes the outlier labels; other nominal attributes are index-encoded.
+Result<Dataset> ParseArff(const std::string& text,
+                          const ArffOptions& options = {});
+
+/// Reads and parses an ARFF file.
+Result<Dataset> ReadArffFile(const std::string& path,
+                             const ArffOptions& options = {});
+
+}  // namespace hics
+
+#endif  // HICS_DATA_ARFF_H_

@@ -1,0 +1,48 @@
+#ifndef HICS_DATA_REPOSITORY_H_
+#define HICS_DATA_REPOSITORY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace hics {
+
+/// The paper ships its datasets and parameter settings online "to ensure
+/// repeatability of our experiments". This module is the equivalent for
+/// the reproduction: it enumerates every dataset the benchmark harness
+/// uses (synthetic suites per figure + the eight real-world stand-ins),
+/// generates them deterministically, and materializes them as labeled CSV
+/// files so runs can be repeated from files rather than from code.
+
+/// One named, fully reproducible benchmark dataset.
+struct RepositoryEntry {
+  std::string name;        ///< file stem, e.g. "synthetic_d050_rep0"
+  std::string description; ///< human-readable provenance
+  std::size_t num_objects = 0;
+  std::size_t num_attributes = 0;
+};
+
+/// All datasets of the benchmark suite: the Fig. 4/5 dimensionality sweep
+/// (D in {10..100}, 2 repetitions), the Fig. 6 size sweep, and the eight
+/// Fig. 10/11 stand-ins at the scales the harness uses.
+std::vector<RepositoryEntry> RepositoryEntries();
+
+/// Generates the dataset behind `name`. Fails with NotFound for unknown
+/// names. Deterministic: same name -> same data, always.
+Result<Dataset> GenerateRepositoryDataset(const std::string& name);
+
+/// Writes every suite dataset as "<dir>/<name>.csv" (label column
+/// included). Creates nothing else; `dir` must exist. Returns the number
+/// of files written.
+Result<std::size_t> MaterializeRepository(const std::string& dir);
+
+/// Loads "<dir>/<name>.csv" if present, otherwise generates the dataset
+/// (and caches it there when `cache` is true).
+Result<Dataset> LoadOrGenerate(const std::string& dir,
+                               const std::string& name, bool cache = true);
+
+}  // namespace hics
+
+#endif  // HICS_DATA_REPOSITORY_H_

@@ -1,0 +1,263 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace hics {
+
+Status SyntheticParams::Validate() const {
+  if (num_objects < 10) {
+    return Status::InvalidArgument("num_objects must be >= 10");
+  }
+  if (min_subspace_dims < 2) {
+    return Status::InvalidArgument("min_subspace_dims must be >= 2");
+  }
+  if (max_subspace_dims < min_subspace_dims) {
+    return Status::InvalidArgument(
+        "max_subspace_dims must be >= min_subspace_dims");
+  }
+  if (num_attributes < min_subspace_dims + noise_attributes) {
+    return Status::InvalidArgument(
+        "num_attributes must cover noise_attributes plus at least one "
+        "group of min_subspace_dims");
+  }
+  if (min_clusters < 2) {
+    return Status::InvalidArgument(
+        "min_clusters must be >= 2 (non-trivial outliers mix clusters)");
+  }
+  if (max_clusters < min_clusters) {
+    return Status::InvalidArgument("max_clusters must be >= min_clusters");
+  }
+  if (cluster_stddev <= 0.0 || cluster_stddev > 0.2) {
+    return Status::InvalidArgument("cluster_stddev must lie in (0, 0.2]");
+  }
+  if (outliers_per_subspace >= num_objects / 2) {
+    return Status::InvalidArgument("too many outliers per subspace");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Splits the (already shuffled) attribute list into chunks of size
+/// [min_dims, max_dims]; a too-small tail is merged into the last chunk.
+std::vector<std::vector<std::size_t>> PartitionAttributes(
+    const std::vector<std::size_t>& attrs, std::size_t min_dims,
+    std::size_t max_dims, Rng* rng) {
+  const std::size_t num_attributes = attrs.size();
+  std::vector<std::vector<std::size_t>> groups;
+  std::size_t pos = 0;
+  while (pos < num_attributes) {
+    const std::size_t remaining = num_attributes - pos;
+    std::size_t take =
+        min_dims + rng->UniformIndex(max_dims - min_dims + 1);
+    take = std::min(take, remaining);
+    if (remaining - take > 0 && remaining - take < min_dims) {
+      // Avoid a tail smaller than min_dims: absorb it here.
+      take = remaining;
+    }
+    if (take < min_dims && !groups.empty()) {
+      // Degenerate leftover (can only happen when remaining < min_dims on
+      // the first check): merge into the previous group.
+      for (std::size_t i = 0; i < take; ++i) {
+        groups.back().push_back(attrs[pos + i]);
+      }
+      pos += take;
+      continue;
+    }
+    groups.emplace_back(attrs.begin() + pos, attrs.begin() + pos + take);
+    pos += take;
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticParams& params) {
+  HICS_RETURN_NOT_OK(params.Validate());
+  Rng rng(params.seed);
+  const std::size_t n = params.num_objects;
+  const std::size_t d = params.num_attributes;
+
+  SyntheticDataset result;
+  result.data = Dataset(n, d);
+  std::vector<bool> labels(n, false);
+
+  // The first d - noise_attributes attributes are partitioned into
+  // correlated groups; the rest stay independent uniform noise. (The
+  // partitioning shuffles internally, so which attribute indices become
+  // noise is random too -- via one extra shuffle here.)
+  std::vector<std::size_t> attribute_pool(d);
+  std::iota(attribute_pool.begin(), attribute_pool.end(), 0);
+  rng.Shuffle(&attribute_pool);
+  const std::size_t structured = d - params.noise_attributes;
+  for (std::size_t k = structured; k < d; ++k) {
+    const std::size_t attr = attribute_pool[k];
+    for (std::size_t i = 0; i < n; ++i) {
+      result.data.Set(i, attr, rng.UniformDouble());
+    }
+  }
+  const std::vector<std::size_t> structured_attrs(
+      attribute_pool.begin(), attribute_pool.begin() + structured);
+  const auto groups =
+      PartitionAttributes(structured_attrs, params.min_subspace_dims,
+                          params.max_subspace_dims, &rng);
+
+  for (const auto& group : groups) {
+    const std::size_t dims = group.size();
+    const std::size_t k =
+        params.min_clusters +
+        rng.UniformIndex(params.max_clusters - params.min_clusters + 1);
+
+    // Cluster centers: per dimension, assign each cluster a distinct slot
+    // of [0.1, 0.9] (random slot permutation per dimension). Slots are
+    // separated far beyond cluster_stddev, so a coordinate identifies its
+    // cluster within each dimension -- the property the non-trivial
+    // outlier construction relies on.
+    std::vector<std::vector<double>> centers(k, std::vector<double>(dims));
+    const double slot_width = 0.8 / static_cast<double>(k);
+    for (std::size_t j = 0; j < dims; ++j) {
+      std::vector<std::size_t> slots(k);
+      std::iota(slots.begin(), slots.end(), 0);
+      rng.Shuffle(&slots);
+      for (std::size_t c = 0; c < k; ++c) {
+        const double slot_center =
+            0.1 + (static_cast<double>(slots[c]) + 0.5) * slot_width;
+        centers[c][j] = slot_center;
+      }
+    }
+
+    // Regular objects: each belongs to one cluster across all dims of this
+    // subspace (that is what makes the subspace correlated).
+    std::vector<std::size_t> cluster_of(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = rng.UniformIndex(k);
+      cluster_of[i] = c;
+      for (std::size_t j = 0; j < dims; ++j) {
+        result.data.Set(i, group[j],
+                        centers[c][j] +
+                            rng.Gaussian(0.0, params.cluster_stddev));
+      }
+    }
+
+    // Non-trivial outliers: coordinates borrowed from different clusters.
+    // Each single coordinate sits inside a cluster's marginal region, but
+    // the combination matches no cluster, so the object only deviates in
+    // the full subspace.
+    std::vector<std::size_t> chosen =
+        rng.SampleWithoutReplacement(n, params.outliers_per_subspace);
+    for (std::size_t id : chosen) {
+      std::vector<std::size_t> source_cluster(dims);
+      bool mixed = false;
+      while (!mixed) {
+        for (std::size_t j = 0; j < dims; ++j) {
+          source_cluster[j] = rng.UniformIndex(k);
+        }
+        for (std::size_t j = 1; j < dims; ++j) {
+          if (source_cluster[j] != source_cluster[0]) {
+            mixed = true;
+            break;
+          }
+        }
+      }
+      for (std::size_t j = 0; j < dims; ++j) {
+        result.data.Set(id, group[j],
+                        centers[source_cluster[j]][j] +
+                            rng.Gaussian(0.0, params.cluster_stddev));
+      }
+      labels[id] = true;
+    }
+
+    std::vector<std::size_t> group_sorted(group);
+    std::sort(group_sorted.begin(), group_sorted.end());
+    result.relevant_subspaces.emplace_back(group_sorted);
+    std::sort(chosen.begin(), chosen.end());
+    result.outlier_ids.push_back(std::move(chosen));
+  }
+
+  HICS_RETURN_NOT_OK(result.data.SetLabels(std::move(labels)));
+  return result;
+}
+
+namespace {
+
+/// Bimodal mixture used by both toy datasets: components at 0.25 / 0.75.
+constexpr double kToyLow = 0.25;
+constexpr double kToyHigh = 0.75;
+constexpr double kToyStddev = 0.06;
+
+}  // namespace
+
+Dataset MakeToyUncorrelated(std::size_t num_objects, std::uint64_t seed) {
+  HICS_CHECK_GE(num_objects, 3u);
+  Rng rng(seed);
+  Dataset ds(num_objects, 2);
+  std::vector<bool> labels(num_objects, false);
+  for (std::size_t i = 0; i + 1 < num_objects; ++i) {
+    const double c1 = rng.Bernoulli(0.5) ? kToyLow : kToyHigh;
+    const double c2 = rng.Bernoulli(0.5) ? kToyLow : kToyHigh;
+    ds.Set(i, 0, c1 + rng.Gaussian(0.0, kToyStddev));
+    ds.Set(i, 1, c2 + rng.Gaussian(0.0, kToyStddev));
+  }
+  // o1: trivial outlier, extreme in s2 only.
+  const std::size_t o1 = num_objects - 1;
+  ds.Set(o1, 0, kToyLow + rng.Gaussian(0.0, kToyStddev));
+  ds.Set(o1, 1, 1.05);
+  labels[o1] = true;
+  HICS_CHECK(ds.SetLabels(std::move(labels)).ok());
+  HICS_CHECK(ds.SetAttributeNames({"s1", "s2"}).ok());
+  return ds;
+}
+
+Dataset MakeToyCorrelated(std::size_t num_objects, std::uint64_t seed) {
+  HICS_CHECK_GE(num_objects, 4u);
+  Rng rng(seed);
+  Dataset ds(num_objects, 2);
+  std::vector<bool> labels(num_objects, false);
+  for (std::size_t i = 0; i + 2 < num_objects; ++i) {
+    // One mixture component drives both attributes -> diagonal clusters,
+    // marginals identical to the uncorrelated toy dataset.
+    const double c = rng.Bernoulli(0.5) ? kToyLow : kToyHigh;
+    ds.Set(i, 0, c + rng.Gaussian(0.0, kToyStddev));
+    ds.Set(i, 1, c + rng.Gaussian(0.0, kToyStddev));
+  }
+  // o1: trivial outlier, extreme in s2.
+  const std::size_t o1 = num_objects - 2;
+  ds.Set(o1, 0, kToyLow + rng.Gaussian(0.0, kToyStddev));
+  ds.Set(o1, 1, 1.05);
+  labels[o1] = true;
+  // o2: non-trivial outlier at (low, high) -- both coordinates in dense
+  // marginal regions, joint region empty.
+  const std::size_t o2 = num_objects - 1;
+  ds.Set(o2, 0, kToyLow);
+  ds.Set(o2, 1, kToyHigh);
+  labels[o2] = true;
+  HICS_CHECK(ds.SetLabels(std::move(labels)).ok());
+  HICS_CHECK(ds.SetAttributeNames({"s1", "s2"}).ok());
+  return ds;
+}
+
+Dataset MakeXorCube(std::size_t num_objects, std::uint64_t seed) {
+  HICS_CHECK_GE(num_objects, 8u);
+  Rng rng(seed);
+  Dataset ds(num_objects, 3);
+  // Corner pattern with even parity: every 2-D projection hits all four
+  // corner combinations equally, the 3-D space only half of them.
+  constexpr double kCorners[4][3] = {
+      {kToyLow, kToyLow, kToyLow},
+      {kToyLow, kToyHigh, kToyHigh},
+      {kToyHigh, kToyLow, kToyHigh},
+      {kToyHigh, kToyHigh, kToyLow},
+  };
+  for (std::size_t i = 0; i < num_objects; ++i) {
+    const std::size_t corner = rng.UniformIndex(4);
+    for (std::size_t j = 0; j < 3; ++j) {
+      ds.Set(i, j, kCorners[corner][j] + rng.Gaussian(0.0, 0.07));
+    }
+  }
+  return ds;
+}
+
+}  // namespace hics

@@ -1,0 +1,166 @@
+#include "data/uci_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace hics {
+
+const std::vector<UciLikeSpec>& UciLikeSpecs() {
+  static const std::vector<UciLikeSpec>* kSpecs = new std::vector<UciLikeSpec>{
+      // name, N, D, outliers, relevant dims, hardness
+      {"Ann-Thyroid", 3772, 6, 284, 4, 0.25},
+      {"Arrhythmia", 452, 274, 66, 12, 0.80},
+      {"Breast", 683, 9, 239, 4, 0.85},
+      {"Breast-Diagnostic", 569, 30, 212, 8, 0.35},
+      {"Diabetes", 768, 8, 268, 4, 0.70},
+      {"Glass", 214, 9, 9, 4, 0.50},
+      {"Ionosphere", 351, 34, 126, 10, 0.45},
+      {"Pendigits", 6870, 16, 78, 8, 0.30},
+  };
+  return *kSpecs;
+}
+
+Result<UciLikeSpec> FindUciLikeSpec(const std::string& name) {
+  for (const UciLikeSpec& spec : UciLikeSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no UCI-like spec named '" + name + "'");
+}
+
+namespace {
+
+/// Partitions `attrs` (already shuffled) into groups of 2-4 attributes.
+std::vector<std::vector<std::size_t>> GroupAttributes(
+    const std::vector<std::size_t>& attrs, Rng* rng) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::size_t pos = 0;
+  while (pos < attrs.size()) {
+    std::size_t take = 2 + rng->UniformIndex(3);  // 2..4
+    take = std::min(take, attrs.size() - pos);
+    if (attrs.size() - pos - take == 1) take += 1;  // avoid a 1-dim tail
+    if (take < 2) {
+      if (!groups.empty()) {
+        groups.back().push_back(attrs[pos]);
+        ++pos;
+        continue;
+      }
+      take = attrs.size() - pos;  // tiny spec: single small group
+    }
+    groups.emplace_back(attrs.begin() + pos, attrs.begin() + pos + take);
+    pos += take;
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<Dataset> MakeUciLike(const UciLikeSpec& spec, std::uint64_t seed,
+                            double scale) {
+  if (!(scale > 0.0 && scale <= 1.0)) {
+    return Status::InvalidArgument("scale must lie in (0, 1]");
+  }
+  if (spec.relevant_attributes < 2 ||
+      spec.relevant_attributes > spec.num_attributes) {
+    return Status::InvalidArgument(
+        "relevant_attributes out of range for spec '" + spec.name + "'");
+  }
+  const std::size_t n = std::max<std::size_t>(
+      50, static_cast<std::size_t>(std::llround(
+              static_cast<double>(spec.num_objects) * scale)));
+  std::size_t num_outliers = std::max<std::size_t>(
+      5, static_cast<std::size_t>(std::llround(
+             static_cast<double>(spec.num_outliers) * scale)));
+  num_outliers = std::min(num_outliers, n / 2);
+  const std::size_t d = spec.num_attributes;
+
+  Rng rng(seed ^ 0xabcdef12345ULL);
+  Dataset ds(n, d);
+  std::vector<bool> labels(n, false);
+
+  // Choose which attributes carry structure; the rest are uniform noise.
+  std::vector<std::size_t> all_attrs(d);
+  std::iota(all_attrs.begin(), all_attrs.end(), 0);
+  rng.Shuffle(&all_attrs);
+  std::vector<std::size_t> relevant(all_attrs.begin(),
+                                    all_attrs.begin() +
+                                        spec.relevant_attributes);
+  std::vector<std::size_t> noise(all_attrs.begin() + spec.relevant_attributes,
+                                 all_attrs.end());
+
+  for (std::size_t attr : noise) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ds.Set(i, attr, rng.UniformDouble());
+    }
+  }
+
+  // Outlier ids.
+  std::vector<std::size_t> outlier_ids =
+      rng.SampleWithoutReplacement(n, num_outliers);
+  for (std::size_t id : outlier_ids) labels[id] = true;
+
+  // Correlated structure in attribute groups. Inliers follow per-group
+  // clusters; the minority class mixes cluster memberships across the
+  // dimensions of a group with probability (1 - hardness) (detectable
+  // non-trivial deviation) and otherwise camouflages as an inlier in that
+  // group. Higher hardness => fewer groups reveal the outlier => lower
+  // achievable AUC, mimicking the difficulty spread of the real datasets.
+  const auto groups = GroupAttributes(relevant, &rng);
+  const double reveal_probability = 1.0 - spec.hardness;
+  constexpr double kStddev = 0.04;
+
+  for (const auto& group : groups) {
+    const std::size_t dims = group.size();
+    const std::size_t k = 2 + rng.UniformIndex(2);  // 2..3 clusters
+    const double slot_width = 0.8 / static_cast<double>(k);
+    std::vector<std::vector<double>> centers(k, std::vector<double>(dims));
+    for (std::size_t j = 0; j < dims; ++j) {
+      std::vector<std::size_t> slots(k);
+      std::iota(slots.begin(), slots.end(), 0);
+      rng.Shuffle(&slots);
+      for (std::size_t c = 0; c < k; ++c) {
+        centers[c][j] =
+            0.1 + (static_cast<double>(slots[c]) + 0.5) * slot_width;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool reveal = labels[i] && rng.Bernoulli(reveal_probability);
+      if (!reveal) {
+        const std::size_t c = rng.UniformIndex(k);
+        for (std::size_t j = 0; j < dims; ++j) {
+          ds.Set(i, group[j], centers[c][j] + rng.Gaussian(0.0, kStddev));
+        }
+        continue;
+      }
+      // Non-trivial deviation: mix clusters across the group's dims.
+      std::vector<std::size_t> source(dims);
+      bool mixed = false;
+      while (!mixed) {
+        for (std::size_t j = 0; j < dims; ++j) source[j] = rng.UniformIndex(k);
+        for (std::size_t j = 1; j < dims; ++j) {
+          if (source[j] != source[0]) {
+            mixed = true;
+            break;
+          }
+        }
+      }
+      for (std::size_t j = 0; j < dims; ++j) {
+        ds.Set(i, group[j],
+               centers[source[j]][j] + rng.Gaussian(0.0, kStddev));
+      }
+    }
+  }
+
+  HICS_RETURN_NOT_OK(ds.SetLabels(std::move(labels)));
+  return ds;
+}
+
+Result<Dataset> MakeUciLike(const std::string& name, std::uint64_t seed,
+                            double scale) {
+  HICS_ASSIGN_OR_RETURN(UciLikeSpec spec, FindUciLikeSpec(name));
+  return MakeUciLike(spec, seed, scale);
+}
+
+}  // namespace hics

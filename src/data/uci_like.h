@@ -1,0 +1,54 @@
+#ifndef HICS_DATA_UCI_LIKE_H_
+#define HICS_DATA_UCI_LIKE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace hics {
+
+/// Shape description of one real-world benchmark stand-in.
+struct UciLikeSpec {
+  std::string name;          ///< e.g. "Ionosphere"
+  std::size_t num_objects;   ///< cardinality of the original UCI dataset
+  std::size_t num_attributes;
+  std::size_t num_outliers;  ///< size of the minority ("outlier") class
+  /// Attributes that carry class-relevant correlated structure; the rest
+  /// are noise. Chosen so subspace methods have something to find.
+  std::size_t relevant_attributes;
+  /// 0 = easy (well-separated minority) ... 1 = hard (heavy overlap).
+  /// Tuned per dataset to roughly reflect the paper's AUC ordering.
+  double hardness;
+};
+
+/// Specs of the eight datasets from the paper's Fig. 11 (Ann-Thyroid,
+/// Arrhythmia, Breast, Breast (diagnostic), Diabetes, Glass, Ionosphere,
+/// Pendigits), with cardinalities/dimensionalities/outlier counts matching
+/// the public UCI descriptions.
+///
+/// SUBSTITUTION NOTE (see DESIGN.md §4): the original UCI files are not
+/// available offline, so these are deterministic synthetic stand-ins with
+/// the same shape and a per-dataset difficulty profile — the relative
+/// comparison of methods is what the reproduction checks, not absolute
+/// AUC values.
+const std::vector<UciLikeSpec>& UciLikeSpecs();
+
+/// Looks up a spec by (case-sensitive) name.
+Result<UciLikeSpec> FindUciLikeSpec(const std::string& name);
+
+/// Generates the stand-in dataset for `spec`. `scale` in (0, 1] shrinks the
+/// cardinality (and outlier count proportionally, min 5) to bound benchmark
+/// runtime on quadratic scorers; 1.0 reproduces the full shape.
+Result<Dataset> MakeUciLike(const UciLikeSpec& spec, std::uint64_t seed,
+                            double scale = 1.0);
+
+/// Convenience: lookup by name + generate.
+Result<Dataset> MakeUciLike(const std::string& name, std::uint64_t seed,
+                            double scale = 1.0);
+
+}  // namespace hics
+
+#endif  // HICS_DATA_UCI_LIKE_H_

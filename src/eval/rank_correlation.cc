@@ -1,0 +1,90 @@
+#include "eval/rank_correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace hics {
+
+namespace {
+
+Status ValidatePair(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("score vectors differ in size");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("need at least 2 objects");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> SpearmanRankCorrelation(const std::vector<double>& a,
+                                       const std::vector<double>& b) {
+  HICS_RETURN_NOT_OK(ValidatePair(a, b));
+  return stats::SpearmanCorrelation(a, b);
+}
+
+Result<double> KendallTauB(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  HICS_RETURN_NOT_OK(ValidatePair(a, b));
+  const std::size_t n = a.size();
+  long long concordant = 0;
+  long long discordant = 0;
+  long long ties_a = 0;
+  long long ties_b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) continue;  // tied in both: excluded
+      if (da == 0.0) {
+        ++ties_a;
+      } else if (db == 0.0) {
+        ++ties_b;
+      } else if ((da > 0.0) == (db > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(concordant + discordant);
+  const double denom = std::sqrt((n0 + ties_a) * (n0 + ties_b));
+  if (denom <= 0.0) return 0.0;
+  return (static_cast<double>(concordant) -
+          static_cast<double>(discordant)) /
+         denom;
+}
+
+Result<double> TopKJaccard(const std::vector<double>& a,
+                           const std::vector<double>& b, std::size_t k) {
+  HICS_RETURN_NOT_OK(ValidatePair(a, b));
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  k = std::min(k, a.size());
+
+  auto top_k_ids = [k](const std::vector<double>& scores) {
+    std::vector<std::size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      if (scores[x] != scores[y]) return scores[x] > scores[y];
+      return x < y;
+    });
+    return std::set<std::size_t>(order.begin(), order.begin() + k);
+  };
+  const std::set<std::size_t> top_a = top_k_ids(a);
+  const std::set<std::size_t> top_b = top_k_ids(b);
+  std::size_t intersection = 0;
+  for (std::size_t id : top_a) intersection += top_b.count(id);
+  const std::size_t union_size = top_a.size() + top_b.size() - intersection;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+}  // namespace hics

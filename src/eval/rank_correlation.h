@@ -1,0 +1,33 @@
+#ifndef HICS_EVAL_RANK_CORRELATION_H_
+#define HICS_EVAL_RANK_CORRELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hics {
+
+/// Agreement measures between two outlier score vectors over the same
+/// objects. Useful to quantify how much two methods' *rankings* agree
+/// beyond their AUCs (e.g. HiCS_WT vs HiCS_KS, serial vs parallel runs,
+/// LOF vs kNN instantiations).
+
+/// Spearman rank correlation of the two score vectors (average ranks for
+/// ties). Fails when sizes differ or fewer than 2 objects.
+Result<double> SpearmanRankCorrelation(const std::vector<double>& a,
+                                       const std::vector<double>& b);
+
+/// Kendall tau-b rank correlation (tie-corrected), O(n^2) pair counting —
+/// fine for the evaluation sizes used here. Fails like above.
+Result<double> KendallTauB(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Jaccard overlap |topK(a) ∩ topK(b)| / |topK(a) ∪ topK(b)| of the k
+/// highest-scored objects under each scoring. k is clamped to the size.
+Result<double> TopKJaccard(const std::vector<double>& a,
+                           const std::vector<double>& b, std::size_t k);
+
+}  // namespace hics
+
+#endif  // HICS_EVAL_RANK_CORRELATION_H_

@@ -1,0 +1,111 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace hics {
+
+namespace {
+
+Status ValidateInput(const std::vector<double>& scores,
+                     const std::vector<bool>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores and labels differ in size");
+  }
+  const std::size_t positives =
+      static_cast<std::size_t>(std::count(labels.begin(), labels.end(), true));
+  if (positives == 0) {
+    return Status::InvalidArgument("no positive (outlier) labels");
+  }
+  if (positives == labels.size()) {
+    return Status::InvalidArgument("no negative (inlier) labels");
+  }
+  return Status::OK();
+}
+
+/// Indices sorted by descending score.
+std::vector<std::size_t> DescendingOrder(const std::vector<double>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  return order;
+}
+
+}  // namespace
+
+Result<RocCurve> ComputeRoc(const std::vector<double>& scores,
+                            const std::vector<bool>& labels) {
+  HICS_RETURN_NOT_OK(ValidateInput(scores, labels));
+  const auto order = DescendingOrder(scores);
+  const double num_pos = static_cast<double>(
+      std::count(labels.begin(), labels.end(), true));
+  const double num_neg = static_cast<double>(labels.size()) - num_pos;
+
+  RocCurve curve;
+  curve.points.push_back({0.0, 0.0, scores[order.front()] + 1.0});
+  double tp = 0.0, fp = 0.0;
+  double auc = 0.0;
+  double prev_tp = 0.0, prev_fp = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // Process the whole tie group at once so ties get trapezoid credit.
+    const double score = scores[order[i]];
+    std::size_t j = i;
+    while (j < order.size() && scores[order[j]] == score) {
+      if (labels[order[j]]) {
+        tp += 1.0;
+      } else {
+        fp += 1.0;
+      }
+      ++j;
+    }
+    auc += (fp - prev_fp) * (tp + prev_tp) / 2.0;
+    curve.points.push_back({fp / num_neg, tp / num_pos, score});
+    prev_tp = tp;
+    prev_fp = fp;
+    i = j;
+  }
+  curve.auc = auc / (num_pos * num_neg);
+  return curve;
+}
+
+Result<double> ComputeAuc(const std::vector<double>& scores,
+                          const std::vector<bool>& labels) {
+  HICS_ASSIGN_OR_RETURN(RocCurve curve, ComputeRoc(scores, labels));
+  return curve.auc;
+}
+
+Result<double> PrecisionAtN(const std::vector<double>& scores,
+                            const std::vector<bool>& labels, std::size_t n) {
+  HICS_RETURN_NOT_OK(ValidateInput(scores, labels));
+  if (n == 0) return Status::InvalidArgument("n must be >= 1");
+  n = std::min(n, scores.size());
+  const auto order = DescendingOrder(scores);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[order[i]]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+Result<double> AveragePrecision(const std::vector<double>& scores,
+                                const std::vector<bool>& labels) {
+  HICS_RETURN_NOT_OK(ValidateInput(scores, labels));
+  const auto order = DescendingOrder(scores);
+  double hits = 0.0;
+  double sum_precision = 0.0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]]) {
+      hits += 1.0;
+      sum_precision += hits / static_cast<double>(i + 1);
+    }
+  }
+  return sum_precision / hits;
+}
+
+}  // namespace hics

@@ -1,0 +1,47 @@
+#ifndef HICS_EVAL_ROC_H_
+#define HICS_EVAL_ROC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hics {
+
+/// One point of a ROC curve.
+struct RocPoint {
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;
+  double threshold = 0.0;  ///< score at/above which objects are flagged
+};
+
+/// ROC curve of an outlier scoring against binary ground truth.
+struct RocCurve {
+  std::vector<RocPoint> points;  ///< from (0,0) to (1,1), FPR ascending
+  double auc = 0.0;              ///< area under the curve (trapezoidal)
+};
+
+/// Computes the ROC curve. `scores[i]` is the predicted outlierness of
+/// object i; `labels[i]` is true iff it is a ground-truth outlier. Tied
+/// scores are handled correctly (single sweep point per distinct score,
+/// equivalent to the Mann-Whitney statistic with 0.5 tie credit).
+/// Fails when sizes differ or one class is empty.
+Result<RocCurve> ComputeRoc(const std::vector<double>& scores,
+                            const std::vector<bool>& labels);
+
+/// AUC only (same tie handling, no curve materialization).
+Result<double> ComputeAuc(const std::vector<double>& scores,
+                          const std::vector<bool>& labels);
+
+/// Precision@n: fraction of ground-truth outliers among the n top-scored
+/// objects. n is clamped to the dataset size.
+Result<double> PrecisionAtN(const std::vector<double>& scores,
+                            const std::vector<bool>& labels, std::size_t n);
+
+/// Average precision (area under the precision-recall curve, step-wise).
+Result<double> AveragePrecision(const std::vector<double>& scores,
+                                const std::vector<bool>& labels);
+
+}  // namespace hics
+
+#endif  // HICS_EVAL_ROC_H_

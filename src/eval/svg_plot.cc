@@ -1,0 +1,190 @@
+#include "eval/svg_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hics {
+
+namespace {
+
+// Layout constants (pixels).
+constexpr double kWidth = 640.0;
+constexpr double kHeight = 440.0;
+constexpr double kMarginLeft = 64.0;
+constexpr double kMarginRight = 170.0;  // room for the legend
+constexpr double kMarginTop = 40.0;
+constexpr double kMarginBottom = 52.0;
+constexpr double kPlotWidth = kWidth - kMarginLeft - kMarginRight;
+constexpr double kPlotHeight = kHeight - kMarginTop - kMarginBottom;
+
+/// Qualitative palette (colorblind-friendly Okabe-Ito subset).
+constexpr const char* kPalette[] = {"#0072B2", "#D55E00", "#009E73",
+                                    "#CC79A7", "#E69F00", "#56B4E9",
+                                    "#000000", "#F0E442"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvgPlot::SvgPlot(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void SvgPlot::SetXRange(double lo, double hi) {
+  HICS_CHECK_LT(lo, hi);
+  x_lo_ = lo;
+  x_hi_ = hi;
+  has_x_range_ = true;
+}
+
+void SvgPlot::SetYRange(double lo, double hi) {
+  HICS_CHECK_LT(lo, hi);
+  y_lo_ = lo;
+  y_hi_ = hi;
+  has_y_range_ = true;
+}
+
+void SvgPlot::AddSeries(std::string name, std::vector<double> xs,
+                        std::vector<double> ys) {
+  HICS_CHECK_EQ(xs.size(), ys.size());
+  HICS_CHECK(!xs.empty());
+  if (!has_x_range_) {
+    for (double x : xs) {
+      x_lo_ = std::min(x_lo_, x);
+      x_hi_ = std::max(x_hi_, x);
+    }
+  }
+  if (!has_y_range_) {
+    for (double y : ys) {
+      y_lo_ = std::min(y_lo_, y);
+      y_hi_ = std::max(y_hi_, y);
+    }
+  }
+  series_.push_back({std::move(name), std::move(xs), std::move(ys)});
+}
+
+void SvgPlot::AddDiagonalReference() { diagonal_ = true; }
+
+std::string SvgPlot::ToSvg() const {
+  const double x_span = x_hi_ - x_lo_;
+  const double y_span = y_hi_ - y_lo_;
+  auto px = [&](double x) {
+    return kMarginLeft + (x - x_lo_) / x_span * kPlotWidth;
+  };
+  auto py = [&](double y) {
+    return kMarginTop + (1.0 - (y - y_lo_) / y_span) * kPlotHeight;
+  };
+
+  std::ostringstream out;
+  out.precision(2);
+  out << std::fixed;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << kWidth
+      << "\" height=\"" << kHeight << "\" viewBox=\"0 0 " << kWidth << " "
+      << kHeight << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Title and axis labels.
+  out << "<text x=\"" << kWidth / 2 << "\" y=\"24\" text-anchor=\"middle\" "
+      << "font-family=\"sans-serif\" font-size=\"15\">"
+      << EscapeXml(title_) << "</text>\n";
+  out << "<text x=\"" << kMarginLeft + kPlotWidth / 2 << "\" y=\""
+      << kHeight - 14 << "\" text-anchor=\"middle\" "
+      << "font-family=\"sans-serif\" font-size=\"12\">"
+      << EscapeXml(x_label_) << "</text>\n";
+  out << "<text x=\"18\" y=\"" << kMarginTop + kPlotHeight / 2
+      << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+      << "font-size=\"12\" transform=\"rotate(-90 18 "
+      << kMarginTop + kPlotHeight / 2 << ")\">" << EscapeXml(y_label_)
+      << "</text>\n";
+
+  // Grid + tick labels (5 divisions per axis).
+  for (int tick = 0; tick <= 5; ++tick) {
+    const double fx = x_lo_ + x_span * tick / 5.0;
+    const double fy = y_lo_ + y_span * tick / 5.0;
+    out << "<line x1=\"" << px(fx) << "\" y1=\"" << py(y_lo_) << "\" x2=\""
+        << px(fx) << "\" y2=\"" << py(y_hi_)
+        << "\" stroke=\"#dddddd\" stroke-width=\"1\"/>\n";
+    out << "<line x1=\"" << px(x_lo_) << "\" y1=\"" << py(fy) << "\" x2=\""
+        << px(x_hi_) << "\" y2=\"" << py(fy)
+        << "\" stroke=\"#dddddd\" stroke-width=\"1\"/>\n";
+    out << "<text x=\"" << px(fx) << "\" y=\"" << py(y_lo_) + 16
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+        << "font-size=\"10\">" << fx << "</text>\n";
+    out << "<text x=\"" << px(x_lo_) - 6 << "\" y=\"" << py(fy) + 3
+        << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+        << "font-size=\"10\">" << fy << "</text>\n";
+  }
+
+  // Axes frame.
+  out << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop
+      << "\" width=\"" << kPlotWidth << "\" height=\"" << kPlotHeight
+      << "\" fill=\"none\" stroke=\"#333333\" stroke-width=\"1\"/>\n";
+
+  if (diagonal_) {
+    out << "<line x1=\"" << px(x_lo_) << "\" y1=\"" << py(x_lo_)
+        << "\" x2=\"" << px(std::min(x_hi_, y_hi_)) << "\" y2=\""
+        << py(std::min(x_hi_, y_hi_))
+        << "\" stroke=\"#999999\" stroke-width=\"1\" "
+        << "stroke-dasharray=\"5,4\"/>\n";
+  }
+
+  // Series polylines + legend.
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const Series& series = series_[s];
+    const char* color = kPalette[s % kPaletteSize];
+    out << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"2\" points=\"";
+    for (std::size_t i = 0; i < series.xs.size(); ++i) {
+      out << px(series.xs[i]) << "," << py(series.ys[i]) << " ";
+    }
+    out << "\"/>\n";
+    const double legend_y = kMarginTop + 14.0 + 18.0 * s;
+    const double legend_x = kWidth - kMarginRight + 12.0;
+    out << "<line x1=\"" << legend_x << "\" y1=\"" << legend_y - 4
+        << "\" x2=\"" << legend_x + 22 << "\" y2=\"" << legend_y - 4
+        << "\" stroke=\"" << color << "\" stroke-width=\"2\"/>\n";
+    out << "<text x=\"" << legend_x + 28 << "\" y=\"" << legend_y
+        << "\" font-family=\"sans-serif\" font-size=\"11\">"
+        << EscapeXml(series.name) << "</text>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+Status SvgPlot::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
+  file << ToSvg();
+  if (!file) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace hics

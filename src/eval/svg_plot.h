@@ -1,0 +1,59 @@
+#ifndef HICS_EVAL_SVG_PLOT_H_
+#define HICS_EVAL_SVG_PLOT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hics {
+
+/// Minimal dependency-free SVG line-chart writer, so the figure
+/// reproduction benches can emit actual figures (ROC curves, parameter
+/// sweeps) next to their textual tables. Not a plotting library: fixed
+/// layout, linear axes, enough for the paper's chart types.
+class SvgPlot {
+ public:
+  /// Chart with the given axis labels; axes default to [0,1] x [0,1] and
+  /// expand to fit the data unless SetXRange/SetYRange pin them.
+  SvgPlot(std::string title, std::string x_label, std::string y_label);
+
+  /// Pins an axis range (useful for ROC plots: exactly [0,1]).
+  void SetXRange(double lo, double hi);
+  void SetYRange(double lo, double hi);
+
+  /// Adds one named series; points are (x, y) pairs. Colors cycle through
+  /// a fixed qualitative palette in insertion order.
+  void AddSeries(std::string name, std::vector<double> xs,
+                 std::vector<double> ys);
+
+  /// Adds the y = x diagonal (the random-guessing reference of ROC plots).
+  void AddDiagonalReference();
+
+  /// Serializes the chart.
+  std::string ToSvg() const;
+
+  /// Writes the chart to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+  bool has_x_range_ = false;
+  bool has_y_range_ = false;
+  double x_lo_ = 0.0, x_hi_ = 1.0;
+  double y_lo_ = 0.0, y_hi_ = 1.0;
+  bool diagonal_ = false;
+};
+
+}  // namespace hics
+
+#endif  // HICS_EVAL_SVG_PLOT_H_

@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <cmath>
+
+#include "index/neighbor_searcher.h"
+
+namespace hics {
+
+namespace {
+
+/// Row-major copy of the subspace-projected points; one linear scan per
+/// query.
+class BruteForceSearcher : public NeighborSearcher {
+ public:
+  BruteForceSearcher(const Dataset& dataset, const Subspace& subspace)
+      : num_objects_(dataset.num_objects()), dim_(subspace.size()) {
+    HICS_CHECK_GT(dim_, 0u);
+    points_.resize(num_objects_ * dim_);
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < num_objects_; ++i) {
+      for (std::size_t dim : subspace) points_[out++] = dataset.Get(i, dim);
+    }
+  }
+
+  std::vector<Neighbor> QueryKnn(std::size_t query,
+                                 std::size_t k) const override {
+    HICS_CHECK_LT(query, num_objects_);
+    std::vector<Neighbor> heap;  // max-heap of the k best so far
+    heap.reserve(k + 1);
+    const double* q = &points_[query * dim_];
+    for (std::size_t i = 0; i < num_objects_; ++i) {
+      if (i == query) continue;
+      if (heap.size() < k) {
+        const double d2 = SquaredDistance(q, &points_[i * dim_]);
+        heap.push_back({i, d2});
+        std::push_heap(heap.begin(), heap.end());
+      } else if (k > 0) {
+        // Abandon the accumulation as soon as it exceeds the current k-th
+        // distance -- a large win for the high-dimensional subspaces the
+        // feature-bagging baseline draws.
+        const double bound = heap.front().distance;
+        const double d2 =
+            SquaredDistanceBounded(q, &points_[i * dim_], bound);
+        if (d2 <= bound && Neighbor{i, d2} < heap.front()) {
+          std::pop_heap(heap.begin(), heap.end());
+          heap.back() = {i, d2};
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
+    }
+    std::sort_heap(heap.begin(), heap.end());
+    for (Neighbor& n : heap) n.distance = std::sqrt(n.distance);
+    return heap;
+  }
+
+  std::vector<Neighbor> QueryRadius(std::size_t query,
+                                    double radius) const override {
+    HICS_CHECK_LT(query, num_objects_);
+    std::vector<Neighbor> result;
+    const double* q = &points_[query * dim_];
+    const double r2 = radius * radius;
+    for (std::size_t i = 0; i < num_objects_; ++i) {
+      if (i == query) continue;
+      const double d2 = SquaredDistance(q, &points_[i * dim_]);
+      if (d2 <= r2) result.push_back({i, std::sqrt(d2)});
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+  }
+
+  std::size_t CountRadius(std::size_t query, double radius) const override {
+    HICS_CHECK_LT(query, num_objects_);
+    const double* q = &points_[query * dim_];
+    const double r2 = radius * radius;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < num_objects_; ++i) {
+      if (i == query) continue;
+      if (SquaredDistanceBounded(q, &points_[i * dim_], r2) <= r2) ++count;
+    }
+    return count;
+  }
+
+  std::size_t num_objects() const override { return num_objects_; }
+  std::size_t dimensionality() const override { return dim_; }
+
+ private:
+  double SquaredDistance(const double* a, const double* b) const {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const double diff = a[j] - b[j];
+      sum += diff * diff;
+    }
+    return sum;
+  }
+
+  /// Squared distance with early exit once `bound` is exceeded; checks the
+  /// bound every 8 dimensions to keep the common low-dimensional path
+  /// branch-light.
+  double SquaredDistanceBounded(const double* a, const double* b,
+                                double bound) const {
+    double sum = 0.0;
+    std::size_t j = 0;
+    while (j < dim_) {
+      const std::size_t chunk_end = std::min(dim_, j + 8);
+      for (; j < chunk_end; ++j) {
+        const double diff = a[j] - b[j];
+        sum += diff * diff;
+      }
+      if (sum > bound) return sum;
+    }
+    return sum;
+  }
+
+  std::size_t num_objects_;
+  std::size_t dim_;
+  std::vector<double> points_;
+};
+
+}  // namespace
+
+std::unique_ptr<NeighborSearcher> MakeBruteForceSearcher(
+    const Dataset& dataset, const Subspace& subspace) {
+  return std::make_unique<BruteForceSearcher>(dataset, subspace);
+}
+
+}  // namespace hics

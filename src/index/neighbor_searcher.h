@@ -1,0 +1,66 @@
+#ifndef HICS_INDEX_NEIGHBOR_SEARCHER_H_
+#define HICS_INDEX_NEIGHBOR_SEARCHER_H_
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/subspace.h"
+
+namespace hics {
+
+/// One neighbor of a query object.
+struct Neighbor {
+  std::size_t id = 0;
+  double distance = std::numeric_limits<double>::infinity();
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    // Distance first, id as tiebreaker, so results are deterministic.
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+/// k-nearest-neighbor search over the objects of one dataset, with distances
+/// restricted to a subspace (Euclidean on the projected attributes, as in
+/// the paper's dist_S). Backends: brute force and KD-tree.
+class NeighborSearcher {
+ public:
+  virtual ~NeighborSearcher() = default;
+
+  /// The k nearest neighbors of object `query` (itself excluded), sorted by
+  /// ascending distance. Returns fewer than k when the dataset is small.
+  virtual std::vector<Neighbor> QueryKnn(std::size_t query,
+                                         std::size_t k) const = 0;
+
+  /// All objects (excluding `query`) within `radius` of object `query`.
+  virtual std::vector<Neighbor> QueryRadius(std::size_t query,
+                                            double radius) const = 0;
+
+  /// Number of objects (excluding `query`) within `radius`; avoids
+  /// materializing the neighbor list (what DBSCAN core checks and RIS's
+  /// quality aggregation actually need).
+  virtual std::size_t CountRadius(std::size_t query, double radius) const {
+    return QueryRadius(query, radius).size();
+  }
+
+  virtual std::size_t num_objects() const = 0;
+  virtual std::size_t dimensionality() const = 0;
+};
+
+/// Exhaustive O(N*d) per query scan. Robust in any dimensionality; this is
+/// what a quadratic LOF (as in the paper's experiments) uses.
+std::unique_ptr<NeighborSearcher> MakeBruteForceSearcher(
+    const Dataset& dataset, const Subspace& subspace);
+
+/// Median-split KD-tree; faster for low-dimensional subspaces, degrades
+/// toward brute force as dimensionality grows (the classic curse; compared
+/// in bench_micro).
+std::unique_ptr<NeighborSearcher> MakeKdTreeSearcher(const Dataset& dataset,
+                                                     const Subspace& subspace);
+
+}  // namespace hics
+
+#endif  // HICS_INDEX_NEIGHBOR_SEARCHER_H_

@@ -1,0 +1,37 @@
+#include "index/sorted_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hics {
+
+SortedAttributeIndex::SortedAttributeIndex(const Dataset& dataset)
+    : num_objects_(dataset.num_objects()),
+      order_(dataset.num_attributes()),
+      rank_(dataset.num_attributes()) {
+  for (std::size_t a = 0; a < dataset.num_attributes(); ++a) {
+    const std::vector<double>& column = dataset.Column(a);
+    auto& order = order_[a];
+    order.resize(num_objects_);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&column](std::size_t x, std::size_t y) {
+                       return column[x] < column[y];
+                     });
+    auto& rank = rank_[a];
+    rank.resize(num_objects_);
+    for (std::size_t pos = 0; pos < num_objects_; ++pos) {
+      rank[order[pos]] = pos;
+    }
+  }
+}
+
+std::span<const std::size_t> SortedAttributeIndex::Block(
+    std::size_t attribute, std::size_t start, std::size_t length) const {
+  HICS_CHECK_LT(attribute, order_.size());
+  HICS_CHECK_LE(start + length, num_objects_);
+  return std::span<const std::size_t>(order_[attribute]).subspan(start,
+                                                                 length);
+}
+
+}  // namespace hics

@@ -1,0 +1,53 @@
+#ifndef HICS_INDEX_SORTED_INDEX_H_
+#define HICS_INDEX_SORTED_INDEX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace hics {
+
+/// Pre-computed one-dimensional index structures (paper §IV-A): for every
+/// attribute, the permutation of object ids sorted ascending by that
+/// attribute's value. Subspace slices are contiguous blocks of these
+/// permutations, which makes the adaptive slice construction O(block size)
+/// regardless of dimensionality.
+class SortedAttributeIndex {
+ public:
+  /// Builds the index for all attributes of `dataset`. O(D * N log N).
+  explicit SortedAttributeIndex(const Dataset& dataset);
+
+  std::size_t num_objects() const { return num_objects_; }
+  std::size_t num_attributes() const { return order_.size(); }
+
+  /// Object ids sorted ascending by attribute value.
+  std::span<const std::size_t> SortedOrder(std::size_t attribute) const {
+    HICS_DCHECK(attribute < order_.size());
+    return order_[attribute];
+  }
+
+  /// Contiguous block [start, start + length) of the sorted order of
+  /// `attribute` — the object ids whose attribute values fall in the
+  /// corresponding value range.
+  std::span<const std::size_t> Block(std::size_t attribute, std::size_t start,
+                                     std::size_t length) const;
+
+  /// Rank of `object` in the sorted order of `attribute` (inverse
+  /// permutation), i.e. its position in SortedOrder(attribute).
+  std::size_t RankOf(std::size_t attribute, std::size_t object) const {
+    HICS_DCHECK(attribute < rank_.size());
+    HICS_DCHECK(object < num_objects_);
+    return rank_[attribute][object];
+  }
+
+ private:
+  std::size_t num_objects_ = 0;
+  std::vector<std::vector<std::size_t>> order_;  // per attribute
+  std::vector<std::vector<std::size_t>> rank_;   // inverse permutations
+};
+
+}  // namespace hics
+
+#endif  // HICS_INDEX_SORTED_INDEX_H_

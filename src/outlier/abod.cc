@@ -1,0 +1,62 @@
+#include "outlier/abod.h"
+
+#include <cmath>
+#include <vector>
+
+#include "index/neighbor_searcher.h"
+
+namespace hics {
+
+std::vector<double> AbodScorer::ScoreSubspace(const Dataset& dataset,
+                                              const Subspace& subspace) const {
+  const std::size_t n = dataset.num_objects();
+  const std::size_t dim = subspace.size();
+  std::vector<double> scores(n, 0.0);
+  if (n < 3) return scores;
+  const std::size_t k = std::min(params_.k, n - 1);
+
+  const auto searcher = MakeBruteForceSearcher(dataset, subspace);
+
+  std::vector<double> p(dim), va(dim), vb(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    dataset.ProjectObject(i, subspace, &p);
+    const auto nbrs = searcher->QueryKnn(i, k);
+
+    // Distance-weighted cosine statistics over neighbor pairs (a, b):
+    // weight 1 / (|pa|^2 * |pb|^2) as in the original ABOF.
+    double sum_w = 0.0;
+    double sum_wf = 0.0;
+    double sum_wf2 = 0.0;
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      dataset.ProjectObject(nbrs[a].id, subspace, &va);
+      for (std::size_t d = 0; d < dim; ++d) va[d] -= p[d];
+      const double norm_a2 = nbrs[a].distance * nbrs[a].distance;
+      if (norm_a2 <= 0.0) continue;
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        dataset.ProjectObject(nbrs[b].id, subspace, &vb);
+        for (std::size_t d = 0; d < dim; ++d) vb[d] -= p[d];
+        const double norm_b2 = nbrs[b].distance * nbrs[b].distance;
+        if (norm_b2 <= 0.0) continue;
+        double dot = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) dot += va[d] * vb[d];
+        const double w = 1.0 / (norm_a2 * norm_b2);
+        // f = angle term scaled by distances: <va,vb>/(|va|^2 |vb|^2).
+        const double f = dot / (norm_a2 * norm_b2);
+        sum_w += w;
+        sum_wf += w * f;
+        sum_wf2 += w * f * f;
+      }
+    }
+    if (sum_w <= 0.0) {
+      // Degenerate (duplicates everywhere): treat as inlier-neutral.
+      scores[i] = 0.0;
+      continue;
+    }
+    const double mean = sum_wf / sum_w;
+    const double abof = std::max(sum_wf2 / sum_w - mean * mean, 0.0);
+    scores[i] = -abof;  // low angle variance = outlier = high score
+  }
+  return scores;
+}
+
+}  // namespace hics

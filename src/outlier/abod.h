@@ -1,0 +1,41 @@
+#ifndef HICS_OUTLIER_ABOD_H_
+#define HICS_OUTLIER_ABOD_H_
+
+#include <string>
+#include <vector>
+
+#include "outlier/outlier_scorer.h"
+
+namespace hics {
+
+/// FastABOD -- angle-based outlier detection (Kriegel, Schubert, Zimek,
+/// KDD 2008), cited by the paper among the LOF-family extensions ([19]).
+/// For an object p, consider the angles spanned by pairs of other objects
+/// (a, b) as seen from p: an inlier surrounded by its cluster sees a wide,
+/// varied range of angles, whereas an outlier at the data's rim sees all
+/// other objects under a narrow angle cone. The angle-based outlier factor
+/// is the variance of the distance-weighted cosine over pairs; FastABOD
+/// restricts the pairs to the k nearest neighbors (O(N * k^2) after kNN).
+///
+/// LOW variance means outlier, so to fit this library's "higher = more
+/// outlying" convention the reported score is -ABOF.
+struct AbodParams {
+  std::size_t k = 15;  ///< neighborhood whose pairs are evaluated
+};
+
+class AbodScorer : public OutlierScorer {
+ public:
+  explicit AbodScorer(AbodParams params = {}) : params_(params) {}
+
+  std::vector<double> ScoreSubspace(const Dataset& dataset,
+                                    const Subspace& subspace) const override;
+
+  std::string name() const override { return "abod"; }
+
+ private:
+  AbodParams params_;
+};
+
+}  // namespace hics
+
+#endif  // HICS_OUTLIER_ABOD_H_

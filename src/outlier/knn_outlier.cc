@@ -1,0 +1,40 @@
+#include "outlier/knn_outlier.h"
+
+#include <algorithm>
+
+#include "index/neighbor_searcher.h"
+
+namespace hics {
+
+std::vector<double> KnnDistanceScorer::ScoreSubspace(
+    const Dataset& dataset, const Subspace& subspace) const {
+  const std::size_t n = dataset.num_objects();
+  std::vector<double> scores(n, 0.0);
+  if (n < 2) return scores;
+  const std::size_t k = std::min(k_, n - 1);
+  const auto searcher = MakeBruteForceSearcher(dataset, subspace);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto nbrs = searcher->QueryKnn(i, k);
+    scores[i] = nbrs.empty() ? 0.0 : nbrs.back().distance;
+  }
+  return scores;
+}
+
+std::vector<double> KnnAverageScorer::ScoreSubspace(
+    const Dataset& dataset, const Subspace& subspace) const {
+  const std::size_t n = dataset.num_objects();
+  std::vector<double> scores(n, 0.0);
+  if (n < 2) return scores;
+  const std::size_t k = std::min(k_, n - 1);
+  const auto searcher = MakeBruteForceSearcher(dataset, subspace);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto nbrs = searcher->QueryKnn(i, k);
+    if (nbrs.empty()) continue;
+    double sum = 0.0;
+    for (const Neighbor& nb : nbrs) sum += nb.distance;
+    scores[i] = sum / static_cast<double>(nbrs.size());
+  }
+  return scores;
+}
+
+}  // namespace hics

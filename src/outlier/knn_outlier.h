@@ -1,0 +1,45 @@
+#ifndef HICS_OUTLIER_KNN_OUTLIER_H_
+#define HICS_OUTLIER_KNN_OUTLIER_H_
+
+#include <string>
+#include <vector>
+
+#include "outlier/outlier_scorer.h"
+
+namespace hics {
+
+/// k-distance outlier score (Ramaswamy-style): score(x) = distance to the
+/// k-th nearest neighbor in the subspace. Simple, global density proxy;
+/// provided as an alternative instantiation of the ranking step.
+class KnnDistanceScorer : public OutlierScorer {
+ public:
+  explicit KnnDistanceScorer(std::size_t k = 10) : k_(k) {}
+
+  std::vector<double> ScoreSubspace(const Dataset& dataset,
+                                    const Subspace& subspace) const override;
+
+  std::string name() const override { return "knn-dist"; }
+
+ private:
+  std::size_t k_;
+};
+
+/// Average-kNN-distance score (Angiulli-Pizzuti style): score(x) = mean
+/// distance to the k nearest neighbors. Slightly more robust than the pure
+/// k-distance.
+class KnnAverageScorer : public OutlierScorer {
+ public:
+  explicit KnnAverageScorer(std::size_t k = 10) : k_(k) {}
+
+  std::vector<double> ScoreSubspace(const Dataset& dataset,
+                                    const Subspace& subspace) const override;
+
+  std::string name() const override { return "knn-avg"; }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace hics
+
+#endif  // HICS_OUTLIER_KNN_OUTLIER_H_

@@ -1,0 +1,47 @@
+#ifndef HICS_OUTLIER_LOCI_H_
+#define HICS_OUTLIER_LOCI_H_
+
+#include <string>
+#include <vector>
+
+#include "outlier/outlier_scorer.h"
+
+namespace hics {
+
+/// LOCI -- Local Correlation Integral (Papadimitriou et al., ICDE 2003),
+/// cited by the paper as a density-based LOF alternative ([25]). For every
+/// object and a schedule of radii r, LOCI compares the object's
+/// r/2-neighborhood count n(p, r/2) with the average such count over its
+/// r-neighbors, via the multi-granularity deviation factor
+///   MDEF(p, r) = 1 - n(p, r/2) / mean_{q in N(p,r)} n(q, r/2).
+/// The score reported here is the maximum over the radius schedule of
+/// MDEF normalized by its neighborhood standard deviation (sigma_MDEF) --
+/// objects whose normalized MDEF is large (> 3 in the original paper) are
+/// outliers.
+///
+/// This is the exact (quadratic) LOCI; the aLOCI approximation is out of
+/// scope. Provided as another pluggable instantiation of the ranking step.
+struct LociParams {
+  /// Number of radii probed between r_min and r_max (geometric schedule).
+  std::size_t num_radii = 8;
+  /// Neighborhood must hold at least this many objects before MDEF is
+  /// trusted (original paper uses 20; small datasets may need less).
+  std::size_t min_neighbors = 20;
+};
+
+class LociScorer : public OutlierScorer {
+ public:
+  explicit LociScorer(LociParams params = {}) : params_(params) {}
+
+  std::vector<double> ScoreSubspace(const Dataset& dataset,
+                                    const Subspace& subspace) const override;
+
+  std::string name() const override { return "loci"; }
+
+ private:
+  LociParams params_;
+};
+
+}  // namespace hics
+
+#endif  // HICS_OUTLIER_LOCI_H_

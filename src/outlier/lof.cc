@@ -1,0 +1,85 @@
+#include "outlier/lof.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/parallel.h"
+#include "index/neighbor_searcher.h"
+
+namespace hics {
+
+std::vector<double> LofScorer::ScoreSubspace(const Dataset& dataset,
+                                             const Subspace& subspace) const {
+  const std::size_t n = dataset.num_objects();
+  std::vector<double> scores(n, 1.0);
+  if (n == 0) return scores;
+  const std::size_t k = std::min(params_.min_pts, n > 1 ? n - 1 : 1);
+
+  const auto searcher = params_.use_kd_tree
+                            ? MakeKdTreeSearcher(dataset, subspace)
+                            : MakeBruteForceSearcher(dataset, subspace);
+
+  // Pass 1: k-nearest neighborhoods and k-distances (the quadratic part;
+  // parallel over query objects, read-only on the searcher).
+  const std::size_t num_threads = params_.num_threads == 0
+                                      ? DefaultNumThreads()
+                                      : params_.num_threads;
+  std::vector<std::vector<Neighbor>> neighborhoods(n);
+  std::vector<double> k_distance(n, 0.0);
+  ParallelFor(0, n, num_threads, [&](std::size_t i) {
+    neighborhoods[i] = searcher->QueryKnn(i, k);
+    k_distance[i] =
+        neighborhoods[i].empty() ? 0.0 : neighborhoods[i].back().distance;
+  });
+
+  // Pass 2: local reachability densities.
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  std::vector<double> lrd(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nbrs = neighborhoods[i];
+    if (nbrs.empty()) {
+      lrd[i] = kInfinity;
+      continue;
+    }
+    double sum_reach = 0.0;
+    for (const Neighbor& nb : nbrs) {
+      sum_reach += std::max(k_distance[nb.id], nb.distance);
+    }
+    // All-zero reachability (duplicate points): infinite density.
+    lrd[i] = sum_reach > 0.0
+                 ? static_cast<double>(nbrs.size()) / sum_reach
+                 : kInfinity;
+  }
+
+  // Pass 3: LOF = mean neighbor lrd ratio.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nbrs = neighborhoods[i];
+    if (nbrs.empty()) {
+      scores[i] = 1.0;
+      continue;
+    }
+    if (lrd[i] == kInfinity) {
+      // Duplicate-heavy neighborhoods: object is at least as dense as its
+      // neighbors, LOF defined as 1 (Breunig et al. §4 duplicate handling).
+      scores[i] = 1.0;
+      continue;
+    }
+    double sum_ratio = 0.0;
+    std::size_t finite_terms = 0;
+    for (const Neighbor& nb : nbrs) {
+      if (lrd[nb.id] == kInfinity) {
+        // Neighbor infinitely denser: contributes the maximal ratio; clamp
+        // by skipping and using the remaining terms (conservative).
+        continue;
+      }
+      sum_ratio += lrd[nb.id] / lrd[i];
+      ++finite_terms;
+    }
+    scores[i] = finite_terms > 0
+                    ? sum_ratio / static_cast<double>(finite_terms)
+                    : 1.0;
+  }
+  return scores;
+}
+
+}  // namespace hics

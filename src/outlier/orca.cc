@@ -1,0 +1,162 @@
+#include "outlier/orca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace hics {
+
+namespace {
+
+/// Fixed-capacity max-heap of the k smallest squared distances seen so far
+/// for one candidate object.
+class NearestK {
+ public:
+  explicit NearestK(std::size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  /// True once k distances have been collected.
+  bool full() const { return heap_.size() >= k_; }
+
+  /// Largest of the k current nearest distances (infinite until full).
+  double Worst() const {
+    return full() ? heap_.front()
+                  : std::numeric_limits<double>::infinity();
+  }
+
+  void Add(double d2) {
+    if (heap_.size() < k_) {
+      heap_.push_back(d2);
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (d2 < heap_.front()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = d2;
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  /// Average of the stored (sqrt'd) distances.
+  double AverageDistance() const {
+    if (heap_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double d2 : heap_) sum += std::sqrt(d2);
+    return sum / static_cast<double>(heap_.size());
+  }
+
+  /// Upper bound of the final average distance: even if every remaining
+  /// neighbor were at distance 0, the average cannot drop below the
+  /// current sum spread over k slots -- but for pruning we need the
+  /// opposite direction: the average over the k current entries only
+  /// *shrinks* as closer neighbors arrive, so the current average is an
+  /// upper bound once the heap is full.
+  double UpperBoundAverage() const { return AverageDistance(); }
+
+ private:
+  std::size_t k_;
+  std::vector<double> heap_;  // squared distances, max-heap
+};
+
+}  // namespace
+
+std::vector<OrcaOutlier> OrcaTopOutliers(const Dataset& dataset,
+                                         const Subspace& subspace,
+                                         const OrcaParams& params,
+                                         OrcaRunInfo* info) {
+  HICS_CHECK_GT(params.k, 0u);
+  HICS_CHECK_GT(params.top_n, 0u);
+  const std::size_t n = dataset.num_objects();
+  const std::size_t dim = subspace.size();
+  HICS_CHECK_GT(dim, 0u);
+  OrcaRunInfo local_info;
+
+  // Row-major projected copy, in randomized order: randomization makes the
+  // expected number of distance computations near linear because early
+  // neighbors quickly shrink candidates' score bounds below the cutoff.
+  std::vector<double> points(n * dim);
+  {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d : subspace) points[out++] = dataset.Get(i, d);
+    }
+  }
+  Rng rng(params.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+
+  auto squared_distance = [&](std::size_t a, std::size_t b) {
+    const double* pa = &points[a * dim];
+    const double* pb = &points[b * dim];
+    double sum = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double diff = pa[j] - pb[j];
+      sum += diff * diff;
+    }
+    return sum;
+  };
+
+  // Top-n result heap ordered by ascending score: front = weakest outlier,
+  // its score is the pruning cutoff.
+  auto weaker = [](const OrcaOutlier& a, const OrcaOutlier& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  std::vector<OrcaOutlier> top;
+  double cutoff = 0.0;
+
+  // Process candidates in blocks (as in the original ORCA, which was
+  // disk-block oriented); within a block each candidate keeps its own
+  // nearest-k heap and is dropped once provably below the cutoff.
+  constexpr std::size_t kBlockSize = 64;
+  for (std::size_t begin = 0; begin < n; begin += kBlockSize) {
+    const std::size_t end = std::min(n, begin + kBlockSize);
+    std::vector<std::size_t> candidates(order.begin() + begin,
+                                        order.begin() + end);
+    std::vector<NearestK> nearest(candidates.size(), NearestK(params.k));
+    std::vector<bool> alive(candidates.size(), true);
+    std::size_t alive_count = candidates.size();
+
+    // Stream all objects (random order again) past the block.
+    for (std::size_t probe_pos = 0; probe_pos < n && alive_count > 0;
+         ++probe_pos) {
+      const std::size_t probe = order[probe_pos];
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (!alive[c] || candidates[c] == probe) continue;
+        nearest[c].Add(squared_distance(candidates[c], probe));
+        ++local_info.distance_computations;
+        // Prune: with a full heap the average only decreases from here on;
+        // if it is already below the cutoff the candidate cannot reach the
+        // top-n.
+        if (top.size() >= params.top_n && nearest[c].full() &&
+            nearest[c].UpperBoundAverage() < cutoff) {
+          alive[c] = false;
+          ++local_info.pruned_objects;
+          --alive_count;
+        }
+      }
+    }
+
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (!alive[c]) continue;
+      const double score = nearest[c].AverageDistance();
+      if (top.size() < params.top_n) {
+        top.push_back({candidates[c], score});
+        std::push_heap(top.begin(), top.end(), weaker);
+      } else if (score > top.front().score) {
+        std::pop_heap(top.begin(), top.end(), weaker);
+        top.back() = {candidates[c], score};
+        std::push_heap(top.begin(), top.end(), weaker);
+      }
+      if (top.size() >= params.top_n) cutoff = top.front().score;
+    }
+  }
+
+  // sort_heap with this comparator leaves the strongest outlier first.
+  std::sort_heap(top.begin(), top.end(), weaker);
+  if (info != nullptr) *info = local_info;
+  return top;
+}
+
+}  // namespace hics

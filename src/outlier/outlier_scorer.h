@@ -1,0 +1,40 @@
+#ifndef HICS_OUTLIER_OUTLIER_SCORER_H_
+#define HICS_OUTLIER_OUTLIER_SCORER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/subspace.h"
+
+namespace hics {
+
+/// Interface for a density-based outlier score score_S(x): given a dataset
+/// and a subspace, produce one score per object, higher = more outlying.
+///
+/// This is the second step of the paper's decoupled processing: HiCS (or any
+/// other subspace search) selects subspaces, and any implementation of this
+/// interface ranks objects within them. The paper instantiates it with LOF
+/// and names ORCA/OUTRES as future alternatives; this library ships LOF plus
+/// two kNN-based scores to demonstrate the pluggability.
+class OutlierScorer {
+ public:
+  virtual ~OutlierScorer() = default;
+
+  /// Scores every object of `dataset` with distances restricted to
+  /// `subspace`. Returns a vector of size dataset.num_objects().
+  virtual std::vector<double> ScoreSubspace(const Dataset& dataset,
+                                            const Subspace& subspace) const = 0;
+
+  /// Scores in the full data space.
+  std::vector<double> ScoreFullSpace(const Dataset& dataset) const {
+    return ScoreSubspace(dataset, dataset.FullSpace());
+  }
+
+  /// Short identifier, e.g. "lof".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace hics
+
+#endif  // HICS_OUTLIER_OUTLIER_SCORER_H_

@@ -1,0 +1,62 @@
+#include "outlier/subspace_ranker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hics {
+
+std::vector<double> AggregateScores(
+    const std::vector<std::vector<double>>& per_subspace_scores,
+    ScoreAggregation aggregation) {
+  HICS_CHECK(!per_subspace_scores.empty());
+  const std::size_t n = per_subspace_scores.front().size();
+  for (const auto& scores : per_subspace_scores) {
+    HICS_CHECK_EQ(scores.size(), n);
+  }
+  std::vector<double> result(n, 0.0);
+  switch (aggregation) {
+    case ScoreAggregation::kAverage: {
+      for (const auto& scores : per_subspace_scores) {
+        for (std::size_t i = 0; i < n; ++i) result[i] += scores[i];
+      }
+      const double inv = 1.0 / static_cast<double>(per_subspace_scores.size());
+      for (double& v : result) v *= inv;
+      break;
+    }
+    case ScoreAggregation::kMax: {
+      result = per_subspace_scores.front();
+      for (std::size_t s = 1; s < per_subspace_scores.size(); ++s) {
+        for (std::size_t i = 0; i < n; ++i) {
+          result[i] = std::max(result[i], per_subspace_scores[s][i]);
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<double> RankWithSubspaces(const Dataset& dataset,
+                                      const std::vector<Subspace>& subspaces,
+                                      const OutlierScorer& scorer,
+                                      ScoreAggregation aggregation) {
+  if (subspaces.empty()) return scorer.ScoreFullSpace(dataset);
+  std::vector<std::vector<double>> per_subspace;
+  per_subspace.reserve(subspaces.size());
+  for (const Subspace& s : subspaces) {
+    per_subspace.push_back(scorer.ScoreSubspace(dataset, s));
+  }
+  return AggregateScores(per_subspace, aggregation);
+}
+
+std::vector<double> RankWithSubspaces(
+    const Dataset& dataset, const std::vector<ScoredSubspace>& subspaces,
+    const OutlierScorer& scorer, ScoreAggregation aggregation) {
+  std::vector<Subspace> plain;
+  plain.reserve(subspaces.size());
+  for (const ScoredSubspace& s : subspaces) plain.push_back(s.subspace);
+  return RankWithSubspaces(dataset, plain, scorer, aggregation);
+}
+
+}  // namespace hics

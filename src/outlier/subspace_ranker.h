@@ -1,0 +1,47 @@
+#ifndef HICS_OUTLIER_SUBSPACE_RANKER_H_
+#define HICS_OUTLIER_SUBSPACE_RANKER_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/subspace.h"
+#include "outlier/outlier_scorer.h"
+
+namespace hics {
+
+/// How per-subspace scores are combined into the final score.
+enum class ScoreAggregation {
+  /// Definition 1 in the paper: score(x) = (1/|RS|) sum_S score_S(x).
+  /// Cumulative: deviating in several subspaces raises the total. The
+  /// paper's default.
+  kAverage,
+  /// max_S score_S(x). Sensitive to fluctuations; the paper reports it
+  /// degrades with many subspaces (checked by bench_ablation_aggregation).
+  kMax,
+};
+
+/// Aggregates per-subspace score vectors (all of equal length) into one
+/// final score per object.
+std::vector<double> AggregateScores(
+    const std::vector<std::vector<double>>& per_subspace_scores,
+    ScoreAggregation aggregation);
+
+/// The outlier-ranking half of the decoupled pipeline: runs `scorer` on
+/// every subspace in `subspaces` and aggregates. With an empty subspace
+/// list, scores the full space (traditional outlier ranking).
+std::vector<double> RankWithSubspaces(const Dataset& dataset,
+                                      const std::vector<Subspace>& subspaces,
+                                      const OutlierScorer& scorer,
+                                      ScoreAggregation aggregation =
+                                          ScoreAggregation::kAverage);
+
+/// Convenience overload for scored subspaces (scores ignored; only the
+/// projections matter for ranking).
+std::vector<double> RankWithSubspaces(
+    const Dataset& dataset, const std::vector<ScoredSubspace>& subspaces,
+    const OutlierScorer& scorer,
+    ScoreAggregation aggregation = ScoreAggregation::kAverage);
+
+}  // namespace hics
+
+#endif  // HICS_OUTLIER_SUBSPACE_RANKER_H_

@@ -1,0 +1,95 @@
+#include "reduction/pca.h"
+
+#include <algorithm>
+
+namespace hics {
+
+Result<Pca> Pca::Fit(const Dataset& dataset) {
+  const std::size_t n = dataset.num_objects();
+  const std::size_t d = dataset.num_attributes();
+  if (n < 2 || d == 0) {
+    return Status::InvalidArgument(
+        "PCA needs at least 2 objects and 1 attribute");
+  }
+
+  Pca pca;
+  pca.mean_.resize(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    const auto& col = dataset.Column(j);
+    double sum = 0.0;
+    for (double v : col) sum += v;
+    pca.mean_[j] = sum / static_cast<double>(n);
+  }
+
+  // Covariance matrix (sample, n-1 normalization).
+  Matrix cov(d, d);
+  for (std::size_t a = 0; a < d; ++a) {
+    const auto& col_a = dataset.Column(a);
+    for (std::size_t b = a; b < d; ++b) {
+      const auto& col_b = dataset.Column(b);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        sum += (col_a[i] - pca.mean_[a]) * (col_b[i] - pca.mean_[b]);
+      }
+      const double cab = sum / static_cast<double>(n - 1);
+      cov(a, b) = cab;
+      cov(b, a) = cab;
+    }
+  }
+
+  JacobiEigenSymmetric(cov, &pca.eigenvalues_, &pca.components_);
+  // Numerical noise can make tiny eigenvalues slightly negative.
+  for (double& ev : pca.eigenvalues_) ev = std::max(ev, 0.0);
+  return pca;
+}
+
+double Pca::ExplainedVarianceRatio(std::size_t k) const {
+  double total = 0.0;
+  for (double ev : eigenvalues_) total += ev;
+  if (total <= 0.0) return 0.0;
+  double head = 0.0;
+  for (std::size_t i = 0; i < std::min(k, eigenvalues_.size()); ++i) {
+    head += eigenvalues_[i];
+  }
+  return head / total;
+}
+
+Dataset Pca::Transform(const Dataset& dataset,
+                       std::size_t num_components) const {
+  HICS_CHECK_EQ(dataset.num_attributes(), num_attributes());
+  const std::size_t k = std::min(num_components, eigenvalues_.size());
+  const std::size_t n = dataset.num_objects();
+  const std::size_t d = num_attributes();
+
+  Dataset projected(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < k; ++c) {
+      double dot = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        dot += (dataset.Get(i, j) - mean_[j]) * components_(j, c);
+      }
+      projected.Set(i, c, dot);
+    }
+  }
+  std::vector<std::string> names(k);
+  for (std::size_t c = 0; c < k; ++c) names[c] = "pc" + std::to_string(c);
+  HICS_CHECK(projected.SetAttributeNames(std::move(names)).ok());
+  if (dataset.has_labels()) {
+    HICS_CHECK(projected.SetLabels(dataset.labels()).ok());
+  }
+  return projected;
+}
+
+Result<Dataset> PcaReduceHalf(const Dataset& dataset) {
+  HICS_ASSIGN_OR_RETURN(Pca pca, Pca::Fit(dataset));
+  const std::size_t k = (dataset.num_attributes() + 1) / 2;
+  return pca.Transform(dataset, k);
+}
+
+Result<Dataset> PcaReduceToTen(const Dataset& dataset) {
+  HICS_ASSIGN_OR_RETURN(Pca pca, Pca::Fit(dataset));
+  const std::size_t k = std::min<std::size_t>(dataset.num_attributes(), 10);
+  return pca.Transform(dataset, k);
+}
+
+}  // namespace hics

@@ -1,0 +1,59 @@
+#ifndef HICS_REDUCTION_PCA_H_
+#define HICS_REDUCTION_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace hics {
+
+/// Principal component analysis fitted on a dataset: mean-centers the data,
+/// computes the attribute covariance matrix, and eigendecomposes it with
+/// the cyclic Jacobi method (common/matrix.h). Components are sorted by
+/// descending explained variance.
+///
+/// This is the traditional dimensionality-reduction baseline the paper's
+/// Fig. 4 evaluates (PCALOF1: keep D/2 components; PCALOF2: keep 10) and
+/// shows failing as pre-processing for outlier ranking: variance is the
+/// wrong objective for outlier contrast.
+class Pca {
+ public:
+  /// Fits PCA on `dataset`. Fails on empty data.
+  static Result<Pca> Fit(const Dataset& dataset);
+
+  std::size_t num_attributes() const { return mean_.size(); }
+
+  /// Eigenvalues (variances along components), descending.
+  const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+
+  /// Component matrix; column j is the j-th principal axis.
+  const Matrix& components() const { return components_; }
+
+  /// Fraction of total variance explained by the first `k` components.
+  double ExplainedVarianceRatio(std::size_t k) const;
+
+  /// Projects `dataset` onto the first `num_components` principal axes,
+  /// producing a new dataset (labels preserved, attributes named "pc0"...).
+  /// `num_components` is clamped to the fitted dimensionality.
+  Dataset Transform(const Dataset& dataset, std::size_t num_components) const;
+
+ private:
+  Pca() = default;
+
+  std::vector<double> mean_;
+  std::vector<double> eigenvalues_;
+  Matrix components_;
+};
+
+/// The paper's two reduction strategies:
+/// PCALOF1 — reduce to ceil(D/2) principal components.
+Result<Dataset> PcaReduceHalf(const Dataset& dataset);
+/// PCALOF2 — reduce to min(D, 10) principal components.
+Result<Dataset> PcaReduceToTen(const Dataset& dataset);
+
+}  // namespace hics
+
+#endif  // HICS_REDUCTION_PCA_H_

@@ -1,0 +1,47 @@
+#ifndef HICS_SEARCH_ENCLUS_H_
+#define HICS_SEARCH_ENCLUS_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "search/subspace_search.h"
+
+namespace hics {
+
+/// Enclus configuration (Cheng, Fu, Zhang, KDD 1999).
+struct EnclusParams {
+  /// Grid resolution per dimension (CLIQUE-style equi-width partitioning).
+  std::size_t bins_per_dim = 10;
+  /// Entropy threshold omega: a subspace qualifies when its grid entropy is
+  /// below omega. When <= 0, omega is chosen adaptively per level as the
+  /// `auto_omega_quantile`-quantile of the level's candidate entropies
+  /// (the paper notes Enclus parametrization is hard to tune; the adaptive
+  /// mode is what the benchmark grid falls back to).
+  double omega = -1.0;
+  double auto_omega_quantile = 0.5;
+  /// Minimum interest (total correlation) for a subspace to enter the
+  /// result; candidates below still seed deeper levels.
+  double epsilon = 0.0;
+  /// Per-level candidate cap, bounding the exponential lattice like HiCS's
+  /// cutoff (the original Enclus relies on the entropy threshold alone).
+  std::size_t candidate_cutoff = 400;
+  /// Number of best subspaces returned.
+  std::size_t output_top_k = 100;
+  /// Optional hard dimensionality bound; 0 = unbounded.
+  std::size_t max_dimensionality = 0;
+
+  Status Validate() const;
+};
+
+/// Entropy-based subspace search: a subspace has clustering structure when
+/// the occupancy distribution of its grid cells has low entropy. Candidates
+/// are generated bottom-up (entropy is monotone non-decreasing in the
+/// dimensions, giving a downward-closed qualification). Result subspaces
+/// are ranked by *interest* = sum of marginal entropies minus joint entropy,
+/// Enclus's correlation significance criterion.
+std::unique_ptr<SubspaceSearchMethod> MakeEnclusMethod(
+    EnclusParams params = {});
+
+}  // namespace hics
+
+#endif  // HICS_SEARCH_ENCLUS_H_

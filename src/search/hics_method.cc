@@ -1,0 +1,30 @@
+#include "search/subspace_search.h"
+
+namespace hics {
+
+namespace {
+
+class HicsMethod : public SubspaceSearchMethod {
+ public:
+  explicit HicsMethod(HicsParams params) : params_(std::move(params)) {}
+
+  Result<std::vector<ScoredSubspace>> Search(
+      const Dataset& dataset) const override {
+    return RunHicsSearch(dataset, params_);
+  }
+
+  std::string name() const override {
+    return params_.statistical_test == "ks" ? "HiCS_KS" : "HiCS";
+  }
+
+ private:
+  HicsParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<SubspaceSearchMethod> MakeHicsMethod(HicsParams params) {
+  return std::make_unique<HicsMethod>(std::move(params));
+}
+
+}  // namespace hics

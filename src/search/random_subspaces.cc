@@ -1,0 +1,67 @@
+#include "search/random_subspaces.h"
+
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace hics {
+
+Status RandomSubspacesParams::Validate() const {
+  if (num_subspaces == 0) {
+    return Status::InvalidArgument("num_subspaces must be >= 1");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+class RandomSubspacesMethod : public SubspaceSearchMethod {
+ public:
+  explicit RandomSubspacesMethod(RandomSubspacesParams params)
+      : params_(params) {}
+
+  Result<std::vector<ScoredSubspace>> Search(
+      const Dataset& dataset) const override {
+    HICS_RETURN_NOT_OK(params_.Validate());
+    const std::size_t d = dataset.num_attributes();
+    if (d < 2) {
+      return Status::InvalidArgument(
+          "random subspace selection requires at least 2 attributes");
+    }
+    Rng rng(params_.seed);
+    std::unordered_set<Subspace, SubspaceHash> seen;
+    std::vector<ScoredSubspace> result;
+    result.reserve(params_.num_subspaces);
+    // Cap attempts so tiny attribute counts (few distinct subspaces) cannot
+    // loop forever on the uniqueness filter.
+    const std::size_t max_attempts = 50 * params_.num_subspaces;
+    std::size_t attempts = 0;
+    while (result.size() < params_.num_subspaces &&
+           attempts++ < max_attempts) {
+      const std::size_t lo = d / 2 > 2 ? d / 2 : 2;
+      const std::size_t hi = d - 1 > lo ? d - 1 : lo;
+      const std::size_t dims =
+          lo + rng.UniformIndex(hi - lo + 1);
+      Subspace subspace(rng.SampleWithoutReplacement(d, dims));
+      if (!seen.insert(subspace).second) continue;
+      const double score =
+          -static_cast<double>(result.size());  // draw order, newest last
+      result.push_back({std::move(subspace), score});
+    }
+    return result;
+  }
+
+  std::string name() const override { return "RANDSUB"; }
+
+ private:
+  RandomSubspacesParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<SubspaceSearchMethod> MakeRandomSubspacesMethod(
+    RandomSubspacesParams params) {
+  return std::make_unique<RandomSubspacesMethod>(params);
+}
+
+}  // namespace hics

@@ -1,0 +1,34 @@
+#ifndef HICS_SEARCH_RANDOM_SUBSPACES_H_
+#define HICS_SEARCH_RANDOM_SUBSPACES_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "search/subspace_search.h"
+
+namespace hics {
+
+/// Feature-bagging configuration (Lazarevic & Kumar, KDD 2005) — the
+/// paper's RANDSUB baseline and the only prior decoupled approach.
+struct RandomSubspacesParams {
+  /// Number of random subspaces to draw (the experiments fix 100 for every
+  /// method).
+  std::size_t num_subspaces = 100;
+  /// Each subspace's dimensionality is drawn uniformly from
+  /// [floor(D/2), D-1], the range used by Lazarevic & Kumar.
+  std::uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// Draws subspaces uniformly at random — no data-dependent quality measure
+/// at all. HiCS's contrast-guided selection must beat this for the paper's
+/// claim to hold. Scores are the (meaningless) draw order, newest last, so
+/// sorting is stable.
+std::unique_ptr<SubspaceSearchMethod> MakeRandomSubspacesMethod(
+    RandomSubspacesParams params = {});
+
+}  // namespace hics
+
+#endif  // HICS_SEARCH_RANDOM_SUBSPACES_H_

@@ -1,0 +1,40 @@
+#ifndef HICS_SEARCH_RIS_H_
+#define HICS_SEARCH_RIS_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "search/subspace_search.h"
+
+namespace hics {
+
+/// RIS configuration (Kailing, Kriegel, Kröger, Wanka: "Ranking Interesting
+/// Subspaces for Clustering High Dimensional Data", PKDD 2003).
+struct RisParams {
+  /// DBSCAN neighborhood radius (data is expected in [0,1]^D; see
+  /// Dataset::NormalizeMinMax).
+  double eps = 0.1;
+  /// DBSCAN core-object threshold (neighborhood size incl. the object).
+  std::size_t min_pts = 16;
+  /// Per-level candidate cap (bounds the lattice like the other methods).
+  std::size_t candidate_cutoff = 400;
+  std::size_t output_top_k = 100;
+  std::size_t max_dimensionality = 0;  ///< 0 = unbounded
+
+  Status Validate() const;
+};
+
+/// Density-based subspace search under the DBSCAN paradigm: a subspace is
+/// interesting when it contains many core objects whose neighborhoods are
+/// denser than expected under a uniform distribution. The quality measure
+/// is the aggregated eps-neighborhood count of all core objects, normalized
+/// by the count a uniform distribution would produce in the subspace's
+/// dimensionality — so values are comparable across dimensionalities.
+///
+/// Counting core objects is Theta(N^2) per subspace, which is why the
+/// paper's Fig. 6 shows RIS scaling worst with the database size.
+std::unique_ptr<SubspaceSearchMethod> MakeRisMethod(RisParams params = {});
+
+}  // namespace hics
+
+#endif  // HICS_SEARCH_RIS_H_

@@ -1,0 +1,38 @@
+#ifndef HICS_SEARCH_SUBSPACE_SEARCH_H_
+#define HICS_SEARCH_SUBSPACE_SEARCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "common/subspace.h"
+#include "core/hics.h"
+
+namespace hics {
+
+/// Interface of the first step of the decoupled pipeline: a subspace search
+/// method maps a dataset to a ranked list of subspace projections. HiCS and
+/// all competitor methods from the paper's evaluation implement it, so the
+/// benchmark harness can treat them uniformly as pre-processing for the
+/// same outlier ranker.
+class SubspaceSearchMethod {
+ public:
+  virtual ~SubspaceSearchMethod() = default;
+
+  /// Returns subspaces sorted by descending quality, at most the method's
+  /// configured output size (the experiments use the best 100 everywhere).
+  virtual Result<std::vector<ScoredSubspace>> Search(
+      const Dataset& dataset) const = 0;
+
+  /// Identifier used in benchmark tables, e.g. "HiCS", "ENCLUS".
+  virtual std::string name() const = 0;
+};
+
+/// Wraps RunHicsSearch as a SubspaceSearchMethod.
+std::unique_ptr<SubspaceSearchMethod> MakeHicsMethod(HicsParams params = {});
+
+}  // namespace hics
+
+#endif  // HICS_SEARCH_SUBSPACE_SEARCH_H_

@@ -1,0 +1,42 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace hics::stats {
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  HICS_CHECK_EQ(x.size(), y.size());
+  HICS_CHECK(!x.empty());
+  const double mean_x = Mean(x);
+  const double mean_y = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom <= 0.0) return 0.0;
+  double r = sxy / denom;
+  if (r > 1.0) r = 1.0;
+  if (r < -1.0) r = -1.0;
+  return r;
+}
+
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y) {
+  HICS_CHECK_EQ(x.size(), y.size());
+  HICS_CHECK(!x.empty());
+  const std::vector<double> rx = AverageRanks(x);
+  const std::vector<double> ry = AverageRanks(y);
+  return PearsonCorrelation(rx, ry);
+}
+
+}  // namespace hics::stats

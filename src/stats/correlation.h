@@ -1,0 +1,22 @@
+#ifndef HICS_STATS_CORRELATION_H_
+#define HICS_STATS_CORRELATION_H_
+
+#include <span>
+
+namespace hics::stats {
+
+/// Pearson product-moment correlation coefficient in [-1, 1]. Returns 0 when
+/// either sample is (near-)constant. Spans must have equal, nonzero size.
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on average ranks). The paper cites
+/// these classical coefficients as limited alternatives to the HiCS
+/// contrast (pairwise only, linear/monotone only); they are provided here
+/// as ablation baselines.
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y);
+
+}  // namespace hics::stats
+
+#endif  // HICS_STATS_CORRELATION_H_

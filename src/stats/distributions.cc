@@ -1,0 +1,88 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/special.h"
+
+namespace hics::stats {
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double StudentTCdf(double t, double dof) {
+  HICS_CHECK_GT(dof, 0.0);
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(0.5 * dof, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double StudentTTwoTailedPValue(double t, double dof) {
+  HICS_CHECK_GT(dof, 0.0);
+  if (std::isinf(t)) return 0.0;
+  const double x = dof / (dof + t * t);
+  return RegularizedIncompleteBeta(0.5 * dof, 0.5, x);
+}
+
+double ChiSquaredCdf(double x, double dof) {
+  HICS_CHECK_GT(dof, 0.0);
+  if (x <= 0.0) return 0.0;
+  // Regularized lower incomplete gamma P(dof/2, x/2) via series / continued
+  // fraction split.
+  const double a = 0.5 * dof;
+  const double xx = 0.5 * x;
+  if (xx < a + 1.0) {
+    // Series representation.
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int n = 0; n < 500; ++n) {
+      ap += 1.0;
+      term *= xx / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-xx + a * std::log(xx) - LogGamma(a));
+  }
+  // Continued fraction for the upper tail (modified Lentz).
+  constexpr double kTiny = 1e-300;
+  double b = xx + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  const double upper = std::exp(-xx + a * std::log(xx) - LogGamma(a)) * h;
+  return 1.0 - upper;
+}
+
+double KolmogorovPValue(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  // Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+  double sum = 0.0;
+  double sign = 1.0;
+  double prev_term = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term <= 1e-12 * sum || (j > 1 && term >= prev_term)) break;
+    sign = -sign;
+    prev_term = term;
+  }
+  const double p = 2.0 * sum;
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+}  // namespace hics::stats

@@ -1,0 +1,27 @@
+#ifndef HICS_STATS_DISTRIBUTIONS_H_
+#define HICS_STATS_DISTRIBUTIONS_H_
+
+namespace hics::stats {
+
+/// CDF of the standard normal distribution.
+double NormalCdf(double x);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom, evaluated
+/// at `t`. `dof` may be fractional (Welch-Satterthwaite produces fractional
+/// degrees of freedom). Requires dof > 0.
+double StudentTCdf(double t, double dof);
+
+/// Two-tailed p-value for a Student-t statistic: P(|T| > |t|) under H0.
+double StudentTTwoTailedPValue(double t, double dof);
+
+/// CDF of the chi-squared distribution with `dof` degrees of freedom.
+double ChiSquaredCdf(double x, double dof);
+
+/// Asymptotic Kolmogorov distribution Q(lambda) = P(D > lambda-ish):
+/// the two-sided KS significance level for the scaled statistic `lambda`
+/// (Stephens 1970 style series). Returns a value in [0, 1].
+double KolmogorovPValue(double lambda);
+
+}  // namespace hics::stats
+
+#endif  // HICS_STATS_DISTRIBUTIONS_H_

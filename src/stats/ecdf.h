@@ -1,0 +1,34 @@
+#ifndef HICS_STATS_ECDF_H_
+#define HICS_STATS_ECDF_H_
+
+#include <span>
+#include <vector>
+
+namespace hics::stats {
+
+/// Empirical cumulative distribution function of a sample (Eq. 10 in the
+/// paper): F(x) = fraction of sample values strictly less than x... the
+/// conventional right-continuous variant F(x) = P(X <= x) is exposed too;
+/// for the KS statistic only the sup-difference matters and both variants
+/// agree there.
+class Ecdf {
+ public:
+  /// Builds the ECDF from an arbitrary-order sample (copied and sorted).
+  explicit Ecdf(std::span<const double> sample);
+
+  /// F(x) = fraction of values <= x (right-continuous convention).
+  double operator()(double x) const;
+
+  /// Fraction of values strictly below x (the paper's Eq. 10 convention).
+  double FractionBelow(double x) const;
+
+  std::size_t sample_size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_sample() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace hics::stats
+
+#endif  // HICS_STATS_ECDF_H_

@@ -1,0 +1,64 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hics::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0) {
+  HICS_CHECK_GT(num_bins, 0u);
+  HICS_CHECK_LT(lo, hi);
+}
+
+std::size_t Histogram::BinOf(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  const double frac = (value - lo_) / (hi_ - lo_);
+  std::size_t bin = static_cast<std::size_t>(
+      frac * static_cast<double>(counts_.size()));
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  return bin;
+}
+
+void Histogram::Add(double value) {
+  ++counts_[BinOf(value)];
+  ++total_;
+}
+
+void Histogram::AddAll(std::span<const double> values) {
+  for (double v : values) Add(v);
+}
+
+std::vector<double> Histogram::Probabilities() const {
+  std::vector<double> probs(counts_.size(), 0.0);
+  if (total_ == 0) return probs;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    probs[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return probs;
+}
+
+double Histogram::Entropy() const {
+  const std::vector<double> probs = Probabilities();
+  return ShannonEntropy(probs);
+}
+
+double ShannonEntropy(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    HICS_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) continue;
+    const double p = w / total;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+}  // namespace hics::stats

@@ -1,0 +1,46 @@
+#ifndef HICS_STATS_HISTOGRAM_H_
+#define HICS_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hics::stats {
+
+/// Equi-width 1-D histogram over [lo, hi] with a fixed bin count. Values on
+/// the upper boundary fall into the last bin; values outside the range are
+/// clamped to the boundary bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void Add(double value);
+  void AddAll(std::span<const double> values);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+
+  /// Bin index for a value (after clamping).
+  std::size_t BinOf(double value) const;
+
+  /// Normalized bin probabilities (empty histogram -> all zeros).
+  std::vector<double> Probabilities() const;
+
+  /// Shannon entropy (natural log) of the bin distribution.
+  double Entropy() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Shannon entropy (natural log) of an arbitrary discrete distribution given
+/// as non-negative weights (normalized internally; zero weights ignored).
+double ShannonEntropy(std::span<const double> weights);
+
+}  // namespace hics::stats
+
+#endif  // HICS_STATS_HISTOGRAM_H_

@@ -1,0 +1,70 @@
+#include "stats/special.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hics::stats {
+
+namespace {
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    // Even step.
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    // Odd step.
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  HICS_CHECK(a > 0.0 && b > 0.0) << "beta parameters must be positive";
+  HICS_CHECK(x >= 0.0 && x <= 1.0) << "x must lie in [0, 1], got " << x;
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                           a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(log_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double Erf(double x) { return std::erf(x); }
+
+}  // namespace hics::stats

@@ -1,0 +1,20 @@
+#ifndef HICS_STATS_SPECIAL_H_
+#define HICS_STATS_SPECIAL_H_
+
+namespace hics::stats {
+
+/// Natural log of the gamma function (thin wrapper over std::lgamma with a
+/// stable name for the library).
+double LogGamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+/// x in [0, 1], evaluated with the Lentz continued fraction (Numerical
+/// Recipes style). Accurate to ~1e-12.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Error function wrapper.
+double Erf(double x);
+
+}  // namespace hics::stats
+
+#endif  // HICS_STATS_SPECIAL_H_

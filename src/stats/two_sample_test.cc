@@ -1,0 +1,22 @@
+#include "stats/two_sample_test.h"
+
+#include "stats/cvm_test.h"
+#include "stats/ks_test.h"
+#include "stats/welch_t_test.h"
+
+namespace hics::stats {
+
+std::unique_ptr<TwoSampleTest> MakeTwoSampleTest(const std::string& name) {
+  if (name == "welch" || name == "wt") {
+    return std::make_unique<WelchTDeviation>();
+  }
+  if (name == "ks") {
+    return std::make_unique<KsDeviation>();
+  }
+  if (name == "cvm") {
+    return std::make_unique<CvmDeviation>();
+  }
+  return nullptr;
+}
+
+}  // namespace hics::stats

@@ -1,0 +1,48 @@
+#ifndef HICS_STATS_TWO_SAMPLE_TEST_H_
+#define HICS_STATS_TWO_SAMPLE_TEST_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace hics::stats {
+
+/// Interface for the paper's deviation(p̂_A, p̂_B) function (§III-E): a
+/// two-sample statistical test that maps a marginal sample A and a
+/// conditional sample B to a deviation value in [0, 1]. Larger means the
+/// samples look less like draws from the same distribution.
+///
+/// Implementations must be stateless w.r.t. Deviation() calls so a single
+/// instance can be shared across Monte Carlo iterations.
+class TwoSampleTest {
+ public:
+  virtual ~TwoSampleTest() = default;
+
+  /// Deviation between the two samples. Implementations must return 0 for
+  /// degenerate inputs (either sample too small to test) so that
+  /// uninformative slices do not inflate the contrast.
+  virtual double Deviation(std::span<const double> marginal,
+                           std::span<const double> conditional) const = 0;
+
+  /// Same contract as Deviation(), but the caller guarantees `marginal` is
+  /// sorted ascending. Order-insensitive tests (Welch) inherit the default
+  /// forward; rank-based tests (KS) override it to skip re-sorting the
+  /// marginal on every Monte Carlo iteration -- the contrast estimator
+  /// calls this with each attribute's pre-sorted column.
+  virtual double DeviationPresortedMarginal(
+      std::span<const double> marginal_sorted,
+      std::span<const double> conditional) const {
+    return Deviation(marginal_sorted, conditional);
+  }
+
+  /// Short identifier for reports, e.g. "welch" or "ks".
+  virtual std::string name() const = 0;
+};
+
+/// Named factory for the tests shipped with the library ("welch", "ks",
+/// "cvm"). Returns nullptr for unknown names.
+std::unique_ptr<TwoSampleTest> MakeTwoSampleTest(const std::string& name);
+
+}  // namespace hics::stats
+
+#endif  // HICS_STATS_TWO_SAMPLE_TEST_H_

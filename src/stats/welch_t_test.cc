@@ -1,0 +1,55 @@
+#include "stats/welch_t_test.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace hics::stats {
+
+WelchResult WelchTTest(std::span<const double> a, std::span<const double> b) {
+  WelchResult result;
+  if (a.size() < 2 || b.size() < 2) return result;
+
+  const double mean_a = Mean(a);
+  const double mean_b = Mean(b);
+  const double var_a = SampleVariance(a);
+  const double var_b = SampleVariance(b);
+  const double n_a = static_cast<double>(a.size());
+  const double n_b = static_cast<double>(b.size());
+
+  const double se_a = var_a / n_a;
+  const double se_b = var_b / n_b;
+  const double denom = se_a + se_b;
+  if (denom <= 0.0) {
+    // Both samples are constant. Identical constants -> no deviation;
+    // different constants -> maximal deviation.
+    result.valid = true;
+    result.p_value = (mean_a == mean_b) ? 1.0 : 0.0;
+    result.t = (mean_a == mean_b) ? 0.0 : INFINITY;
+    result.degrees_of_freedom = 1.0;
+    return result;
+  }
+
+  result.t = (mean_a - mean_b) / std::sqrt(denom);
+  // Welch-Satterthwaite equation for the effective degrees of freedom.
+  const double numerator = denom * denom;
+  const double denominator = se_a * se_a / (n_a - 1.0) +
+                             se_b * se_b / (n_b - 1.0);
+  result.degrees_of_freedom =
+      denominator > 0.0 ? numerator / denominator : n_a + n_b - 2.0;
+  if (result.degrees_of_freedom < 1.0) result.degrees_of_freedom = 1.0;
+  result.p_value = StudentTTwoTailedPValue(result.t,
+                                           result.degrees_of_freedom);
+  result.valid = true;
+  return result;
+}
+
+double WelchTDeviation::Deviation(std::span<const double> marginal,
+                                  std::span<const double> conditional) const {
+  const WelchResult r = WelchTTest(marginal, conditional);
+  if (!r.valid) return 0.0;
+  return 1.0 - r.p_value;
+}
+
+}  // namespace hics::stats

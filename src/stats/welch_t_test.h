@@ -1,0 +1,34 @@
+#ifndef HICS_STATS_WELCH_T_TEST_H_
+#define HICS_STATS_WELCH_T_TEST_H_
+
+#include <span>
+#include <string>
+
+#include "stats/two_sample_test.h"
+
+namespace hics::stats {
+
+/// Detailed outcome of a Welch two-sample t-test.
+struct WelchResult {
+  double t = 0.0;                 ///< Test statistic (Eq. 9).
+  double degrees_of_freedom = 0;  ///< Welch-Satterthwaite estimate.
+  double p_value = 1.0;           ///< Two-tailed p-value.
+  bool valid = false;             ///< False when the test is degenerate.
+};
+
+/// Runs Welch's unequal-variance t-test on two samples.
+WelchResult WelchTTest(std::span<const double> a, std::span<const double> b);
+
+/// HiCS_WT deviation function: 1 - p_t where p_t is the two-tailed p-value
+/// of Welch's t statistic under the Student-t distribution with
+/// Welch-Satterthwaite degrees of freedom (paper §III-E).
+class WelchTDeviation : public TwoSampleTest {
+ public:
+  double Deviation(std::span<const double> marginal,
+                   std::span<const double> conditional) const override;
+  std::string name() const override { return "welch"; }
+};
+
+}  // namespace hics::stats
+
+#endif  // HICS_STATS_WELCH_T_TEST_H_

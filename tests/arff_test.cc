@@ -1,0 +1,154 @@
+#include "data/arff.h"
+
+#include <gtest/gtest.h>
+
+namespace hics {
+namespace {
+
+constexpr char kBasicArff[] = R"(% UCI-style toy file
+@relation toy
+
+@attribute width numeric
+@attribute height real
+@attribute class {good, bad}
+
+@data
+1.5, 2.0, good
+3.0, 4.0, good
+9.0, 9.5, bad
+)";
+
+TEST(ArffTest, ParsesNumericAttributesAndMinorityClass) {
+  auto ds = ParseArff(kBasicArff);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 3u);
+  EXPECT_EQ(ds->num_attributes(), 2u);
+  EXPECT_EQ(ds->attribute_names()[0], "width");
+  EXPECT_EQ(ds->attribute_names()[1], "height");
+  EXPECT_DOUBLE_EQ(ds->Get(2, 1), 9.5);
+  ASSERT_TRUE(ds->has_labels());
+  // "bad" is the minority class -> the outlier.
+  EXPECT_FALSE(ds->labels()[0]);
+  EXPECT_FALSE(ds->labels()[1]);
+  EXPECT_TRUE(ds->labels()[2]);
+}
+
+TEST(ArffTest, ExplicitOutlierValue) {
+  ArffOptions options;
+  options.outlier_value = "good";
+  auto ds = ParseArff(kBasicArff, options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->labels()[0]);
+  EXPECT_FALSE(ds->labels()[2]);
+}
+
+TEST(ArffTest, ExplicitClassAttributeByName) {
+  const char text[] = R"(
+@relation r
+@attribute type {a, b}
+@attribute x numeric
+@data
+a, 1.0
+b, 2.0
+b, 3.0
+)";
+  ArffOptions options;
+  options.class_attribute = "TYPE";  // case-insensitive
+  auto ds = ParseArff(text, options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_attributes(), 1u);
+  EXPECT_TRUE(ds->labels()[0]);  // 'a' is minority
+}
+
+TEST(ArffTest, NonClassNominalAttributesIndexEncoded) {
+  const char text[] = R"(
+@relation r
+@attribute color {red, green, blue}
+@attribute x numeric
+@attribute class {in, out}
+@data
+green, 1.0, in
+red, 2.0, in
+blue, 3.0, out
+)";
+  auto ds = ParseArff(text);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_attributes(), 2u);
+  EXPECT_DOUBLE_EQ(ds->Get(0, 0), 1.0);  // green -> 1
+  EXPECT_DOUBLE_EQ(ds->Get(1, 0), 0.0);  // red -> 0
+  EXPECT_DOUBLE_EQ(ds->Get(2, 0), 2.0);  // blue -> 2
+}
+
+TEST(ArffTest, MissingValuesImputedWithMean) {
+  const char text[] = R"(
+@relation r
+@attribute x numeric
+@attribute class {in, out}
+@data
+1.0, in
+?, in
+3.0, out
+)";
+  auto ds = ParseArff(text);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(ds->Get(1, 0), 2.0);
+}
+
+TEST(ArffTest, QuotedNamesAndValues) {
+  const char text[] = R"(
+@relation r
+@attribute 'sepal length' numeric
+@attribute class {'Iris-setosa', 'Iris-virginica'}
+@data
+5.1, 'Iris-setosa'
+6.0, 'Iris-virginica'
+6.1, 'Iris-virginica'
+)";
+  auto ds = ParseArff(text);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->attribute_names()[0], "sepal length");
+  EXPECT_TRUE(ds->labels()[0]);
+}
+
+TEST(ArffTest, NoNominalAttributeMeansUnlabeled) {
+  const char text[] = R"(
+@relation r
+@attribute x numeric
+@attribute y numeric
+@data
+1, 2
+3, 4
+)";
+  auto ds = ParseArff(text);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(ds->has_labels());
+  EXPECT_EQ(ds->num_attributes(), 2u);
+}
+
+TEST(ArffTest, ErrorCases) {
+  EXPECT_FALSE(ParseArff("@relation r\n@data\n1\n").ok());  // no attributes
+  EXPECT_FALSE(ParseArff("@relation r\n@attribute x numeric\n").ok());
+  EXPECT_FALSE(
+      ParseArff("@relation r\n@attribute x numeric\n@data\n1,2\n").ok());
+  EXPECT_FALSE(
+      ParseArff("@relation r\n@attribute x date\n@data\n1\n").ok());
+  EXPECT_FALSE(
+      ParseArff("@relation r\n@attribute x numeric\n@data\nfoo\n").ok());
+  // Unknown class attribute name.
+  ArffOptions options;
+  options.class_attribute = "nope";
+  EXPECT_FALSE(ParseArff(kBasicArff, options).ok());
+  // Outlier value outside the domain.
+  options = ArffOptions{};
+  options.outlier_value = "ugly";
+  EXPECT_FALSE(ParseArff(kBasicArff, options).ok());
+}
+
+TEST(ArffTest, MissingFileIsIOError) {
+  auto ds = ReadArffFile("/does/not/exist.arff");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace hics

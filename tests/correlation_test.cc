@@ -1,0 +1,93 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hics::stats {
+namespace {
+
+TEST(PearsonTest, PerfectPositive) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {9.0, 6.0, 3.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantInputGivesZero) {
+  const std::vector<double> x = {5.0, 5.0, 5.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonTest, IndependentNearZero) {
+  Rng rng(21);
+  std::vector<double> x(5000), y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = rng.Gaussian();
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(PearsonTest, InvariantToAffineTransform) {
+  Rng rng(22);
+  std::vector<double> x(200), y(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = x[i] + 0.5 * rng.Gaussian();
+  }
+  const double r = PearsonCorrelation(x, y);
+  std::vector<double> x2(x);
+  for (double& v : x2) v = 3.0 * v - 10.0;
+  EXPECT_NEAR(PearsonCorrelation(x2, y), r, 1e-10);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  // y = x^3 is monotone: Spearman 1, Pearson < 1.
+  std::vector<double> x, y;
+  for (double v = -2.0; v <= 2.0; v += 0.25) {
+    x.push_back(v);
+    y.push_back(v * v * v);
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 0.95);
+}
+
+TEST(SpearmanTest, TiesHandled) {
+  const std::vector<double> x = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> y = {10.0, 20.0, 20.0, 30.0};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, QuadraticSymmetricNearZero) {
+  // y = x^2 on symmetric x: both Pearson and Spearman fail to see the
+  // (non-monotone) dependence -- the limitation of classical correlation
+  // the paper's §III-B3 points out; the HiCS contrast does see it
+  // (covered in contrast_test.cc).
+  std::vector<double> x, y;
+  for (double v = -1.0; v <= 1.0001; v += 0.05) {
+    x.push_back(v);
+    y.push_back(v * v);
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(CorrelationDeathTest, SizeMismatchAborts) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_DEATH(PearsonCorrelation(x, y), "");
+  EXPECT_DEATH(SpearmanCorrelation(x, y), "");
+}
+
+}  // namespace
+}  // namespace hics::stats

@@ -1,0 +1,132 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hics {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  const std::string text = "x,y\n1.5,2\n3,4.25\n";
+  auto ds = ParseCsv(text);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 2u);
+  EXPECT_EQ(ds->num_attributes(), 2u);
+  EXPECT_EQ(ds->attribute_names()[0], "x");
+  EXPECT_DOUBLE_EQ(ds->Get(1, 1), 4.25);
+}
+
+TEST(CsvTest, ParsesWithoutHeader) {
+  CsvOptions options;
+  options.has_header = false;
+  auto ds = ParseCsv("1,2\n3,4\n", options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 2u);
+  EXPECT_EQ(ds->attribute_names()[0], "a0");
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto ds = ParseCsv("x,y\n\n1,2\n\n3,4\n\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 2u);
+}
+
+TEST(CsvTest, NumericLabelColumn) {
+  CsvOptions options;
+  options.label_column = 2;
+  auto ds = ParseCsv("x,y,label\n1,2,0\n3,4,1\n", options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_attributes(), 2u);
+  ASSERT_TRUE(ds->has_labels());
+  EXPECT_FALSE(ds->labels()[0]);
+  EXPECT_TRUE(ds->labels()[1]);
+}
+
+TEST(CsvTest, TextualLabelColumn) {
+  CsvOptions options;
+  options.label_column = 0;
+  options.outlier_label = "anomaly";
+  auto ds = ParseCsv("class,x\nanomaly,1\nnormal,2\n", options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->labels()[0]);
+  EXPECT_FALSE(ds->labels()[1]);
+  EXPECT_EQ(ds->attribute_names()[0], "x");
+}
+
+TEST(CsvTest, RejectsNonNumericCell) {
+  auto ds = ParseCsv("x\nfoo\n");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto ds = ParseCsv("x,y\n1,2\n3\n");
+  ASSERT_FALSE(ds.ok());
+}
+
+TEST(CsvTest, RejectsLabelColumnOutOfRange) {
+  CsvOptions options;
+  options.label_column = 9;
+  auto ds = ParseCsv("x,y\n1,2\n", options);
+  EXPECT_FALSE(ds.ok());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto ds = ParseCsv("x;y\n1;2\n", options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->Get(0, 1), 2.0);
+}
+
+TEST(CsvTest, WhitespaceTrimmed) {
+  auto ds = ParseCsv(" x , y \n 1 , 2 \r\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->attribute_names()[0], "x");
+  EXPECT_EQ(ds->Get(0, 1), 2.0);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  auto ds = *Dataset::FromRows({{1.25, -3.0}, {0.5, 9.0}});
+  ASSERT_TRUE(ds.SetAttributeNames({"u", "v"}).ok());
+  ASSERT_TRUE(ds.SetLabels({true, false}).ok());
+  const std::string text = WriteCsv(ds);
+
+  CsvOptions options;
+  options.label_column = 2;
+  auto parsed = ParseCsv(text, options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_objects(), 2u);
+  EXPECT_EQ(parsed->attribute_names()[1], "v");
+  EXPECT_DOUBLE_EQ(parsed->Get(0, 0), 1.25);
+  EXPECT_TRUE(parsed->labels()[0]);
+  EXPECT_FALSE(parsed->labels()[1]);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto ds = *Dataset::FromRows({{1.0, 2.0}});
+  const std::string path = testing::TempDir() + "/hics_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(ds, path).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_objects(), 1u);
+  EXPECT_EQ(loaded->Get(0, 1), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto loaded = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, EmptyTextYieldsEmptyDataset) {
+  auto ds = ParseCsv("", CsvOptions{.has_header = false});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 0u);
+}
+
+}  // namespace
+}  // namespace hics

@@ -1,0 +1,128 @@
+#include "stats/cvm_test.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "stats/two_sample_test.h"
+
+namespace hics::stats {
+namespace {
+
+std::vector<double> GaussianSample(std::size_t n, double mean, double sd,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Gaussian(mean, sd);
+  return v;
+}
+
+TEST(CvmTest, IdenticalSamplesZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const CvmResult r = CvmTest(a, a);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.t_statistic, 0.0);
+}
+
+TEST(CvmTest, EmptySampleInvalid) {
+  const std::vector<double> a = {1.0};
+  EXPECT_FALSE(CvmTest(a, {}).valid);
+  EXPECT_FALSE(CvmTest({}, a).valid);
+}
+
+TEST(CvmTest, DisjointSamplesNearOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 11.0, 12.0};
+  const CvmResult r = CvmTest(a, b);
+  ASSERT_TRUE(r.valid);
+  // |F_A - F_B| averages ~ sqrt(mean of squared gaps); for fully separated
+  // equal-size samples the statistic is large but < 1 (gap shrinks near
+  // the extremes of the merged sample).
+  EXPECT_GT(r.statistic, 0.5);
+  EXPECT_LE(r.statistic, 1.0);
+}
+
+TEST(CvmTest, SymmetricInArguments) {
+  const auto a = GaussianSample(80, 0.0, 1.0, 1);
+  const auto b = GaussianSample(50, 0.7, 1.5, 2);
+  const CvmResult ab = CvmTest(a, b);
+  const CvmResult ba = CvmTest(b, a);
+  EXPECT_DOUBLE_EQ(ab.statistic, ba.statistic);
+  EXPECT_DOUBLE_EQ(ab.t_statistic, ba.t_statistic);
+}
+
+TEST(CvmTest, BoundedAndSmallUnderNull) {
+  double sum = 0.0;
+  const int reps = 100;
+  for (int i = 0; i < reps; ++i) {
+    const auto a = GaussianSample(400, 0, 1, 10 + i);
+    const auto b = GaussianSample(100, 0, 1, 900 + i);
+    const double d = CvmTest(a, b).statistic;
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+    sum += d;
+  }
+  EXPECT_LT(sum / reps, 0.12);
+}
+
+TEST(CvmTest, DetectsShift) {
+  const auto a = GaussianSample(500, 0.0, 1.0, 3);
+  const auto b = GaussianSample(150, 1.5, 1.0, 4);
+  EXPECT_GT(CvmTest(a, b).statistic, 0.3);
+}
+
+TEST(CvmTest, DetectsVarianceChange) {
+  const auto a = GaussianSample(2000, 0.0, 1.0, 5);
+  const auto b = GaussianSample(500, 0.0, 3.0, 6);
+  EXPECT_GT(CvmTest(a, b).statistic, 0.15);
+}
+
+TEST(CvmTest, LessSensitiveToSingleCrossingThanKs) {
+  // The integrated statistic is bounded above by the sup statistic.
+  Rng rng(7);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto a = GaussianSample(300, 0, 1, 70 + rep);
+    const auto b = GaussianSample(80, 0.4, 1.3, 170 + rep);
+    const auto cvm = CvmTest(a, b).statistic;
+    // KS-style sup over the same merged grid is >= the L2 mean.
+    // (Property check only: cvm <= 1 and <= sup by Cauchy-Schwarz.)
+    EXPECT_LE(cvm, 1.0);
+  }
+}
+
+TEST(CvmDeviationTest, PresortedMatchesUnsorted) {
+  auto a = GaussianSample(200, 0, 1, 8);
+  const auto b = GaussianSample(60, 0.5, 1, 9);
+  CvmDeviation dev;
+  const double unsorted = dev.Deviation(a, b);
+  std::sort(a.begin(), a.end());
+  EXPECT_DOUBLE_EQ(dev.DeviationPresortedMarginal(a, b), unsorted);
+}
+
+TEST(CvmDeviationTest, DegenerateInputsZero) {
+  CvmDeviation dev;
+  const std::vector<double> a = {1.0, 2.0};
+  EXPECT_EQ(dev.Deviation(a, {}), 0.0);
+  EXPECT_EQ(dev.DeviationPresortedMarginal({}, a), 0.0);
+}
+
+TEST(CvmFactoryTest, RegisteredAsCvm) {
+  const auto test = MakeTwoSampleTest("cvm");
+  ASSERT_NE(test, nullptr);
+  EXPECT_EQ(test->name(), "cvm");
+}
+
+TEST(KsFactoryPresortedTest, KsPresortedMatchesUnsorted) {
+  // Regression for the presorted fast path shared with KS.
+  auto a = GaussianSample(300, 0, 1, 11);
+  const auto b = GaussianSample(90, 0.8, 1, 12);
+  const auto ks = MakeTwoSampleTest("ks");
+  const double unsorted = ks->Deviation(a, b);
+  std::sort(a.begin(), a.end());
+  EXPECT_DOUBLE_EQ(ks->DeviationPresortedMarginal(a, b), unsorted);
+}
+
+}  // namespace
+}  // namespace hics::stats

@@ -1,0 +1,141 @@
+#include "common/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace hics {
+namespace {
+
+TEST(DatasetTest, EmptyByDefault) {
+  Dataset ds;
+  EXPECT_EQ(ds.num_objects(), 0u);
+  EXPECT_EQ(ds.num_attributes(), 0u);
+  EXPECT_FALSE(ds.has_labels());
+}
+
+TEST(DatasetTest, ShapeConstructorZeroInitializes) {
+  Dataset ds(3, 2);
+  EXPECT_EQ(ds.num_objects(), 3u);
+  EXPECT_EQ(ds.num_attributes(), 2u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_EQ(ds.Get(i, j), 0.0);
+  }
+}
+
+TEST(DatasetTest, DefaultAttributeNames) {
+  Dataset ds(1, 3);
+  EXPECT_EQ(ds.attribute_names()[0], "a0");
+  EXPECT_EQ(ds.attribute_names()[2], "a2");
+}
+
+TEST(DatasetTest, FromColumnsRoundTrip) {
+  auto ds = Dataset::FromColumns({{1.0, 2.0}, {3.0, 4.0}});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 2u);
+  EXPECT_EQ(ds->num_attributes(), 2u);
+  EXPECT_EQ(ds->Get(0, 0), 1.0);
+  EXPECT_EQ(ds->Get(1, 1), 4.0);
+}
+
+TEST(DatasetTest, FromColumnsRejectsRagged) {
+  auto ds = Dataset::FromColumns({{1.0, 2.0}, {3.0}});
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, FromRowsRoundTrip) {
+  auto ds = Dataset::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 2u);
+  EXPECT_EQ(ds->num_attributes(), 3u);
+  EXPECT_EQ(ds->Get(1, 2), 6.0);
+  EXPECT_EQ(ds->Column(1)[0], 2.0);
+}
+
+TEST(DatasetTest, FromRowsRejectsRagged) {
+  auto ds = Dataset::FromRows({{1.0}, {2.0, 3.0}});
+  EXPECT_FALSE(ds.ok());
+}
+
+TEST(DatasetTest, FullSpaceEnumeratesAllAttributes) {
+  Dataset ds(1, 4);
+  EXPECT_EQ(ds.FullSpace(), Subspace({0, 1, 2, 3}));
+}
+
+TEST(DatasetTest, SetGetRoundTrip) {
+  Dataset ds(2, 2);
+  ds.Set(1, 0, 3.5);
+  EXPECT_EQ(ds.Get(1, 0), 3.5);
+}
+
+TEST(DatasetTest, ProjectObjectGathersSubspaceValues) {
+  auto ds = *Dataset::FromRows({{1.0, 2.0, 3.0, 4.0}});
+  std::vector<double> out;
+  ds.ProjectObject(0, Subspace({1, 3}), &out);
+  EXPECT_EQ(out, (std::vector<double>{2.0, 4.0}));
+}
+
+TEST(DatasetTest, ProjectSubspaceKeepsLabelsAndNames) {
+  auto ds = *Dataset::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  ASSERT_TRUE(ds.SetAttributeNames({"x", "y", "z"}).ok());
+  ASSERT_TRUE(ds.SetLabels({true, false}).ok());
+  Dataset projected = ds.ProjectSubspace(Subspace({0, 2}));
+  EXPECT_EQ(projected.num_attributes(), 2u);
+  EXPECT_EQ(projected.attribute_names()[1], "z");
+  EXPECT_EQ(projected.Get(1, 1), 6.0);
+  ASSERT_TRUE(projected.has_labels());
+  EXPECT_TRUE(projected.labels()[0]);
+}
+
+TEST(DatasetTest, SetLabelsValidatesSize) {
+  Dataset ds(3, 1);
+  EXPECT_FALSE(ds.SetLabels({true}).ok());
+  EXPECT_TRUE(ds.SetLabels({true, false, true}).ok());
+  EXPECT_EQ(ds.CountOutliers(), 2u);
+}
+
+TEST(DatasetTest, SetAttributeNamesValidatesSize) {
+  Dataset ds(1, 2);
+  EXPECT_FALSE(ds.SetAttributeNames({"only-one"}).ok());
+  EXPECT_TRUE(ds.SetAttributeNames({"u", "v"}).ok());
+}
+
+TEST(DatasetTest, AppendRowGrowsDataset) {
+  Dataset ds(0, 2);
+  ds.AppendRow({1.0, 2.0});
+  ds.AppendRow({3.0, 4.0}, /*label=*/true);
+  EXPECT_EQ(ds.num_objects(), 2u);
+  EXPECT_EQ(ds.Get(1, 1), 4.0);
+  ASSERT_TRUE(ds.has_labels());
+  EXPECT_FALSE(ds.labels()[0]);
+  EXPECT_TRUE(ds.labels()[1]);
+}
+
+TEST(DatasetTest, NormalizeMinMaxMapsToUnitInterval) {
+  auto ds = *Dataset::FromColumns({{2.0, 4.0, 6.0}, {5.0, 5.0, 5.0}});
+  ds.NormalizeMinMax();
+  EXPECT_DOUBLE_EQ(ds.Get(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ds.Get(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.Get(2, 0), 1.0);
+  // Constant column maps to 0 rather than dividing by zero.
+  EXPECT_DOUBLE_EQ(ds.Get(0, 1), 0.0);
+}
+
+TEST(DatasetTest, StandardizeCentersAndScales) {
+  auto ds = *Dataset::FromColumns({{1.0, 2.0, 3.0, 4.0}});
+  ds.Standardize();
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sum += ds.Get(i, 0);
+    sum_sq += ds.Get(i, 0) * ds.Get(i, 0);
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_NEAR(sum_sq / 4.0, 1.0, 1e-12);
+}
+
+TEST(DatasetDeathTest, ProjectSubspaceOutOfRangeAborts) {
+  Dataset ds(1, 2);
+  EXPECT_DEATH(ds.ProjectSubspace(Subspace({5})), "");
+}
+
+}  // namespace
+}  // namespace hics

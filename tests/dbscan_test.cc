@@ -1,0 +1,122 @@
+#include "cluster/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hics {
+namespace {
+
+/// Two tight blobs of 20 points each plus 3 isolated noise points.
+Dataset TwoBlobsWithNoise(std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(43, 2);
+  for (std::size_t i = 0; i < 20; ++i) {
+    ds.Set(i, 0, 0.2 + rng.Gaussian(0.0, 0.01));
+    ds.Set(i, 1, 0.2 + rng.Gaussian(0.0, 0.01));
+  }
+  for (std::size_t i = 20; i < 40; ++i) {
+    ds.Set(i, 0, 0.8 + rng.Gaussian(0.0, 0.01));
+    ds.Set(i, 1, 0.8 + rng.Gaussian(0.0, 0.01));
+  }
+  ds.Set(40, 0, 0.5);
+  ds.Set(40, 1, 0.5);
+  ds.Set(41, 0, 0.05);
+  ds.Set(41, 1, 0.95);
+  ds.Set(42, 0, 0.95);
+  ds.Set(42, 1, 0.05);
+  return ds;
+}
+
+TEST(DbscanTest, FindsTwoClustersAndNoise) {
+  Dataset ds = TwoBlobsWithNoise(1);
+  DbscanParams params{.eps = 0.08, .min_pts = 5};
+  const DbscanResult result = Dbscan(ds, Subspace({0, 1}), params);
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_EQ(result.CountNoise(), 3u);
+  // All blob-1 members share a cluster id distinct from blob 2.
+  const int c0 = result.cluster_of[0];
+  const int c1 = result.cluster_of[20];
+  EXPECT_NE(c0, DbscanResult::kNoise);
+  EXPECT_NE(c1, DbscanResult::kNoise);
+  EXPECT_NE(c0, c1);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(result.cluster_of[i], c0);
+  for (std::size_t i = 20; i < 40; ++i) EXPECT_EQ(result.cluster_of[i], c1);
+  for (std::size_t i = 40; i < 43; ++i) {
+    EXPECT_EQ(result.cluster_of[i], DbscanResult::kNoise);
+  }
+}
+
+TEST(DbscanTest, CoreObjectsAreDense) {
+  Dataset ds = TwoBlobsWithNoise(2);
+  DbscanParams params{.eps = 0.08, .min_pts = 5};
+  const DbscanResult result = Dbscan(ds, Subspace({0, 1}), params);
+  EXPECT_EQ(result.CountCoreObjects(), 40u);
+  for (std::size_t i = 40; i < 43; ++i) EXPECT_FALSE(result.is_core[i]);
+}
+
+TEST(DbscanTest, CountCoreObjectsMatchesFullRun) {
+  Dataset ds = TwoBlobsWithNoise(3);
+  DbscanParams params{.eps = 0.08, .min_pts = 5};
+  const DbscanResult full = Dbscan(ds, Subspace({0, 1}), params);
+  EXPECT_EQ(CountCoreObjects(ds, Subspace({0, 1}), params),
+            full.CountCoreObjects());
+}
+
+TEST(DbscanTest, EverythingNoiseWithTinyEps) {
+  Dataset ds = TwoBlobsWithNoise(4);
+  DbscanParams params{.eps = 1e-9, .min_pts = 3};
+  const DbscanResult result = Dbscan(ds, Subspace({0, 1}), params);
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_EQ(result.CountNoise(), ds.num_objects());
+}
+
+TEST(DbscanTest, SingleClusterWithHugeEps) {
+  Dataset ds = TwoBlobsWithNoise(5);
+  DbscanParams params{.eps = 10.0, .min_pts = 3};
+  const DbscanResult result = Dbscan(ds, Subspace({0, 1}), params);
+  EXPECT_EQ(result.num_clusters, 1);
+  EXPECT_EQ(result.CountNoise(), 0u);
+}
+
+TEST(DbscanTest, SubspaceRestriction) {
+  // In attribute 0 alone, all objects form one dense 1-D cluster around
+  // two values; with eps spanning the gap they merge.
+  Rng rng(6);
+  Dataset ds(30, 2);
+  for (std::size_t i = 0; i < 30; ++i) {
+    ds.Set(i, 0, 0.5 + rng.Gaussian(0.0, 0.01));
+    ds.Set(i, 1, rng.UniformDouble() * 100.0);  // scattered in attr 1
+  }
+  DbscanParams params{.eps = 0.05, .min_pts = 4};
+  const DbscanResult sub = Dbscan(ds, Subspace({0}), params);
+  EXPECT_EQ(sub.num_clusters, 1);
+  EXPECT_EQ(sub.CountNoise(), 0u);
+  const DbscanResult full = Dbscan(ds, Subspace({0, 1}), params);
+  EXPECT_EQ(full.num_clusters, 0);  // attr 1 scatter destroys density
+}
+
+TEST(DbscanTest, EmptyDataset) {
+  Dataset ds(0, 2);
+  // Subspace must be non-empty but the dataset may be.
+  const DbscanResult result =
+      Dbscan(ds, Subspace({0, 1}), DbscanParams{.eps = 0.1, .min_pts = 2});
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_TRUE(result.cluster_of.empty());
+}
+
+TEST(DbscanTest, BorderObjectsJoinClusters) {
+  // A chain: dense core plus one border point within eps of a core object
+  // but itself not core.
+  Dataset ds(7, 1);
+  for (std::size_t i = 0; i < 6; ++i) ds.Set(i, 0, 0.01 * (double)i);
+  ds.Set(6, 0, 0.10);  // within eps of objects 4 and 5 only
+  DbscanParams params{.eps = 0.06, .min_pts = 4};
+  const DbscanResult result = Dbscan(ds, Subspace({0}), params);
+  EXPECT_EQ(result.num_clusters, 1);
+  EXPECT_NE(result.cluster_of[6], DbscanResult::kNoise);
+  EXPECT_FALSE(result.is_core[6]);
+}
+
+}  // namespace
+}  // namespace hics

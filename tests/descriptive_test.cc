@@ -1,0 +1,128 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hics::stats {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> values = {1.0, 2.5, -3.0, 7.25, 0.0};
+  RunningStats s;
+  for (double v : values) s.Add(v);
+  EXPECT_NEAR(s.mean(), Mean(values), 1e-12);
+  EXPECT_NEAR(s.variance(), SampleVariance(values), 1e-12);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 7.25);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (double v : {1.0, 2.0, 3.0}) s.Add(offset + v);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian(3.0, 2.0);
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(MeanTest, BasicAndEmpty) {
+  EXPECT_EQ(Mean({}), 0.0);
+  const std::vector<double> v = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 4.0);
+}
+
+TEST(SampleVarianceTest, KnownValue) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance 4 -> sample variance 4 * 8/7.
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleVarianceTest, DegenerateSizes) {
+  EXPECT_EQ(SampleVariance({}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(SampleVariance(one), 0.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, UnsortedInput) {
+  const std::vector<double> v = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Median(v), 5.0);
+}
+
+TEST(AverageRanksTest, DistinctValues) {
+  const std::vector<double> v = {30.0, 10.0, 20.0};
+  const auto ranks = AverageRanks(v);
+  EXPECT_EQ(ranks, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(AverageRanksTest, TiesGetAverageRank) {
+  const std::vector<double> v = {1.0, 2.0, 2.0, 3.0};
+  const auto ranks = AverageRanks(v);
+  EXPECT_EQ(ranks, (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(AverageRanksTest, AllEqual) {
+  const std::vector<double> v = {7.0, 7.0, 7.0};
+  const auto ranks = AverageRanks(v);
+  EXPECT_EQ(ranks, (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace hics::stats

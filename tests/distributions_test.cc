@@ -1,0 +1,123 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hics::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447461, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.1586552539, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-8);
+  EXPECT_NEAR(NormalCdf(-3.0), 0.0013498980, 1e-9);
+}
+
+TEST(StudentTCdfTest, SymmetryAroundZero) {
+  for (double dof : {1.0, 3.5, 10.0, 100.0}) {
+    for (double t : {0.5, 1.3, 2.7}) {
+      EXPECT_NEAR(StudentTCdf(t, dof) + StudentTCdf(-t, dof), 1.0, 1e-10);
+    }
+  }
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+}
+
+TEST(StudentTCdfTest, OneDegreeOfFreedomIsCauchy) {
+  // For dof=1, CDF(t) = 0.5 + atan(t)/pi.
+  for (double t : {-2.0, -0.5, 0.0, 1.0, 3.0}) {
+    EXPECT_NEAR(StudentTCdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-10)
+        << "t=" << t;
+  }
+}
+
+TEST(StudentTCdfTest, KnownQuantiles) {
+  // Classic t-table values: P(T <= q) = 0.975.
+  EXPECT_NEAR(StudentTCdf(12.706, 1.0), 0.975, 1e-4);
+  EXPECT_NEAR(StudentTCdf(2.228, 10.0), 0.975, 1e-4);
+  EXPECT_NEAR(StudentTCdf(2.042, 30.0), 0.975, 2e-4);
+}
+
+TEST(StudentTCdfTest, LargeDofApproachesNormal) {
+  for (double t : {-1.5, 0.7, 2.0}) {
+    EXPECT_NEAR(StudentTCdf(t, 1e6), NormalCdf(t), 1e-5);
+  }
+}
+
+TEST(StudentTCdfTest, InfinityHandled) {
+  EXPECT_EQ(StudentTCdf(INFINITY, 5.0), 1.0);
+  EXPECT_EQ(StudentTCdf(-INFINITY, 5.0), 0.0);
+}
+
+TEST(StudentTTwoTailedTest, MatchesCdf) {
+  for (double dof : {2.0, 8.0, 25.0}) {
+    for (double t : {0.3, 1.1, 2.9}) {
+      const double p = StudentTTwoTailedPValue(t, dof);
+      EXPECT_NEAR(p, 2.0 * (1.0 - StudentTCdf(t, dof)), 1e-10);
+      // Symmetric in the sign of t.
+      EXPECT_NEAR(p, StudentTTwoTailedPValue(-t, dof), 1e-12);
+    }
+  }
+}
+
+TEST(StudentTTwoTailedTest, ZeroStatisticGivesPValueOne) {
+  EXPECT_NEAR(StudentTTwoTailedPValue(0.0, 7.0), 1.0, 1e-12);
+}
+
+TEST(ChiSquaredCdfTest, KnownValues) {
+  // chi2 with 2 dof is Exponential(1/2): CDF(x) = 1 - exp(-x/2).
+  for (double x : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(ChiSquaredCdf(x, 2.0), 1.0 - std::exp(-x / 2.0), 1e-10);
+  }
+  // Median of chi2(1) ~ 0.4549.
+  EXPECT_NEAR(ChiSquaredCdf(0.4549364, 1.0), 0.5, 1e-5);
+  // 95th percentile of chi2(10) ~ 18.307.
+  EXPECT_NEAR(ChiSquaredCdf(18.307, 10.0), 0.95, 1e-4);
+}
+
+TEST(ChiSquaredCdfTest, NonPositiveIsZero) {
+  EXPECT_EQ(ChiSquaredCdf(0.0, 3.0), 0.0);
+  EXPECT_EQ(ChiSquaredCdf(-1.0, 3.0), 0.0);
+}
+
+TEST(ChiSquaredCdfTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 30.0; x += 0.5) {
+    const double v = ChiSquaredCdf(x, 5.0);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-3);
+}
+
+TEST(KolmogorovTest, BoundaryBehaviour) {
+  EXPECT_EQ(KolmogorovPValue(0.0), 1.0);
+  EXPECT_NEAR(KolmogorovPValue(10.0), 0.0, 1e-12);
+}
+
+TEST(KolmogorovTest, KnownValues) {
+  // Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(KolmogorovPValue(1.36), 0.049, 2e-3);
+  // Q(1.22) ~ 0.10.
+  EXPECT_NEAR(KolmogorovPValue(1.22), 0.10, 3e-3);
+}
+
+TEST(KolmogorovTest, MonotoneDecreasing) {
+  double prev = 2.0;
+  for (double lambda = 0.1; lambda < 3.0; lambda += 0.1) {
+    const double q = KolmogorovPValue(lambda);
+    EXPECT_LE(q, prev + 1e-12);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+    prev = q;
+  }
+}
+
+TEST(DistributionsDeathTest, RejectsBadDof) {
+  EXPECT_DEATH(StudentTCdf(1.0, 0.0), "");
+  EXPECT_DEATH(ChiSquaredCdf(1.0, -1.0), "");
+}
+
+}  // namespace
+}  // namespace hics::stats

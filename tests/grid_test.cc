@@ -1,0 +1,108 @@
+#include "cluster/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+
+namespace hics {
+namespace {
+
+TEST(SubspaceGridTest, CountsCellsSparsely) {
+  auto ds = *Dataset::FromRows({{0.05, 0.05}, {0.06, 0.04}, {0.95, 0.95}});
+  SubspaceGrid grid(ds, Subspace({0, 1}), 10);
+  EXPECT_EQ(grid.total_objects(), 3u);
+  EXPECT_EQ(grid.num_nonempty_cells(), 2u);
+  auto counts = grid.NonEmptyCellCounts();
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(SubspaceGridTest, ConstantAttributeSingleCell) {
+  auto ds = *Dataset::FromColumns({{1.0, 1.0, 1.0}});
+  SubspaceGrid grid(ds, Subspace({0}), 8);
+  EXPECT_EQ(grid.num_nonempty_cells(), 1u);
+  EXPECT_EQ(grid.Entropy(), 0.0);
+}
+
+TEST(SubspaceGridTest, UniformDataHighEntropy) {
+  Rng rng(8);
+  Dataset ds(20000, 2);
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    ds.Set(i, 0, rng.UniformDouble());
+    ds.Set(i, 1, rng.UniformDouble());
+  }
+  SubspaceGrid grid(ds, Subspace({0, 1}), 10);
+  // 100 cells, uniform -> entropy near log(100).
+  EXPECT_NEAR(grid.Entropy(), std::log(100.0), 0.05);
+}
+
+TEST(SubspaceGridTest, ClusteredDataLowEntropy) {
+  Rng rng(9);
+  Dataset ds(2000, 2);
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    const double c = rng.Bernoulli(0.5) ? 0.25 : 0.75;
+    ds.Set(i, 0, c + rng.Gaussian(0.0, 0.02));
+    ds.Set(i, 1, c + rng.Gaussian(0.0, 0.02));
+  }
+  SubspaceGrid clustered(ds, Subspace({0, 1}), 10);
+  EXPECT_LT(clustered.Entropy(), std::log(8.0));
+}
+
+TEST(SubspaceGridTest, CoverageThreshold) {
+  auto ds = *Dataset::FromRows(
+      {{0.05}, {0.06}, {0.07}, {0.5}, {0.95}});
+  SubspaceGrid grid(ds, Subspace({0}), 10);
+  // Cells: {3 objects}, {1}, {1}. Dense threshold 2 -> coverage 3/5.
+  EXPECT_DOUBLE_EQ(grid.Coverage(2), 0.6);
+  EXPECT_DOUBLE_EQ(grid.Coverage(1), 1.0);
+  EXPECT_DOUBLE_EQ(grid.Coverage(4), 0.0);
+}
+
+TEST(GridInterestTest, IndependentAttributesNearZero) {
+  Rng rng(10);
+  Dataset ds(20000, 2);
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    ds.Set(i, 0, rng.UniformDouble());
+    ds.Set(i, 1, rng.UniformDouble());
+  }
+  EXPECT_NEAR(GridInterest(ds, Subspace({0, 1}), 8), 0.0, 0.05);
+}
+
+TEST(GridInterestTest, PerfectDependenceHasHighInterest) {
+  Rng rng(11);
+  Dataset ds(5000, 2);
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    const double v = rng.UniformDouble();
+    ds.Set(i, 0, v);
+    ds.Set(i, 1, v);  // y == x: joint entropy equals marginal entropy
+  }
+  // interest = H(x) + H(y) - H(x,y) ~ H(x) ~ log(8).
+  EXPECT_NEAR(GridInterest(ds, Subspace({0, 1}), 8), std::log(8.0), 0.1);
+}
+
+TEST(GridInterestTest, XorCubeInterestOnlyInThreeDims) {
+  // Fig. 3 counterexample: 2-D projections uniform (interest ~ 0), the
+  // 3-D space correlated (interest >> 0).
+  Dataset ds = MakeXorCube(8000, 12);
+  const std::size_t bins = 4;
+  const double i01 = GridInterest(ds, Subspace({0, 1}), bins);
+  const double i02 = GridInterest(ds, Subspace({0, 2}), bins);
+  const double i12 = GridInterest(ds, Subspace({1, 2}), bins);
+  const double i012 = GridInterest(ds, Subspace({0, 1, 2}), bins);
+  EXPECT_LT(i01, 0.08);
+  EXPECT_LT(i02, 0.08);
+  EXPECT_LT(i12, 0.08);
+  EXPECT_GT(i012, 0.4);
+}
+
+TEST(SubspaceGridDeathTest, InvalidArguments) {
+  auto ds = *Dataset::FromColumns({{1.0}});
+  EXPECT_DEATH(SubspaceGrid(ds, Subspace({0}), 0), "");
+  EXPECT_DEATH(SubspaceGrid(ds, Subspace(), 4), "");
+}
+
+}  // namespace
+}  // namespace hics

@@ -1,0 +1,91 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hics::stats {
+namespace {
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.BinOf(-1.0), 0u);   // clamped
+  EXPECT_EQ(h.BinOf(0.0), 0u);
+  EXPECT_EQ(h.BinOf(1.9), 0u);
+  EXPECT_EQ(h.BinOf(2.0), 1u);
+  EXPECT_EQ(h.BinOf(9.99), 4u);
+  EXPECT_EQ(h.BinOf(10.0), 4u);   // upper boundary into last bin
+  EXPECT_EQ(h.BinOf(42.0), 4u);   // clamped
+}
+
+TEST(HistogramTest, CountsAndTotal) {
+  Histogram h(0.0, 1.0, 2);
+  h.AddAll(std::vector<double>{0.1, 0.2, 0.9});
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(HistogramTest, Probabilities) {
+  Histogram h(0.0, 1.0, 2);
+  h.AddAll(std::vector<double>{0.1, 0.2, 0.9, 0.8});
+  const auto p = h.Probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+}
+
+TEST(HistogramTest, EmptyHistogramZeroEntropy) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.Entropy(), 0.0);
+  const auto p = h.Probabilities();
+  for (double v : p) EXPECT_EQ(v, 0.0);
+}
+
+TEST(HistogramTest, UniformMaximizesEntropy) {
+  Histogram uniform(0.0, 1.0, 4);
+  for (double x : {0.1, 0.3, 0.6, 0.9}) uniform.Add(x);
+  EXPECT_NEAR(uniform.Entropy(), std::log(4.0), 1e-12);
+
+  Histogram concentrated(0.0, 1.0, 4);
+  for (int i = 0; i < 4; ++i) concentrated.Add(0.1);
+  EXPECT_EQ(concentrated.Entropy(), 0.0);
+}
+
+TEST(ShannonEntropyTest, KnownValues) {
+  EXPECT_EQ(ShannonEntropy(std::vector<double>{1.0}), 0.0);
+  EXPECT_NEAR(ShannonEntropy(std::vector<double>{0.5, 0.5}), std::log(2.0),
+              1e-12);
+  // Unnormalized weights are normalized internally.
+  EXPECT_NEAR(ShannonEntropy(std::vector<double>{2.0, 2.0}), std::log(2.0),
+              1e-12);
+  // Zero weights ignored.
+  EXPECT_NEAR(ShannonEntropy(std::vector<double>{0.0, 1.0, 1.0, 0.0}),
+              std::log(2.0), 1e-12);
+}
+
+TEST(ShannonEntropyTest, EmptyAndZeroTotal) {
+  EXPECT_EQ(ShannonEntropy({}), 0.0);
+  EXPECT_EQ(ShannonEntropy(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(ShannonEntropyDeathTest, NegativeWeightAborts) {
+  EXPECT_DEATH(ShannonEntropy(std::vector<double>{0.5, -0.5}), "");
+}
+
+TEST(HistogramDeathTest, InvalidConstruction) {
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "");
+  EXPECT_DEATH(Histogram(1.0, 1.0, 3), "");
+}
+
+TEST(HistogramTest, LawOfLargeNumbersUniform) {
+  Rng rng(12);
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.UniformDouble());
+  for (const double p : h.Probabilities()) EXPECT_NEAR(p, 0.1, 0.01);
+  EXPECT_NEAR(h.Entropy(), std::log(10.0), 0.01);
+}
+
+}  // namespace
+}  // namespace hics::stats

@@ -1,0 +1,74 @@
+#include "outlier/knn_outlier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hics {
+namespace {
+
+Dataset LineWithGap() {
+  // Points at 0.0 .. 0.9 step 0.1 plus an isolated point at 5.0.
+  Dataset ds(11, 1);
+  for (std::size_t i = 0; i < 10; ++i) ds.Set(i, 0, 0.1 * (double)i);
+  ds.Set(10, 0, 5.0);
+  return ds;
+}
+
+TEST(KnnDistanceTest, IsolatedPointHasLargestKDistance) {
+  Dataset ds = LineWithGap();
+  KnnDistanceScorer scorer(2);
+  const auto scores = scorer.ScoreFullSpace(ds);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_GT(scores[10], scores[i]);
+  // Exact value: 2nd NN of 5.0 is 0.8 -> distance 4.2.
+  EXPECT_NEAR(scores[10], 4.2, 1e-12);
+}
+
+TEST(KnnDistanceTest, InteriorPointExactValue) {
+  Dataset ds = LineWithGap();
+  KnnDistanceScorer scorer(2);
+  const auto scores = scorer.ScoreFullSpace(ds);
+  // Object 5 at 0.5: neighbors 0.4/0.6 at 0.1, 2nd NN distance 0.1.
+  EXPECT_NEAR(scores[5], 0.1, 1e-12);
+}
+
+TEST(KnnAverageTest, AveragesNeighborDistances) {
+  Dataset ds = LineWithGap();
+  KnnAverageScorer scorer(2);
+  const auto scores = scorer.ScoreFullSpace(ds);
+  // Object 5: distances 0.1 and 0.1 -> mean 0.1.
+  EXPECT_NEAR(scores[5], 0.1, 1e-12);
+  // Object 10: distances 4.1 and 4.2 -> mean 4.15.
+  EXPECT_NEAR(scores[10], 4.15, 1e-12);
+}
+
+TEST(KnnScorersTest, TinyDatasetsSafe) {
+  Dataset empty(0, 1);
+  Dataset one(1, 1);
+  KnnDistanceScorer kdist(3);
+  KnnAverageScorer kavg(3);
+  EXPECT_TRUE(kdist.ScoreFullSpace(empty).empty());
+  EXPECT_EQ(kdist.ScoreFullSpace(one)[0], 0.0);
+  EXPECT_EQ(kavg.ScoreFullSpace(one)[0], 0.0);
+}
+
+TEST(KnnScorersTest, SubspaceRestriction) {
+  Rng rng(3);
+  Dataset ds(60, 2);
+  for (std::size_t i = 0; i < 60; ++i) {
+    ds.Set(i, 0, rng.Gaussian(0.5, 0.01));
+    ds.Set(i, 1, rng.UniformDouble() * 10.0);
+  }
+  ds.Set(59, 0, 2.0);  // outlier in attr 0 only
+  KnnDistanceScorer scorer(5);
+  const auto sub = scorer.ScoreSubspace(ds, Subspace({0}));
+  for (std::size_t i = 0; i < 59; ++i) EXPECT_GT(sub[59], sub[i]);
+}
+
+TEST(KnnScorersTest, Names) {
+  EXPECT_EQ(KnnDistanceScorer().name(), "knn-dist");
+  EXPECT_EQ(KnnAverageScorer().name(), "knn-avg");
+}
+
+}  // namespace
+}  // namespace hics

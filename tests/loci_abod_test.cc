@@ -1,0 +1,136 @@
+// Tests for the LOCI and FastABOD scorers -- the LOF-family alternatives
+// cited by the paper ([25], [19]) and provided as additional pluggable
+// instantiations of the ranking step.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/random.h"
+#include "outlier/abod.h"
+#include "outlier/loci.h"
+
+namespace hics {
+namespace {
+
+/// Dense blob of n-1 points plus one clearly separated point (last id).
+Dataset BlobWithOutlier(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(n, 2);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    ds.Set(i, 0, rng.Gaussian(0.5, 0.03));
+    ds.Set(i, 1, rng.Gaussian(0.5, 0.03));
+  }
+  ds.Set(n - 1, 0, 1.2);
+  ds.Set(n - 1, 1, 1.2);
+  return ds;
+}
+
+// ---------------------------------------------------------------- LOCI --
+
+TEST(LociTest, IsolatedPointScoresHighest) {
+  const Dataset ds = BlobWithOutlier(250, 1);
+  LociScorer loci({.num_radii = 8, .min_neighbors = 10});
+  const auto scores = loci.ScoreFullSpace(ds);
+  for (std::size_t i = 0; i + 1 < scores.size(); ++i) {
+    EXPECT_GE(scores.back(), scores[i]);
+  }
+  // The paper's rule of thumb flags normalized MDEF > 3.
+  EXPECT_GT(scores.back(), 3.0);
+}
+
+TEST(LociTest, UniformDataStaysBelowThreshold) {
+  Rng rng(2);
+  Dataset ds(300, 2);
+  for (std::size_t i = 0; i < 300; ++i) {
+    ds.Set(i, 0, rng.UniformDouble());
+    ds.Set(i, 1, rng.UniformDouble());
+  }
+  LociScorer loci({.num_radii = 8, .min_neighbors = 15});
+  const auto scores = loci.ScoreFullSpace(ds);
+  std::size_t above = 0;
+  for (double s : scores) {
+    if (s > 3.0) ++above;
+  }
+  // A few boundary artifacts are fine; most objects stay below 3-sigma.
+  EXPECT_LT(above, 10u);
+}
+
+TEST(LociTest, TinyDatasetSafe) {
+  Dataset ds(2, 2);
+  LociScorer loci;
+  const auto scores = loci.ScoreFullSpace(ds);
+  ASSERT_EQ(scores.size(), 2u);
+  for (double s : scores) EXPECT_EQ(s, 0.0);
+}
+
+TEST(LociTest, SubspaceRestriction) {
+  Rng rng(3);
+  Dataset ds(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    ds.Set(i, 0, rng.Gaussian(0.5, 0.02));
+    ds.Set(i, 1, rng.UniformDouble() * 50.0);
+  }
+  ds.Set(150, 0, 2.0);
+  LociScorer loci({.num_radii = 8, .min_neighbors = 10});
+  const auto scores = loci.ScoreSubspace(ds, Subspace({0}));
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (i != 150) EXPECT_GE(scores[150], scores[i]);
+  }
+}
+
+// ---------------------------------------------------------------- ABOD --
+
+TEST(AbodTest, IsolatedPointScoresHighest) {
+  const Dataset ds = BlobWithOutlier(200, 4);
+  AbodScorer abod({.k = 20});
+  const auto scores = abod.ScoreFullSpace(ds);
+  for (std::size_t i = 0; i + 1 < scores.size(); ++i) {
+    EXPECT_GT(scores.back(), scores[i]);
+  }
+}
+
+TEST(AbodTest, ScoresAreNegatedVariance) {
+  const Dataset ds = BlobWithOutlier(100, 5);
+  AbodScorer abod({.k = 10});
+  for (double s : abod.ScoreFullSpace(ds)) EXPECT_LE(s, 0.0);
+}
+
+TEST(AbodTest, DuplicateHeavyDataSafe) {
+  Dataset ds(60, 2);  // all identical points
+  AbodScorer abod({.k = 5});
+  const auto scores = abod.ScoreFullSpace(ds);
+  ASSERT_EQ(scores.size(), 60u);
+  for (double s : scores) EXPECT_EQ(s, 0.0);
+}
+
+TEST(AbodTest, TinyDatasetSafe) {
+  Dataset ds = *Dataset::FromRows({{0.0, 0.0}, {1.0, 1.0}});
+  AbodScorer abod;
+  const auto scores = abod.ScoreFullSpace(ds);
+  ASSERT_EQ(scores.size(), 2u);
+}
+
+TEST(AbodTest, TranslationInvariant) {
+  // ABOF is built from difference vectors only, so translating the whole
+  // dataset must not change any score.
+  const Dataset ds = BlobWithOutlier(120, 6);
+  Dataset shifted = ds;
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      shifted.Set(i, j, ds.Get(i, j) + 42.0);
+    }
+  }
+  AbodScorer abod({.k = 12});
+  const auto a = abod.ScoreFullSpace(ds);
+  const auto b = abod.ScoreFullSpace(shifted);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Relative tolerance: raw ABOF magnitudes blow up as 1/d^4 for tight
+    // blobs, so only relative agreement is meaningful.
+    EXPECT_NEAR(a[i], b[i], 1e-6 * std::max(1.0, std::fabs(a[i])));
+  }
+}
+
+}  // namespace
+}  // namespace hics

@@ -1,0 +1,140 @@
+#include "outlier/lof.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace hics {
+namespace {
+
+/// A dense Gaussian blob plus one far-away point (the last object).
+Dataset BlobWithOutlier(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(n, 2);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    ds.Set(i, 0, rng.Gaussian(0.5, 0.02));
+    ds.Set(i, 1, rng.Gaussian(0.5, 0.02));
+  }
+  ds.Set(n - 1, 0, 0.95);
+  ds.Set(n - 1, 1, 0.95);
+  return ds;
+}
+
+TEST(LofTest, UniformDataScoresNearOne) {
+  Rng rng(1);
+  Dataset ds(400, 2);
+  for (std::size_t i = 0; i < 400; ++i) {
+    ds.Set(i, 0, rng.UniformDouble());
+    ds.Set(i, 1, rng.UniformDouble());
+  }
+  LofScorer lof({.min_pts = 15});
+  const auto scores = lof.ScoreFullSpace(ds);
+  // Interior points of uniform data have LOF ~ 1; allow boundary effects.
+  std::size_t near_one = 0;
+  for (double s : scores) {
+    EXPECT_GT(s, 0.5);
+    if (s < 1.3) ++near_one;
+  }
+  EXPECT_GT(near_one, 350u);
+}
+
+TEST(LofTest, IsolatedPointGetsTopScore) {
+  Dataset ds = BlobWithOutlier(200, 2);
+  LofScorer lof({.min_pts = 10});
+  const auto scores = lof.ScoreFullSpace(ds);
+  const std::size_t outlier = 199;
+  for (std::size_t i = 0; i < 199; ++i) {
+    EXPECT_GT(scores[outlier], scores[i]);
+  }
+  EXPECT_GT(scores[outlier], 2.0);
+}
+
+TEST(LofTest, KdTreeBackendMatchesBruteForce) {
+  Dataset ds = BlobWithOutlier(300, 3);
+  LofScorer brute({.min_pts = 12, .use_kd_tree = false});
+  LofScorer kd({.min_pts = 12, .use_kd_tree = true});
+  const auto s1 = brute.ScoreFullSpace(ds);
+  const auto s2 = kd.ScoreFullSpace(ds);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_NEAR(s1[i], s2[i], 1e-9) << "object " << i;
+  }
+}
+
+TEST(LofTest, SubspaceRestrictionChangesResult) {
+  // Outlier only in attribute 1; attribute 0 is identical for everyone.
+  Rng rng(4);
+  Dataset ds(150, 2);
+  for (std::size_t i = 0; i < 150; ++i) {
+    ds.Set(i, 0, rng.Gaussian(0.5, 0.05));
+    ds.Set(i, 1, rng.Gaussian(0.5, 0.02));
+  }
+  ds.Set(149, 1, 2.0);  // deviates in attr 1 only
+  LofScorer lof({.min_pts = 10});
+  const auto scores_attr1 = lof.ScoreSubspace(ds, Subspace({1}));
+  const auto scores_attr0 = lof.ScoreSubspace(ds, Subspace({0}));
+  const auto max0 =
+      *std::max_element(scores_attr0.begin(), scores_attr0.end());
+  EXPECT_GT(scores_attr1[149], 3.0);
+  EXPECT_GT(scores_attr1[149], max0);
+}
+
+TEST(LofTest, DuplicatePointsScoreOne) {
+  Dataset ds(50, 2);  // fifty identical zero points
+  LofScorer lof({.min_pts = 5});
+  const auto scores = lof.ScoreFullSpace(ds);
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(LofTest, EmptyAndTinyDatasets) {
+  Dataset empty(0, 2);
+  LofScorer lof({.min_pts = 5});
+  EXPECT_TRUE(lof.ScoreFullSpace(empty).empty());
+
+  Dataset one(1, 2);
+  const auto s1 = lof.ScoreFullSpace(one);
+  ASSERT_EQ(s1.size(), 1u);
+  EXPECT_DOUBLE_EQ(s1[0], 1.0);
+
+  Dataset two = *Dataset::FromRows({{0.0, 0.0}, {1.0, 1.0}});
+  const auto s2 = lof.ScoreFullSpace(two);
+  ASSERT_EQ(s2.size(), 2u);
+  // Two points are each other's neighborhood: LOF 1.
+  EXPECT_DOUBLE_EQ(s2[0], 1.0);
+  EXPECT_DOUBLE_EQ(s2[1], 1.0);
+}
+
+TEST(LofTest, MinPtsClampedToDatasetSize) {
+  Dataset ds = BlobWithOutlier(8, 5);
+  LofScorer lof({.min_pts = 100});
+  const auto scores = lof.ScoreFullSpace(ds);
+  EXPECT_EQ(scores.size(), 8u);
+  for (double s : scores) EXPECT_GT(s, 0.0);
+}
+
+TEST(LofTest, ScoreIsScaleInvariant) {
+  // LOF is a ratio of densities, so uniform scaling of the data must not
+  // change the scores.
+  Dataset ds = BlobWithOutlier(120, 6);
+  Dataset scaled = ds;
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      scaled.Set(i, j, 1000.0 * ds.Get(i, j));
+    }
+  }
+  LofScorer lof({.min_pts = 10});
+  const auto s1 = lof.ScoreFullSpace(ds);
+  const auto s2 = lof.ScoreFullSpace(scaled);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_NEAR(s1[i], s2[i], 1e-9);
+  }
+}
+
+TEST(LofTest, NameIsLof) {
+  EXPECT_EQ(LofScorer().name(), "lof");
+}
+
+}  // namespace
+}  // namespace hics

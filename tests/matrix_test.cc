@@ -1,0 +1,126 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hics {
+namespace {
+
+TEST(MatrixTest, IdentityDiagonal) {
+  Matrix m = Matrix::Identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(m(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeSwapsIndices) {
+  Matrix m(2, 3);
+  m(0, 1) = 5.0;
+  m(1, 2) = 7.0;
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(1, 0), 5.0);
+  EXPECT_EQ(t(2, 1), 7.0);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.5;
+  a(0, 1) = -2.0;
+  a(1, 0) = 0.25;
+  a(1, 1) = 9.0;
+  Matrix c = a * Matrix::Identity(2);
+  EXPECT_EQ(Matrix::MaxAbsDiff(a, c), 0.0);
+}
+
+TEST(JacobiTest, DiagonalMatrixEigenvaluesSortedDescending) {
+  Matrix m(3, 3);
+  m(0, 0) = 1.0;
+  m(1, 1) = 5.0;
+  m(2, 2) = 3.0;
+  std::vector<double> values;
+  Matrix vectors;
+  JacobiEigenSymmetric(m, &values, &vectors);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_NEAR(values[0], 5.0, 1e-10);
+  EXPECT_NEAR(values[1], 3.0, 1e-10);
+  EXPECT_NEAR(values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1), (1,-1).
+  Matrix m(2, 2);
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  std::vector<double> values;
+  Matrix vectors;
+  JacobiEigenSymmetric(m, &values, &vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  // First eigenvector proportional to (1,1).
+  EXPECT_NEAR(std::fabs(vectors(0, 0)), std::fabs(vectors(1, 0)), 1e-10);
+}
+
+TEST(JacobiTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(77);
+  const std::size_t n = 8;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.Gaussian();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  std::vector<double> values;
+  Matrix vectors;
+  JacobiEigenSymmetric(m, &values, &vectors);
+
+  // Reconstruct M = V * diag(values) * V^T.
+  Matrix diag(n, n);
+  for (std::size_t i = 0; i < n; ++i) diag(i, i) = values[i];
+  Matrix reconstructed = vectors * diag * vectors.Transposed();
+  EXPECT_LT(Matrix::MaxAbsDiff(m, reconstructed), 1e-8);
+
+  // Eigenvectors orthonormal: V^T V = I.
+  Matrix gram = vectors.Transposed() * vectors;
+  EXPECT_LT(Matrix::MaxAbsDiff(gram, Matrix::Identity(n)), 1e-8);
+
+  // Eigenvalues descending.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_GE(values[i], values[i + 1]);
+  }
+}
+
+TEST(MatrixDeathTest, MismatchedMultiplyAborts) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_DEATH(a * b, "");
+}
+
+}  // namespace
+}  // namespace hics

@@ -1,0 +1,152 @@
+// Parameterized parity tests: the KD-tree backend must return exactly the
+// same neighbors as the brute-force reference on random data, across
+// dimensionalities and k values.
+
+#include "index/neighbor_searcher.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hics {
+namespace {
+
+Dataset RandomDataset(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) ds.Set(i, j, rng.UniformDouble());
+  }
+  return ds;
+}
+
+TEST(BruteForceTest, FindsObviousNearestNeighbor) {
+  auto ds = *Dataset::FromRows(
+      {{0.0, 0.0}, {1.0, 0.0}, {0.1, 0.0}, {5.0, 5.0}});
+  auto searcher = MakeBruteForceSearcher(ds, Subspace({0, 1}));
+  const auto nbrs = searcher->QueryKnn(0, 2);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].id, 2u);
+  EXPECT_NEAR(nbrs[0].distance, 0.1, 1e-12);
+  EXPECT_EQ(nbrs[1].id, 1u);
+}
+
+TEST(BruteForceTest, ExcludesQueryObject) {
+  auto ds = *Dataset::FromRows({{0.0}, {0.0}, {1.0}});
+  auto searcher = MakeBruteForceSearcher(ds, Subspace({0}));
+  const auto nbrs = searcher->QueryKnn(0, 3);
+  ASSERT_EQ(nbrs.size(), 2u);
+  for (const Neighbor& nb : nbrs) EXPECT_NE(nb.id, 0u);
+}
+
+TEST(BruteForceTest, SubspaceRestrictedDistance) {
+  // Distances computed only in attribute 0: object 2 is nearest to 0
+  // despite being far away in attribute 1.
+  auto ds = *Dataset::FromRows({{0.0, 0.0}, {0.5, 0.0}, {0.1, 100.0}});
+  auto searcher = MakeBruteForceSearcher(ds, Subspace({0}));
+  const auto nbrs = searcher->QueryKnn(0, 1);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0].id, 2u);
+}
+
+TEST(BruteForceTest, RadiusQuery) {
+  auto ds = *Dataset::FromRows({{0.0}, {0.5}, {0.9}, {2.0}});
+  auto searcher = MakeBruteForceSearcher(ds, Subspace({0}));
+  const auto nbrs = searcher->QueryRadius(0, 1.0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].id, 1u);
+  EXPECT_EQ(nbrs[1].id, 2u);
+}
+
+TEST(BruteForceTest, CountRadiusMatchesQueryRadius) {
+  Dataset ds = RandomDataset(200, 3, 9);
+  auto searcher = MakeBruteForceSearcher(ds, ds.FullSpace());
+  for (std::size_t q = 0; q < 20; ++q) {
+    for (double radius : {0.05, 0.2, 0.6}) {
+      EXPECT_EQ(searcher->CountRadius(q, radius),
+                searcher->QueryRadius(q, radius).size())
+          << "query " << q << " radius " << radius;
+    }
+  }
+}
+
+TEST(KdTreeTest, DefaultCountRadiusMatches) {
+  Dataset ds = RandomDataset(150, 2, 10);
+  auto kd = MakeKdTreeSearcher(ds, ds.FullSpace());
+  for (std::size_t q = 0; q < 10; ++q) {
+    EXPECT_EQ(kd->CountRadius(q, 0.3), kd->QueryRadius(q, 0.3).size());
+  }
+}
+
+TEST(BruteForceTest, KLargerThanDatasetReturnsAll) {
+  auto ds = RandomDataset(5, 2, 1);
+  auto searcher = MakeBruteForceSearcher(ds, Subspace({0, 1}));
+  EXPECT_EQ(searcher->QueryKnn(0, 100).size(), 4u);
+}
+
+TEST(KdTreeTest, HandlesDuplicatePoints) {
+  Dataset ds(40, 2);  // all zeros
+  auto searcher = MakeKdTreeSearcher(ds, Subspace({0, 1}));
+  const auto nbrs = searcher->QueryKnn(3, 5);
+  ASSERT_EQ(nbrs.size(), 5u);
+  for (const Neighbor& nb : nbrs) {
+    EXPECT_EQ(nb.distance, 0.0);
+    EXPECT_NE(nb.id, 3u);
+  }
+}
+
+struct ParityCase {
+  std::size_t n;
+  std::size_t d;
+  std::size_t k;
+  std::uint64_t seed;
+};
+
+class KnnParityTest : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(KnnParityTest, KdTreeMatchesBruteForce) {
+  const ParityCase& c = GetParam();
+  Dataset ds = RandomDataset(c.n, c.d, c.seed);
+  const Subspace full = ds.FullSpace();
+  auto brute = MakeBruteForceSearcher(ds, full);
+  auto kd = MakeKdTreeSearcher(ds, full);
+  for (std::size_t q = 0; q < std::min<std::size_t>(c.n, 25); ++q) {
+    const auto expected = brute->QueryKnn(q, c.k);
+    const auto actual = kd->QueryKnn(q, c.k);
+    ASSERT_EQ(actual.size(), expected.size()) << "query " << q;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i].id)
+          << "query " << q << " neighbor " << i;
+      EXPECT_NEAR(actual[i].distance, expected[i].distance, 1e-12);
+    }
+  }
+}
+
+TEST_P(KnnParityTest, RadiusMatchesBruteForce) {
+  const ParityCase& c = GetParam();
+  Dataset ds = RandomDataset(c.n, c.d, c.seed + 1000);
+  const Subspace full = ds.FullSpace();
+  auto brute = MakeBruteForceSearcher(ds, full);
+  auto kd = MakeKdTreeSearcher(ds, full);
+  const double radius = 0.25;
+  for (std::size_t q = 0; q < std::min<std::size_t>(c.n, 15); ++q) {
+    const auto expected = brute->QueryRadius(q, radius);
+    const auto actual = kd->QueryRadius(q, radius);
+    ASSERT_EQ(actual.size(), expected.size()) << "query " << q;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i].id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, KnnParityTest,
+    ::testing::Values(ParityCase{30, 1, 3, 1}, ParityCase{100, 2, 5, 2},
+                      ParityCase{100, 3, 10, 3}, ParityCase{200, 5, 7, 4},
+                      ParityCase{150, 8, 15, 5}, ParityCase{64, 2, 63, 6},
+                      ParityCase{500, 4, 1, 7}));
+
+}  // namespace
+}  // namespace hics

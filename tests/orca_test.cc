@@ -1,0 +1,128 @@
+#include "outlier/orca.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "outlier/knn_outlier.h"
+
+namespace hics {
+namespace {
+
+Dataset ClusteredWithOutliers(std::size_t n, std::size_t num_outliers,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = rng.Bernoulli(0.5) ? 0.25 : 0.75;
+    for (std::size_t j = 0; j < 3; ++j) {
+      ds.Set(i, j, c + rng.Gaussian(0.0, 0.02));
+    }
+  }
+  // Outliers: scattered far from both clusters.
+  for (std::size_t o = 0; o < num_outliers; ++o) {
+    const std::size_t id = o * (n / num_outliers);
+    for (std::size_t j = 0; j < 3; ++j) {
+      ds.Set(id, j, 2.0 + 0.3 * static_cast<double>(o) + 0.1 * j);
+    }
+  }
+  return ds;
+}
+
+/// Brute-force top-n by average kNN distance, the ground truth ORCA must
+/// match exactly.
+std::vector<OrcaOutlier> BruteForceTopN(const Dataset& ds, std::size_t k,
+                                        std::size_t top_n) {
+  KnnAverageScorer scorer(k);
+  const auto scores = scorer.ScoreFullSpace(ds);
+  std::vector<OrcaOutlier> all(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) all[i] = {i, scores[i]};
+  std::sort(all.begin(), all.end(),
+            [](const OrcaOutlier& a, const OrcaOutlier& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  all.resize(std::min(all.size(), top_n));
+  return all;
+}
+
+TEST(OrcaTest, MatchesBruteForceTopN) {
+  const Dataset ds = ClusteredWithOutliers(400, 5, 1);
+  OrcaParams params{.k = 5, .top_n = 5, .seed = 9};
+  const auto orca = OrcaTopOutliers(ds, ds.FullSpace(), params);
+  const auto brute = BruteForceTopN(ds, 5, 5);
+  ASSERT_EQ(orca.size(), brute.size());
+  for (std::size_t i = 0; i < orca.size(); ++i) {
+    EXPECT_EQ(orca[i].id, brute[i].id) << "rank " << i;
+    EXPECT_NEAR(orca[i].score, brute[i].score, 1e-9);
+  }
+}
+
+TEST(OrcaTest, ResultSortedDescending) {
+  const Dataset ds = ClusteredWithOutliers(300, 8, 2);
+  const auto orca =
+      OrcaTopOutliers(ds, ds.FullSpace(), {.k = 4, .top_n = 8, .seed = 1});
+  ASSERT_EQ(orca.size(), 8u);
+  for (std::size_t i = 0; i + 1 < orca.size(); ++i) {
+    EXPECT_GE(orca[i].score, orca[i + 1].score);
+  }
+}
+
+TEST(OrcaTest, PruningSavesDistanceComputations) {
+  const Dataset ds = ClusteredWithOutliers(1000, 5, 3);
+  OrcaRunInfo info;
+  OrcaTopOutliers(ds, ds.FullSpace(), {.k = 5, .top_n = 5, .seed = 4},
+                  &info);
+  const std::size_t n = ds.num_objects();
+  // Brute force would need ~N^2 distance computations; pruning must cut a
+  // large fraction on this strongly clustered data.
+  EXPECT_LT(info.distance_computations, n * n / 2);
+  EXPECT_GT(info.pruned_objects, n / 2);
+}
+
+TEST(OrcaTest, SeedChangesOrderNotResult) {
+  const Dataset ds = ClusteredWithOutliers(300, 6, 5);
+  const auto a =
+      OrcaTopOutliers(ds, ds.FullSpace(), {.k = 5, .top_n = 6, .seed = 1});
+  const auto b = OrcaTopOutliers(ds, ds.FullSpace(),
+                                 {.k = 5, .top_n = 6, .seed = 999});
+  ASSERT_EQ(a.size(), b.size());
+  std::set<std::size_t> ids_a, ids_b;
+  for (const auto& o : a) ids_a.insert(o.id);
+  for (const auto& o : b) ids_b.insert(o.id);
+  EXPECT_EQ(ids_a, ids_b);
+}
+
+TEST(OrcaTest, SubspaceRestrictionFindsSubspaceOutlier) {
+  Rng rng(6);
+  Dataset ds(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    ds.Set(i, 0, rng.Gaussian(0.5, 0.02));
+    ds.Set(i, 1, rng.UniformDouble() * 100.0);  // huge irrelevant spread
+  }
+  ds.Set(99, 0, 3.0);  // outlier in attribute 0 only
+  const auto top =
+      OrcaTopOutliers(ds, Subspace({0}), {.k = 5, .top_n = 1, .seed = 1});
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 99u);
+}
+
+TEST(OrcaTest, TopNLargerThanDataset) {
+  const Dataset ds = ClusteredWithOutliers(20, 2, 7);
+  const auto top = OrcaTopOutliers(ds, ds.FullSpace(),
+                                   {.k = 3, .top_n = 100, .seed = 1});
+  EXPECT_EQ(top.size(), 20u);
+}
+
+TEST(OrcaDeathTest, RejectsZeroParameters) {
+  const Dataset ds = ClusteredWithOutliers(20, 2, 8);
+  EXPECT_DEATH(OrcaTopOutliers(ds, ds.FullSpace(), {.k = 0, .top_n = 5}),
+               "");
+  EXPECT_DEATH(OrcaTopOutliers(ds, ds.FullSpace(), {.k = 5, .top_n = 0}),
+               "");
+}
+
+}  // namespace
+}  // namespace hics

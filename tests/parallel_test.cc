@@ -1,0 +1,121 @@
+// Tests for the parallel primitives and the determinism guarantees of the
+// parallel HiCS / LOF paths (thread count must never change any result).
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "core/hics.h"
+#include "data/synthetic.h"
+#include "outlier/lof.h"
+
+namespace hics {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 3u, 8u, 33u}) {
+    std::vector<std::atomic<int>> hits(100);
+    ParallelFor(0, 100, threads, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, RespectsRange) {
+  std::atomic<std::size_t> count{0};
+  ParallelFor(10, 25, 4, [&](std::size_t i) {
+    EXPECT_GE(i, 10u);
+    EXPECT_LT(i, 25u);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 15u);
+}
+
+TEST(ParallelForTest, EmptyRangeNoop) {
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(0, 3, 64, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::vector<double> out(values.size());
+  ParallelFor(0, values.size(), 8,
+              [&](std::size_t i) { out[i] = values[i] * 2.0; });
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(out[i], 2.0 * values[i]);
+  }
+}
+
+TEST(DefaultNumThreadsTest, AtLeastOne) {
+  EXPECT_GE(DefaultNumThreads(), 1u);
+}
+
+TEST(ParallelDeterminismTest, HicsIndependentOfThreadCount) {
+  SyntheticParams gen;
+  gen.num_objects = 400;
+  gen.num_attributes = 10;
+  gen.seed = 77;
+  auto data = GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+
+  HicsParams serial;
+  serial.num_iterations = 30;
+  serial.num_threads = 1;
+  auto r1 = RunHicsSearch(data->data, serial);
+
+  HicsParams parallel = serial;
+  parallel.num_threads = 4;
+  auto r2 = RunHicsSearch(data->data, parallel);
+
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->size(), r2->size());
+  for (std::size_t i = 0; i < r1->size(); ++i) {
+    EXPECT_EQ((*r1)[i].subspace, (*r2)[i].subspace) << "rank " << i;
+    EXPECT_DOUBLE_EQ((*r1)[i].score, (*r2)[i].score);
+  }
+}
+
+TEST(ParallelDeterminismTest, LofIndependentOfThreadCount) {
+  SyntheticParams gen;
+  gen.num_objects = 500;
+  gen.num_attributes = 6;
+  gen.seed = 78;
+  auto data = GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+
+  LofScorer serial({.min_pts = 10, .num_threads = 1});
+  LofScorer parallel({.min_pts = 10, .num_threads = 8});
+  const auto s1 = serial.ScoreFullSpace(data->data);
+  const auto s2 = parallel.ScoreFullSpace(data->data);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1[i], s2[i]);
+  }
+}
+
+TEST(ParallelDeterminismTest, HicsAutoThreadsRuns) {
+  SyntheticParams gen;
+  gen.num_objects = 200;
+  gen.num_attributes = 6;
+  gen.seed = 79;
+  auto data = GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+  HicsParams params;
+  params.num_iterations = 10;
+  params.num_threads = 0;  // auto
+  EXPECT_TRUE(RunHicsSearch(data->data, params).ok());
+}
+
+}  // namespace
+}  // namespace hics

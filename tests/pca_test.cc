@@ -1,0 +1,127 @@
+#include "reduction/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hics {
+namespace {
+
+/// 2-D data stretched along the (1,1) diagonal.
+Dataset DiagonalData(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double major = rng.Gaussian(0.0, 3.0);
+    const double minor = rng.Gaussian(0.0, 0.3);
+    ds.Set(i, 0, 5.0 + (major + minor) / std::sqrt(2.0));
+    ds.Set(i, 1, -2.0 + (major - minor) / std::sqrt(2.0));
+  }
+  return ds;
+}
+
+TEST(PcaTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(Pca::Fit(Dataset(1, 3)).ok());
+  EXPECT_FALSE(Pca::Fit(Dataset(10, 0)).ok());
+}
+
+TEST(PcaTest, FindsPrincipalAxisOfDiagonalData) {
+  auto pca = Pca::Fit(DiagonalData(5000, 1));
+  ASSERT_TRUE(pca.ok());
+  ASSERT_EQ(pca->eigenvalues().size(), 2u);
+  EXPECT_NEAR(pca->eigenvalues()[0], 9.0, 0.5);
+  EXPECT_NEAR(pca->eigenvalues()[1], 0.09, 0.02);
+  // First component ~ (1,1)/sqrt(2).
+  const double c0 = pca->components()(0, 0);
+  const double c1 = pca->components()(1, 0);
+  EXPECT_NEAR(std::fabs(c0), 1.0 / std::sqrt(2.0), 0.02);
+  EXPECT_NEAR(std::fabs(c1), 1.0 / std::sqrt(2.0), 0.02);
+  EXPECT_GT(c0 * c1, 0.0);  // same sign: diagonal direction
+}
+
+TEST(PcaTest, ExplainedVarianceRatio) {
+  auto pca = Pca::Fit(DiagonalData(5000, 2));
+  ASSERT_TRUE(pca.ok());
+  EXPECT_GT(pca->ExplainedVarianceRatio(1), 0.97);
+  EXPECT_NEAR(pca->ExplainedVarianceRatio(2), 1.0, 1e-9);
+  EXPECT_NEAR(pca->ExplainedVarianceRatio(99), 1.0, 1e-9);
+}
+
+TEST(PcaTest, TransformedDataIsDecorrelatedAndCentered) {
+  Dataset ds = DiagonalData(2000, 3);
+  auto pca = Pca::Fit(ds);
+  ASSERT_TRUE(pca.ok());
+  Dataset projected = pca->Transform(ds, 2);
+  ASSERT_EQ(projected.num_attributes(), 2u);
+  EXPECT_EQ(projected.attribute_names()[0], "pc0");
+
+  double mean0 = 0.0, mean1 = 0.0;
+  for (std::size_t i = 0; i < projected.num_objects(); ++i) {
+    mean0 += projected.Get(i, 0);
+    mean1 += projected.Get(i, 1);
+  }
+  mean0 /= static_cast<double>(projected.num_objects());
+  mean1 /= static_cast<double>(projected.num_objects());
+  EXPECT_NEAR(mean0, 0.0, 1e-9);
+  EXPECT_NEAR(mean1, 0.0, 1e-9);
+
+  double cross = 0.0, var0 = 0.0;
+  for (std::size_t i = 0; i < projected.num_objects(); ++i) {
+    cross += projected.Get(i, 0) * projected.Get(i, 1);
+    var0 += projected.Get(i, 0) * projected.Get(i, 0);
+  }
+  const double n1 = static_cast<double>(projected.num_objects() - 1);
+  EXPECT_NEAR(cross / n1, 0.0, 0.05);
+  // Variance along pc0 equals the top eigenvalue.
+  EXPECT_NEAR(var0 / n1, pca->eigenvalues()[0], 0.05);
+}
+
+TEST(PcaTest, TransformPreservesLabels) {
+  Dataset ds = DiagonalData(50, 4);
+  std::vector<bool> labels(50, false);
+  labels[7] = true;
+  ASSERT_TRUE(ds.SetLabels(labels).ok());
+  auto pca = Pca::Fit(ds);
+  ASSERT_TRUE(pca.ok());
+  Dataset projected = pca->Transform(ds, 1);
+  ASSERT_TRUE(projected.has_labels());
+  EXPECT_TRUE(projected.labels()[7]);
+}
+
+TEST(PcaTest, NumComponentsClamped) {
+  Dataset ds = DiagonalData(100, 5);
+  auto pca = Pca::Fit(ds);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_EQ(pca->Transform(ds, 100).num_attributes(), 2u);
+}
+
+TEST(PcaStrategiesTest, ReduceHalfAndTen) {
+  Rng rng(6);
+  Dataset ds(60, 24);
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t j = 0; j < 24; ++j) ds.Set(i, j, rng.Gaussian());
+  }
+  auto half = PcaReduceHalf(ds);
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(half->num_attributes(), 12u);
+  auto ten = PcaReduceToTen(ds);
+  ASSERT_TRUE(ten.ok());
+  EXPECT_EQ(ten->num_attributes(), 10u);
+}
+
+TEST(PcaStrategiesTest, ReduceToTenOnLowDimIsIdentityCount) {
+  Rng rng(7);
+  Dataset ds(40, 6);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) ds.Set(i, j, rng.Gaussian());
+  }
+  auto ten = PcaReduceToTen(ds);
+  ASSERT_TRUE(ten.ok());
+  // PCALOF2 on D <= 10 keeps all attributes (paper: identical to LOF).
+  EXPECT_EQ(ten->num_attributes(), 6u);
+}
+
+}  // namespace
+}  // namespace hics

@@ -1,0 +1,97 @@
+#include "data/repository.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace hics {
+namespace {
+
+TEST(RepositoryTest, EnumeratesFullSuite) {
+  const auto entries = RepositoryEntries();
+  // 7 dims x 2 reps + 5 sizes + 8 stand-ins.
+  EXPECT_EQ(entries.size(), 7u * 2u + 5u + 8u);
+  for (const auto& entry : entries) {
+    EXPECT_FALSE(entry.name.empty());
+    EXPECT_FALSE(entry.description.empty());
+    EXPECT_GT(entry.num_objects, 0u);
+    EXPECT_GT(entry.num_attributes, 0u);
+  }
+}
+
+TEST(RepositoryTest, EveryEntryGenerates) {
+  for (const auto& entry : RepositoryEntries()) {
+    auto ds = GenerateRepositoryDataset(entry.name);
+    ASSERT_TRUE(ds.ok()) << entry.name << ": " << ds.status().ToString();
+    EXPECT_EQ(ds->num_attributes(), entry.num_attributes) << entry.name;
+    EXPECT_TRUE(ds->has_labels()) << entry.name;
+    EXPECT_GT(ds->CountOutliers(), 0u) << entry.name;
+  }
+}
+
+TEST(RepositoryTest, UnknownNameNotFound) {
+  auto ds = GenerateRepositoryDataset("nope");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RepositoryTest, GenerationIsDeterministic) {
+  auto a = GenerateRepositoryDataset("synthetic_d020_rep0");
+  auto b = GenerateRepositoryDataset("synthetic_d020_rep0");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_objects(), b->num_objects());
+  for (std::size_t i = 0; i < a->num_objects(); i += 97) {
+    for (std::size_t j = 0; j < a->num_attributes(); ++j) {
+      EXPECT_EQ(a->Get(i, j), b->Get(i, j));
+    }
+  }
+  EXPECT_EQ(a->labels(), b->labels());
+}
+
+TEST(RepositoryTest, RepetitionsDiffer) {
+  auto a = GenerateRepositoryDataset("synthetic_d020_rep0");
+  auto b = GenerateRepositoryDataset("synthetic_d020_rep1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a->num_objects() && !any_difference; ++i) {
+    if (a->Get(i, 0) != b->Get(i, 0)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RepositoryTest, LoadOrGenerateCachesAndRoundTrips) {
+  const std::string dir = testing::TempDir() + "/hics_repo_test";
+  std::filesystem::create_directories(dir);
+  const std::string name = "standin_glass";
+
+  auto generated = LoadOrGenerate(dir, name, /*cache=*/true);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + name + ".csv"));
+
+  auto loaded = LoadOrGenerate(dir, name);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_objects(), generated->num_objects());
+  ASSERT_EQ(loaded->num_attributes(), generated->num_attributes());
+  ASSERT_TRUE(loaded->has_labels());
+  EXPECT_EQ(loaded->labels(), generated->labels());
+  // WriteCsv uses max_digits10, so the round trip is bit-exact.
+  for (std::size_t i = 0; i < loaded->num_objects(); i += 13) {
+    for (std::size_t j = 0; j < loaded->num_attributes(); ++j) {
+      EXPECT_EQ(loaded->Get(i, j), generated->Get(i, j)) << i << "," << j;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RepositoryTest, NoCacheLeavesNoFile) {
+  const std::string dir = testing::TempDir() + "/hics_repo_nocache";
+  std::filesystem::create_directories(dir);
+  auto ds = LoadOrGenerate(dir, "standin_glass", /*cache=*/false);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(std::filesystem::exists(dir + "/standin_glass.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hics

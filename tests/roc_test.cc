@@ -1,0 +1,120 @@
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hics {
+namespace {
+
+TEST(RocTest, PerfectRankingAucOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.3, 0.2, 0.1};
+  const std::vector<bool> labels = {true, true, false, false, false};
+  EXPECT_DOUBLE_EQ(*ComputeAuc(scores, labels), 1.0);
+}
+
+TEST(RocTest, InvertedRankingAucZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.9};
+  const std::vector<bool> labels = {true, true, false};
+  EXPECT_DOUBLE_EQ(*ComputeAuc(scores, labels), 0.0);
+}
+
+TEST(RocTest, AllTiedScoresGiveHalf) {
+  const std::vector<double> scores = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<bool> labels = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(*ComputeAuc(scores, labels), 0.5);
+}
+
+TEST(RocTest, HandComputedMixedExample) {
+  // Ranking: o1(+) o2(-) o3(+) o4(-): AUC = 3/4 pairwise wins... pairs:
+  // (o1,o2)+, (o1,o4)+, (o3,o2)-, (o3,o4)+ -> 3/4.
+  const std::vector<double> scores = {4.0, 3.0, 2.0, 1.0};
+  const std::vector<bool> labels = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(*ComputeAuc(scores, labels), 0.75);
+}
+
+TEST(RocTest, TieBetweenClassesGetsHalfCredit) {
+  const std::vector<double> scores = {2.0, 1.0, 1.0};
+  const std::vector<bool> labels = {true, true, false};
+  // Pairs: (0,2) win, (1,2) tie -> (1 + 0.5)/2 = 0.75.
+  EXPECT_DOUBLE_EQ(*ComputeAuc(scores, labels), 0.75);
+}
+
+TEST(RocTest, MatchesMannWhitneyOnRandomData) {
+  Rng rng(3);
+  const std::size_t n = 500;
+  std::vector<double> scores(n);
+  std::vector<bool> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = rng.Bernoulli(0.2);
+    scores[i] = labels[i] ? rng.Gaussian(1.0, 1.0) : rng.Gaussian(0.0, 1.0);
+  }
+  // Direct O(n^2) Mann-Whitney computation.
+  double wins = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!labels[i]) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (labels[j]) continue;
+      ++pairs;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(*ComputeAuc(scores, labels), wins / pairs, 1e-12);
+}
+
+TEST(RocTest, CurveEndpointsAndMonotonicity) {
+  Rng rng(4);
+  std::vector<double> scores(200);
+  std::vector<bool> labels(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    labels[i] = rng.Bernoulli(0.3);
+    scores[i] = rng.UniformDouble();
+  }
+  auto curve = ComputeRoc(scores, labels);
+  ASSERT_TRUE(curve.ok());
+  const auto& pts = curve->points;
+  ASSERT_GE(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(pts.front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().true_positive_rate, 1.0);
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    EXPECT_LE(pts[i].false_positive_rate, pts[i + 1].false_positive_rate);
+    EXPECT_LE(pts[i].true_positive_rate, pts[i + 1].true_positive_rate);
+    EXPECT_GE(pts[i].threshold, pts[i + 1].threshold);
+  }
+}
+
+TEST(RocTest, InputValidation) {
+  EXPECT_FALSE(ComputeAuc({1.0}, {true, false}).ok());   // size mismatch
+  EXPECT_FALSE(ComputeAuc({1.0, 2.0}, {true, true}).ok());  // no negatives
+  EXPECT_FALSE(
+      ComputeAuc({1.0, 2.0}, {false, false}).ok());         // no positives
+}
+
+TEST(PrecisionAtNTest, Basics) {
+  const std::vector<double> scores = {5.0, 4.0, 3.0, 2.0, 1.0};
+  const std::vector<bool> labels = {true, false, true, false, false};
+  EXPECT_DOUBLE_EQ(*PrecisionAtN(scores, labels, 1), 1.0);
+  EXPECT_DOUBLE_EQ(*PrecisionAtN(scores, labels, 2), 0.5);
+  EXPECT_DOUBLE_EQ(*PrecisionAtN(scores, labels, 3), 2.0 / 3.0);
+  // n clamped to the dataset size.
+  EXPECT_DOUBLE_EQ(*PrecisionAtN(scores, labels, 100), 0.4);
+  EXPECT_FALSE(PrecisionAtN(scores, labels, 0).ok());
+}
+
+TEST(AveragePrecisionTest, PerfectAndKnown) {
+  const std::vector<bool> labels = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(*AveragePrecision({4.0, 3.0, 2.0, 1.0}, labels),
+                   (1.0 / 1.0 + 2.0 / 3.0) / 2.0);
+  const std::vector<bool> perfect = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(*AveragePrecision({4.0, 3.0, 2.0, 1.0}, perfect), 1.0);
+}
+
+}  // namespace
+}  // namespace hics

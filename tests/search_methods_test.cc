@@ -1,0 +1,224 @@
+// Tests for the competitor subspace search methods (Enclus, RIS, RANDSUB)
+// and the shared SubspaceSearchMethod interface.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+#include "search/enclus.h"
+#include "search/random_subspaces.h"
+#include "search/ris.h"
+#include "search/subspace_search.h"
+
+namespace hics {
+namespace {
+
+Result<SyntheticDataset> GroupedData(std::uint64_t seed) {
+  SyntheticParams gen;
+  gen.num_objects = 600;
+  gen.num_attributes = 8;
+  gen.min_subspace_dims = 2;
+  gen.max_subspace_dims = 2;
+  gen.seed = seed;
+  return GenerateSynthetic(gen);
+}
+
+bool IsWithinSomeGroup(const Subspace& found,
+                       const std::vector<Subspace>& groups) {
+  for (const Subspace& g : groups) {
+    if (g.ContainsAll(found)) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- Enclus --
+
+TEST(EnclusTest, ParamsValidation) {
+  EXPECT_TRUE(EnclusParams{}.Validate().ok());
+  EnclusParams p;
+  p.bins_per_dim = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = EnclusParams{};
+  p.omega = -1.0;
+  p.auto_omega_quantile = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = EnclusParams{};
+  p.candidate_cutoff = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = EnclusParams{};
+  p.output_top_k = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(EnclusTest, RejectsTooFewAttributes) {
+  Dataset ds(50, 1);
+  EXPECT_FALSE(MakeEnclusMethod()->Search(ds).ok());
+}
+
+TEST(EnclusTest, TopSubspaceIsAnImplantedGroup) {
+  auto data = GroupedData(41);
+  ASSERT_TRUE(data.ok());
+  EnclusParams params;
+  params.bins_per_dim = 8;
+  params.output_top_k = 4;
+  auto result = MakeEnclusMethod(params)->Search(data->data);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->empty());
+  EXPECT_TRUE(
+      IsWithinSomeGroup((*result)[0].subspace, data->relevant_subspaces))
+      << (*result)[0].subspace.ToString();
+  // Interest scores are sorted descending and non-negative.
+  for (std::size_t i = 0; i + 1 < result->size(); ++i) {
+    EXPECT_GE((*result)[i].score, (*result)[i + 1].score);
+  }
+}
+
+TEST(EnclusTest, NameAndInterface) {
+  auto method = MakeEnclusMethod();
+  EXPECT_EQ(method->name(), "ENCLUS");
+}
+
+TEST(EnclusTest, FixedOmegaModeRuns) {
+  auto data = GroupedData(42);
+  ASSERT_TRUE(data.ok());
+  EnclusParams params;
+  params.omega = 100.0;  // permissive threshold: everything qualifies
+  params.output_top_k = 10;
+  auto result = MakeEnclusMethod(params)->Search(data->data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->empty());
+}
+
+// ---------------------------------------------------------------- RIS --
+
+TEST(RisTest, ParamsValidation) {
+  EXPECT_TRUE(RisParams{}.Validate().ok());
+  RisParams p;
+  p.eps = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = RisParams{};
+  p.min_pts = 1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = RisParams{};
+  p.candidate_cutoff = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(RisTest, RejectsDegenerateInputs) {
+  Dataset one_attr(100, 1);
+  EXPECT_FALSE(MakeRisMethod()->Search(one_attr).ok());
+  Dataset tiny(3, 4);
+  RisParams p;
+  p.min_pts = 10;
+  EXPECT_FALSE(MakeRisMethod(p)->Search(tiny).ok());
+}
+
+TEST(RisTest, PrefersClusteredSubspaces) {
+  auto data = GroupedData(43);
+  ASSERT_TRUE(data.ok());
+  RisParams params;
+  params.eps = 0.07;
+  params.min_pts = 10;
+  params.output_top_k = 4;
+  auto result = MakeRisMethod(params)->Search(data->data);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->empty());
+  // RIS's expectation-normalized quality legitimately rewards supersets of
+  // clustered groups (the cluster structure persists while the uniform
+  // expectation shrinks), so require the top subspace to *contain* a
+  // complete implanted group rather than to equal one.
+  bool contains_group = false;
+  for (const Subspace& g : data->relevant_subspaces) {
+    if ((*result)[0].subspace.ContainsAll(g)) contains_group = true;
+  }
+  EXPECT_TRUE(contains_group) << (*result)[0].subspace.ToString();
+  EXPECT_EQ(MakeRisMethod()->name(), "RIS");
+}
+
+// ------------------------------------------------------------ RANDSUB --
+
+TEST(RandomSubspacesTest, ParamsValidation) {
+  EXPECT_TRUE(RandomSubspacesParams{}.Validate().ok());
+  RandomSubspacesParams p;
+  p.num_subspaces = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(RandomSubspacesTest, ProducesRequestedCountOfUniqueSubspaces) {
+  auto data = GroupedData(44);
+  ASSERT_TRUE(data.ok());
+  RandomSubspacesParams params;
+  params.num_subspaces = 50;
+  auto result = MakeRandomSubspacesMethod(params)->Search(data->data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 50u);
+  std::set<std::string> unique;
+  for (const auto& s : *result) unique.insert(s.subspace.ToString());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(RandomSubspacesTest, DimensionalityInFeatureBaggingRange) {
+  auto data = GroupedData(45);
+  ASSERT_TRUE(data.ok());
+  const std::size_t d = data->data.num_attributes();
+  auto result = MakeRandomSubspacesMethod()->Search(data->data);
+  ASSERT_TRUE(result.ok());
+  for (const auto& s : *result) {
+    EXPECT_GE(s.subspace.size(), d / 2);
+    EXPECT_LE(s.subspace.size(), d - 1);
+    for (std::size_t dim : s.subspace) EXPECT_LT(dim, d);
+  }
+}
+
+TEST(RandomSubspacesTest, DeterministicPerSeed) {
+  auto data = GroupedData(46);
+  ASSERT_TRUE(data.ok());
+  RandomSubspacesParams params;
+  params.seed = 5;
+  auto r1 = MakeRandomSubspacesMethod(params)->Search(data->data);
+  auto r2 = MakeRandomSubspacesMethod(params)->Search(data->data);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->size(), r2->size());
+  for (std::size_t i = 0; i < r1->size(); ++i) {
+    EXPECT_EQ((*r1)[i].subspace, (*r2)[i].subspace);
+  }
+  EXPECT_EQ(MakeRandomSubspacesMethod()->name(), "RANDSUB");
+}
+
+TEST(RandomSubspacesTest, SmallAttributeSpaceTerminates) {
+  // Only C(3,2)=3 distinct 2-D subspaces exist; asking for 100 must not
+  // loop forever.
+  Dataset ds(20, 3);
+  RandomSubspacesParams params;
+  params.num_subspaces = 100;
+  auto result = MakeRandomSubspacesMethod(params)->Search(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->size(), 100u);
+  EXPECT_GE(result->size(), 1u);
+}
+
+// ------------------------------------------------------- HiCS adapter --
+
+TEST(HicsMethodTest, AdapterMatchesDirectCall) {
+  auto data = GroupedData(47);
+  ASSERT_TRUE(data.ok());
+  HicsParams params;
+  params.num_iterations = 30;
+  params.output_top_k = 5;
+  auto via_adapter = MakeHicsMethod(params)->Search(data->data);
+  auto direct = RunHicsSearch(data->data, params);
+  ASSERT_TRUE(via_adapter.ok() && direct.ok());
+  ASSERT_EQ(via_adapter->size(), direct->size());
+  for (std::size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ((*via_adapter)[i].subspace, (*direct)[i].subspace);
+    EXPECT_DOUBLE_EQ((*via_adapter)[i].score, (*direct)[i].score);
+  }
+  EXPECT_EQ(MakeHicsMethod()->name(), "HiCS");
+  HicsParams ks = params;
+  ks.statistical_test = "ks";
+  EXPECT_EQ(MakeHicsMethod(ks)->name(), "HiCS_KS");
+}
+
+}  // namespace
+}  // namespace hics

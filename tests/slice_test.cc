@@ -1,0 +1,141 @@
+#include "core/slice.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hics {
+namespace {
+
+Dataset UniformDataset(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) ds.Set(i, j, rng.UniformDouble());
+  }
+  return ds;
+}
+
+TEST(SliceSamplerTest, BlockSizeFollowsAlgorithmOne) {
+  Dataset ds = UniformDataset(1000, 3, 1);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  // block = ceil(N * alpha^(1/|S|)).
+  EXPECT_EQ(sampler.BlockSize(2, 0.1),
+            static_cast<std::size_t>(std::ceil(1000 * std::sqrt(0.1))));
+  EXPECT_EQ(sampler.BlockSize(3, 0.1),
+            static_cast<std::size_t>(std::ceil(1000 * std::cbrt(0.1))));
+  // Larger subspace -> larger per-condition block.
+  EXPECT_GT(sampler.BlockSize(5, 0.1), sampler.BlockSize(2, 0.1));
+}
+
+TEST(SliceSamplerTest, BlockSizeClamped) {
+  Dataset ds = UniformDataset(10, 2, 2);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  EXPECT_LE(sampler.BlockSize(2, 0.99), 10u);
+  EXPECT_GE(sampler.BlockSize(2, 0.0001), 1u);
+}
+
+TEST(SliceSamplerTest, TestAttributeBelongsToSubspace) {
+  Dataset ds = UniformDataset(200, 6, 3);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  Rng rng(9);
+  const Subspace s({1, 3, 5});
+  for (int i = 0; i < 50; ++i) {
+    const SliceDraw draw = sampler.Draw(s, 0.2, &rng);
+    EXPECT_TRUE(s.Contains(draw.test_attribute));
+  }
+}
+
+TEST(SliceSamplerTest, AllAttributesEventuallyTested) {
+  Dataset ds = UniformDataset(100, 4, 4);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  Rng rng(10);
+  const Subspace s({0, 1, 2, 3});
+  std::vector<int> tested(4, 0);
+  for (int i = 0; i < 200; ++i) {
+    ++tested[sampler.Draw(s, 0.3, &rng).test_attribute];
+  }
+  for (int count : tested) EXPECT_GT(count, 20);
+}
+
+TEST(SliceSamplerTest, TwoDimensionalSelectionSizeIsExact) {
+  // For |S| = 2 there is a single condition, so the conditional sample is
+  // exactly one index block of size ceil(N * sqrt(alpha)).
+  Dataset ds = UniformDataset(500, 2, 5);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  Rng rng(11);
+  const std::size_t expected = sampler.BlockSize(2, 0.1);
+  for (int i = 0; i < 20; ++i) {
+    const SliceDraw draw = sampler.Draw(Subspace({0, 1}), 0.1, &rng);
+    EXPECT_EQ(draw.selected_count, expected);
+  }
+}
+
+TEST(SliceSamplerTest, ExpectedSelectionSizeOnIndependentData) {
+  // On independent attributes, E[N'] = N * alpha1^(|S|-1). Check the
+  // empirical mean over many draws for a 3-D subspace.
+  const std::size_t n = 2000;
+  Dataset ds = UniformDataset(n, 3, 6);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  Rng rng(12);
+  const double alpha = 0.1;
+  const Subspace s({0, 1, 2});
+  double sum = 0.0;
+  const int reps = 300;
+  for (int i = 0; i < reps; ++i) {
+    sum += static_cast<double>(sampler.Draw(s, alpha, &rng).selected_count);
+  }
+  const double alpha1 = std::pow(alpha, 1.0 / 3.0);
+  const double expected = static_cast<double>(n) * alpha1 * alpha1;
+  EXPECT_NEAR(sum / reps, expected, 0.15 * expected);
+}
+
+TEST(SliceSamplerTest, ConditionalSampleValuesComeFromColumn) {
+  Dataset ds = UniformDataset(100, 3, 7);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  Rng rng(13);
+  const SliceDraw draw = sampler.Draw(Subspace({0, 1, 2}), 0.3, &rng);
+  const auto& col = ds.Column(draw.test_attribute);
+  for (double v : draw.conditional_sample) {
+    EXPECT_NE(std::find(col.begin(), col.end(), v), col.end());
+  }
+}
+
+TEST(SliceSamplerTest, DeterministicGivenRngState) {
+  Dataset ds = UniformDataset(300, 4, 8);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  Rng rng1(99), rng2(99);
+  const SliceDraw d1 = sampler.Draw(Subspace({0, 2, 3}), 0.15, &rng1);
+  const SliceDraw d2 = sampler.Draw(Subspace({0, 2, 3}), 0.15, &rng2);
+  EXPECT_EQ(d1.test_attribute, d2.test_attribute);
+  EXPECT_EQ(d1.conditional_sample, d2.conditional_sample);
+}
+
+TEST(SliceSamplerDeathTest, RejectsOneDimensionalSubspace) {
+  Dataset ds = UniformDataset(50, 2, 9);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  Rng rng(1);
+  EXPECT_DEATH(sampler.Draw(Subspace({0}), 0.1, &rng), "one-dimensional");
+}
+
+TEST(SliceSamplerDeathTest, RejectsBadAlpha) {
+  Dataset ds = UniformDataset(50, 2, 10);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  EXPECT_DEATH(sampler.BlockSize(2, 0.0), "alpha");
+  EXPECT_DEATH(sampler.BlockSize(2, 1.0), "alpha");
+}
+
+}  // namespace
+}  // namespace hics

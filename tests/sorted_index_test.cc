@@ -1,0 +1,84 @@
+#include "index/sorted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hics {
+namespace {
+
+TEST(SortedIndexTest, OrdersObjectsByAttributeValue) {
+  auto ds = *Dataset::FromColumns({{3.0, 1.0, 2.0}, {0.5, 0.9, 0.1}});
+  SortedAttributeIndex index(ds);
+  EXPECT_EQ(index.num_objects(), 3u);
+  EXPECT_EQ(index.num_attributes(), 2u);
+
+  const auto order0 = index.SortedOrder(0);
+  EXPECT_EQ(order0[0], 1u);
+  EXPECT_EQ(order0[1], 2u);
+  EXPECT_EQ(order0[2], 0u);
+
+  const auto order1 = index.SortedOrder(1);
+  EXPECT_EQ(order1[0], 2u);
+  EXPECT_EQ(order1[1], 0u);
+  EXPECT_EQ(order1[2], 1u);
+}
+
+TEST(SortedIndexTest, RankIsInversePermutation) {
+  Rng rng(3);
+  std::vector<double> col(100);
+  for (double& v : col) v = rng.UniformDouble();
+  auto ds = *Dataset::FromColumns({col});
+  SortedAttributeIndex index(ds);
+  for (std::size_t pos = 0; pos < 100; ++pos) {
+    const std::size_t object = index.SortedOrder(0)[pos];
+    EXPECT_EQ(index.RankOf(0, object), pos);
+  }
+}
+
+TEST(SortedIndexTest, BlockReturnsContiguousRange) {
+  auto ds = *Dataset::FromColumns({{5.0, 4.0, 3.0, 2.0, 1.0}});
+  SortedAttributeIndex index(ds);
+  const auto block = index.Block(0, 1, 3);
+  ASSERT_EQ(block.size(), 3u);
+  // Sorted ascending: objects 4,3,2,1,0; block [1,4) = 3,2,1.
+  EXPECT_EQ(block[0], 3u);
+  EXPECT_EQ(block[1], 2u);
+  EXPECT_EQ(block[2], 1u);
+}
+
+TEST(SortedIndexTest, BlockValuesAreSortedSlice) {
+  Rng rng(17);
+  std::vector<double> col(50);
+  for (double& v : col) v = rng.Gaussian();
+  auto ds = *Dataset::FromColumns({col});
+  SortedAttributeIndex index(ds);
+  const auto block = index.Block(0, 10, 20);
+  for (std::size_t i = 0; i + 1 < block.size(); ++i) {
+    EXPECT_LE(col[block[i]], col[block[i + 1]]);
+  }
+  // Every value in the block is >= every value before it and <= after.
+  const auto full = index.SortedOrder(0);
+  EXPECT_LE(col[full[9]], col[block[0]]);
+  EXPECT_LE(col[block[19]], col[full[30]]);
+}
+
+TEST(SortedIndexTest, StableForTies) {
+  auto ds = *Dataset::FromColumns({{1.0, 1.0, 1.0}});
+  SortedAttributeIndex index(ds);
+  const auto order = index.SortedOrder(0);
+  // stable_sort keeps original object order for equal keys.
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+TEST(SortedIndexDeathTest, BlockOutOfRangeAborts) {
+  auto ds = *Dataset::FromColumns({{1.0, 2.0}});
+  SortedAttributeIndex index(ds);
+  EXPECT_DEATH(index.Block(0, 1, 2), "");
+  EXPECT_DEATH(index.Block(7, 0, 1), "");
+}
+
+}  // namespace
+}  // namespace hics

@@ -1,0 +1,93 @@
+#include "stats/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hics::stats {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(IncompleteBetaTest, Boundaries) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCaseAtHalf) {
+  // I_{0.5}(a, a) = 0.5 for any a.
+  for (double a : {0.5, 1.0, 2.0, 7.5, 30.0}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-10)
+        << "a=" << a;
+  }
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.7, 0.99}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, ClosedFormA1) {
+  // I_x(1, b) = 1 - (1-x)^b.
+  for (double b : {2.0, 5.0}) {
+    for (double x : {0.2, 0.6}) {
+      EXPECT_NEAR(RegularizedIncompleteBeta(1.0, b, x),
+                  1.0 - std::pow(1.0 - x, b), 1e-10);
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, ClosedFormB1) {
+  // I_x(a, 1) = x^a.
+  for (double a : {2.0, 4.5}) {
+    for (double x : {0.3, 0.8}) {
+      EXPECT_NEAR(RegularizedIncompleteBeta(a, 1.0, x), std::pow(x, a),
+                  1e-10);
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, ComplementRelation) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  const double a = 3.2, b = 1.7;
+  for (double x : {0.1, 0.4, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x),
+                1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = RegularizedIncompleteBeta(2.5, 4.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(IncompleteBetaTest, ReferenceValue) {
+  // I_{0.3}(2, 5): 1 - sum_{k=0}^{1} C(6,k) 0.3^k 0.7^(6-k)
+  // = 1 - (0.7^6 + 6*0.3*0.7^5) = 0.579825.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 5.0, 0.3), 0.579825, 1e-6);
+}
+
+TEST(IncompleteBetaDeathTest, RejectsBadArguments) {
+  EXPECT_DEATH(RegularizedIncompleteBeta(0.0, 1.0, 0.5), "positive");
+  EXPECT_DEATH(RegularizedIncompleteBeta(1.0, 1.0, 1.5), "0, 1");
+}
+
+TEST(ErfTest, KnownValues) {
+  EXPECT_NEAR(Erf(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(Erf(1.0), 0.8427007929, 1e-9);
+  EXPECT_NEAR(Erf(-1.0), -0.8427007929, 1e-9);
+}
+
+}  // namespace
+}  // namespace hics::stats

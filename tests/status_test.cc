@@ -1,0 +1,94 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hics {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad alpha");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad alpha");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists, StatusCode::kIOError,
+        StatusCode::kNotImplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailingHelper() { return Status::IOError("disk on fire"); }
+
+Status PropagatesError() {
+  HICS_RETURN_NOT_OK(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  Status s = PropagatesError();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+Result<int> ProducesValue() { return 10; }
+
+Result<int> UsesAssignOrReturn() {
+  HICS_ASSIGN_OR_RETURN(int v, ProducesValue());
+  return v * 2;
+}
+
+Result<int> AssignOrReturnPropagates() {
+  HICS_ASSIGN_OR_RETURN(int v, Result<int>(Status::OutOfRange("nope")));
+  return v;
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwraps) {
+  Result<int> r = UsesAssignOrReturn();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 20);
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagatesError) {
+  Result<int> r = AssignOrReturnPropagates();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ [[maybe_unused]] int v = r.ValueOrDie(); }, "ValueOrDie");
+}
+
+}  // namespace
+}  // namespace hics

@@ -1,0 +1,75 @@
+#include "common/subspace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace hics {
+namespace {
+
+std::vector<ScoredSubspace> SampleList() {
+  return {
+      {Subspace({0, 3, 7}), 0.98765432109876543},
+      {Subspace({1, 2}), 0.5},
+      {Subspace({4}), 0.0},
+  };
+}
+
+TEST(SubspaceIoTest, RoundTripIsExact) {
+  const auto original = SampleList();
+  auto parsed = ParseSubspaces(WriteSubspaces(original));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].subspace, original[i].subspace);
+    EXPECT_EQ((*parsed)[i].score, original[i].score);  // bit-exact
+  }
+}
+
+TEST(SubspaceIoTest, PreservesOrder) {
+  auto parsed = ParseSubspaces("1.0 5\n0.25 1 2\n0.75 0\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0].subspace, Subspace({5}));
+  EXPECT_EQ((*parsed)[1].subspace, Subspace({1, 2}));
+  EXPECT_DOUBLE_EQ((*parsed)[2].score, 0.75);
+}
+
+TEST(SubspaceIoTest, IgnoresCommentsAndBlankLines) {
+  auto parsed = ParseSubspaces("# header\n\n  # indented comment\n0.5 1 2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(SubspaceIoTest, EmptyTextIsEmptyList) {
+  auto parsed = ParseSubspaces("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(SubspaceIoTest, MalformedLinesRejected) {
+  EXPECT_FALSE(ParseSubspaces("abc 1 2\n").ok());        // bad score
+  EXPECT_FALSE(ParseSubspaces("0.5\n").ok());            // empty subspace
+  EXPECT_FALSE(ParseSubspaces("0.5 1 1\n").ok());        // duplicate dim
+  EXPECT_FALSE(ParseSubspaces("0.5 1 -2\n").ok());       // negative dim
+  EXPECT_FALSE(ParseSubspaces("0.5 1 x\n").ok());        // trailing garbage
+}
+
+TEST(SubspaceIoTest, FileRoundTrip) {
+  const auto original = SampleList();
+  const std::string path = testing::TempDir() + "/hics_subspaces_test.txt";
+  ASSERT_TRUE(WriteSubspacesFile(original, path).ok());
+  auto loaded = ReadSubspacesFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(SubspaceIoTest, MissingFileIsIOError) {
+  auto loaded = ReadSubspacesFile("/no/such/file.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace hics

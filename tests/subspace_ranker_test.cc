@@ -1,0 +1,130 @@
+#include "outlier/subspace_ranker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "outlier/lof.h"
+
+namespace hics {
+namespace {
+
+TEST(AggregateTest, AverageIsElementwiseMean) {
+  const std::vector<std::vector<double>> scores = {
+      {1.0, 2.0, 3.0},
+      {3.0, 2.0, 1.0},
+  };
+  const auto avg = AggregateScores(scores, ScoreAggregation::kAverage);
+  EXPECT_EQ(avg, (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(AggregateTest, MaxIsElementwiseMax) {
+  const std::vector<std::vector<double>> scores = {
+      {1.0, 5.0, 3.0},
+      {4.0, 2.0, 3.0},
+  };
+  const auto mx = AggregateScores(scores, ScoreAggregation::kMax);
+  EXPECT_EQ(mx, (std::vector<double>{4.0, 5.0, 3.0}));
+}
+
+TEST(AggregateTest, SingleVectorPassthrough) {
+  const std::vector<std::vector<double>> scores = {{1.5, 2.5}};
+  EXPECT_EQ(AggregateScores(scores, ScoreAggregation::kAverage),
+            scores.front());
+  EXPECT_EQ(AggregateScores(scores, ScoreAggregation::kMax), scores.front());
+}
+
+TEST(AggregateDeathTest, EmptyOrRaggedInputAborts) {
+  EXPECT_DEATH(AggregateScores({}, ScoreAggregation::kAverage), "");
+  const std::vector<std::vector<double>> ragged = {{1.0}, {1.0, 2.0}};
+  EXPECT_DEATH(AggregateScores(ragged, ScoreAggregation::kAverage), "");
+}
+
+/// Dataset with one outlier visible only in {0,1} and another only in
+/// {2,3} -- the paper's "multiple roles" observation.
+Dataset TwoSubspaceOutliers(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 202;
+  Dataset ds(n, 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c1 = rng.Bernoulli(0.5) ? 0.25 : 0.75;
+    ds.Set(i, 0, c1 + rng.Gaussian(0.0, 0.02));
+    ds.Set(i, 1, c1 + rng.Gaussian(0.0, 0.02));
+    const double c2 = rng.Bernoulli(0.5) ? 0.25 : 0.75;
+    ds.Set(i, 2, c2 + rng.Gaussian(0.0, 0.02));
+    ds.Set(i, 3, c2 + rng.Gaussian(0.0, 0.02));
+  }
+  // Outlier A: mixes clusters in {0,1}.
+  ds.Set(200, 0, 0.25);
+  ds.Set(200, 1, 0.75);
+  // Outlier B: mixes clusters in {2,3}.
+  ds.Set(201, 2, 0.75);
+  ds.Set(201, 3, 0.25);
+  return ds;
+}
+
+TEST(RankWithSubspacesTest, CumulativeScoringFindsBothOutliers) {
+  Dataset ds = TwoSubspaceOutliers(7);
+  LofScorer lof({.min_pts = 12});
+  const std::vector<Subspace> subspaces = {Subspace({0, 1}),
+                                           Subspace({2, 3})};
+  const auto scores = RankWithSubspaces(ds, subspaces, lof);
+  ASSERT_EQ(scores.size(), ds.num_objects());
+  // Both implanted outliers must outrank every regular object.
+  double max_regular = 0.0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    max_regular = std::max(max_regular, scores[i]);
+  }
+  EXPECT_GT(scores[200], max_regular);
+  EXPECT_GT(scores[201], max_regular);
+}
+
+TEST(RankWithSubspacesTest, EmptySubspaceListFallsBackToFullSpace) {
+  Dataset ds = TwoSubspaceOutliers(8);
+  LofScorer lof({.min_pts = 12});
+  const auto fallback = RankWithSubspaces(ds, std::vector<Subspace>{}, lof);
+  const auto full = lof.ScoreFullSpace(ds);
+  EXPECT_EQ(fallback, full);
+}
+
+TEST(RankWithSubspacesTest, ScoredOverloadIgnoresScores) {
+  Dataset ds = TwoSubspaceOutliers(9);
+  LofScorer lof({.min_pts = 12});
+  const std::vector<ScoredSubspace> scored = {{Subspace({0, 1}), 0.9},
+                                              {Subspace({2, 3}), 0.1}};
+  const std::vector<Subspace> plain = {Subspace({0, 1}), Subspace({2, 3})};
+  EXPECT_EQ(RankWithSubspaces(ds, scored, lof),
+            RankWithSubspaces(ds, plain, lof));
+}
+
+TEST(RankWithSubspacesTest, IrrelevantSubspacesDiluteTheSignal) {
+  // The paper's motivation for subspace *search*: adding irrelevant
+  // (uncorrelated, outlier-free) subspaces to RS blurs the ranking.
+  Rng rng(11);
+  Dataset ds = TwoSubspaceOutliers(10);
+  // Append 8 noise attributes.
+  Dataset noisy(ds.num_objects(), 12);
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    for (std::size_t j = 0; j < 4; ++j) noisy.Set(i, j, ds.Get(i, j));
+    for (std::size_t j = 4; j < 12; ++j) noisy.Set(i, j, rng.UniformDouble());
+  }
+  LofScorer lof({.min_pts = 12});
+  const std::vector<Subspace> relevant = {Subspace({0, 1}), Subspace({2, 3})};
+  std::vector<Subspace> diluted = relevant;
+  for (std::size_t j = 4; j + 1 < 12; j += 2) {
+    diluted.push_back(Subspace({j, j + 1}));
+  }
+  const auto good = RankWithSubspaces(noisy, relevant, lof);
+  const auto blurred = RankWithSubspaces(noisy, diluted, lof);
+
+  auto margin = [](const std::vector<double>& scores) {
+    double max_regular = 0.0;
+    for (std::size_t i = 0; i < 200; ++i) {
+      max_regular = std::max(max_regular, scores[i]);
+    }
+    return std::min(scores[200], scores[201]) - max_regular;
+  };
+  EXPECT_GT(margin(good), margin(blurred));
+}
+
+}  // namespace
+}  // namespace hics

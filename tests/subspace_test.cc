@@ -1,0 +1,136 @@
+#include "common/subspace.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace hics {
+namespace {
+
+TEST(SubspaceTest, SortsAndDeduplicates) {
+  Subspace s({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(s[2], 5u);
+}
+
+TEST(SubspaceTest, ContainsUsesBinarySearch) {
+  Subspace s({2, 4, 8});
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_FALSE(Subspace().Contains(0));
+}
+
+TEST(SubspaceTest, ContainsAll) {
+  Subspace big({1, 2, 3, 4});
+  EXPECT_TRUE(big.ContainsAll(Subspace({2, 4})));
+  EXPECT_TRUE(big.ContainsAll(Subspace()));
+  EXPECT_FALSE(big.ContainsAll(Subspace({2, 5})));
+}
+
+TEST(SubspaceTest, WithInsertsInOrder) {
+  Subspace s = Subspace({1, 5}).With(3);
+  EXPECT_EQ(s, Subspace({1, 3, 5}));
+}
+
+TEST(SubspaceTest, WithoutRemoves) {
+  Subspace s = Subspace({1, 3, 5}).Without(3);
+  EXPECT_EQ(s, Subspace({1, 5}));
+}
+
+TEST(SubspaceDeathTest, WithDuplicateAborts) {
+  EXPECT_DEATH(Subspace({1, 2}).With(2), "already present");
+}
+
+TEST(SubspaceDeathTest, WithoutMissingAborts) {
+  EXPECT_DEATH(Subspace({1, 2}).Without(7), "not present");
+}
+
+TEST(SubspaceTest, AprioriJoinMergesSharedPrefix) {
+  bool ok = false;
+  Subspace merged = Subspace({1, 2, 3}).AprioriJoin(Subspace({1, 2, 5}), &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(merged, Subspace({1, 2, 3, 5}));
+}
+
+TEST(SubspaceTest, AprioriJoinRejectsDifferentPrefix) {
+  bool ok = true;
+  Subspace({1, 2, 3}).AprioriJoin(Subspace({1, 4, 5}), &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(SubspaceTest, AprioriJoinRejectsDescendingLast) {
+  bool ok = true;
+  Subspace({1, 5}).AprioriJoin(Subspace({1, 3}), &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(SubspaceTest, AprioriJoinRejectsDifferentSizes) {
+  bool ok = true;
+  Subspace({1, 2}).AprioriJoin(Subspace({1, 2, 3}), &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(SubspaceTest, ParentsEnumeratesAllSubsets) {
+  Subspace s({1, 2, 3});
+  const auto parents = s.Parents();
+  ASSERT_EQ(parents.size(), 3u);
+  EXPECT_EQ(parents[0], Subspace({2, 3}));
+  EXPECT_EQ(parents[1], Subspace({1, 3}));
+  EXPECT_EQ(parents[2], Subspace({1, 2}));
+}
+
+TEST(SubspaceTest, ToStringFormat) {
+  EXPECT_EQ(Subspace({0, 3, 7}).ToString(), "{0, 3, 7}");
+  EXPECT_EQ(Subspace().ToString(), "{}");
+}
+
+TEST(SubspaceTest, LexicographicOrder) {
+  EXPECT_LT(Subspace({1, 2}), Subspace({1, 3}));
+  EXPECT_LT(Subspace({1, 2}), Subspace({1, 2, 3}));
+  EXPECT_LT(Subspace({0, 9}), Subspace({1, 2}));
+}
+
+TEST(SubspaceTest, HashDistinguishesAndWorksInSets) {
+  std::unordered_set<Subspace, SubspaceHash> set;
+  set.insert(Subspace({1, 2}));
+  set.insert(Subspace({1, 2}));
+  set.insert(Subspace({2, 1}));  // same after normalization
+  set.insert(Subspace({1, 3}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ScoredSubspaceTest, SortByScoreDescendingWithDeterministicTies) {
+  std::vector<ScoredSubspace> v = {
+      {Subspace({3, 4}), 0.5},
+      {Subspace({1, 2}), 0.9},
+      {Subspace({0, 1}), 0.5},
+  };
+  SortByScoreDescending(&v);
+  EXPECT_EQ(v[0].subspace, Subspace({1, 2}));
+  // Ties resolved lexicographically.
+  EXPECT_EQ(v[1].subspace, Subspace({0, 1}));
+  EXPECT_EQ(v[2].subspace, Subspace({3, 4}));
+}
+
+TEST(ScoredSubspaceTest, KeepTopKTruncates) {
+  std::vector<ScoredSubspace> v = {
+      {Subspace({0, 1}), 0.1},
+      {Subspace({0, 2}), 0.3},
+      {Subspace({0, 3}), 0.2},
+  };
+  KeepTopK(&v, 2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0].score, 0.3);
+  EXPECT_DOUBLE_EQ(v[1].score, 0.2);
+}
+
+TEST(ScoredSubspaceTest, KeepTopKNoopWhenSmall) {
+  std::vector<ScoredSubspace> v = {{Subspace({0, 1}), 0.1}};
+  KeepTopK(&v, 5);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hics

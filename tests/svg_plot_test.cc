@@ -1,0 +1,89 @@
+#include "eval/svg_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hics {
+namespace {
+
+TEST(SvgPlotTest, ProducesWellFormedSvg) {
+  SvgPlot plot("ROC", "false positive rate", "true positive rate");
+  plot.SetXRange(0.0, 1.0);
+  plot.SetYRange(0.0, 1.0);
+  plot.AddSeries("HiCS", {0.0, 0.1, 1.0}, {0.0, 0.8, 1.0});
+  const std::string svg = plot.ToSvg();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("HiCS"), std::string::npos);
+  EXPECT_NE(svg.find("ROC"), std::string::npos);
+  EXPECT_NE(svg.find("false positive rate"), std::string::npos);
+}
+
+TEST(SvgPlotTest, EscapesXmlInLabels) {
+  SvgPlot plot("a < b & c", "x", "y");
+  plot.AddSeries("s<1>", {0.0, 1.0}, {0.0, 1.0});
+  const std::string svg = plot.ToSvg();
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_NE(svg.find("s&lt;1&gt;"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b"), std::string::npos);
+}
+
+TEST(SvgPlotTest, MultipleSeriesGetDistinctColors) {
+  SvgPlot plot("t", "x", "y");
+  plot.AddSeries("one", {0.0, 1.0}, {0.0, 1.0});
+  plot.AddSeries("two", {0.0, 1.0}, {1.0, 0.0});
+  const std::string svg = plot.ToSvg();
+  EXPECT_NE(svg.find("#0072B2"), std::string::npos);
+  EXPECT_NE(svg.find("#D55E00"), std::string::npos);
+}
+
+TEST(SvgPlotTest, DiagonalReferenceRendered) {
+  SvgPlot plot("t", "x", "y");
+  plot.SetXRange(0.0, 1.0);
+  plot.SetYRange(0.0, 1.0);
+  plot.AddDiagonalReference();
+  plot.AddSeries("s", {0.0, 1.0}, {0.0, 1.0});
+  EXPECT_NE(plot.ToSvg().find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(SvgPlotTest, AutoRangeExpandsToData) {
+  SvgPlot plot("t", "x", "y");
+  plot.AddSeries("s", {-5.0, 50.0}, {2.0, 200.0});
+  // Axis tick labels beyond the default unit square must appear.
+  const std::string svg = plot.ToSvg();
+  EXPECT_NE(svg.find("50.00"), std::string::npos);
+  EXPECT_NE(svg.find("200.00"), std::string::npos);
+}
+
+TEST(SvgPlotTest, WriteFileRoundTrip) {
+  SvgPlot plot("file test", "x", "y");
+  plot.AddSeries("s", {0.0, 1.0}, {0.0, 1.0});
+  const std::string path = testing::TempDir() + "/hics_plot_test.svg";
+  ASSERT_TRUE(plot.WriteFile(path).ok());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, plot.ToSvg());
+  std::remove(path.c_str());
+}
+
+TEST(SvgPlotTest, WriteFileBadPathFails) {
+  SvgPlot plot("t", "x", "y");
+  plot.AddSeries("s", {0.0}, {0.0});
+  EXPECT_FALSE(plot.WriteFile("/no/such/dir/plot.svg").ok());
+}
+
+TEST(SvgPlotDeathTest, InvalidInputsAbort) {
+  SvgPlot plot("t", "x", "y");
+  EXPECT_DEATH(plot.SetXRange(1.0, 1.0), "");
+  EXPECT_DEATH(plot.AddSeries("s", {0.0, 1.0}, {0.0}), "");
+  std::vector<double> empty;
+  EXPECT_DEATH(plot.AddSeries("s", empty, empty), "");
+}
+
+}  // namespace
+}  // namespace hics

@@ -1,0 +1,208 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/descriptive.h"
+
+namespace hics {
+namespace {
+
+TEST(SyntheticParamsTest, Validation) {
+  EXPECT_TRUE(SyntheticParams{}.Validate().ok());
+  SyntheticParams p;
+  p.num_objects = 5;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SyntheticParams{};
+  p.min_subspace_dims = 1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SyntheticParams{};
+  p.max_subspace_dims = 1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SyntheticParams{};
+  p.num_attributes = 1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SyntheticParams{};
+  p.min_clusters = 1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SyntheticParams{};
+  p.cluster_stddev = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SyntheticParams{};
+  p.outliers_per_subspace = 1000;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(SyntheticTest, ShapeAndLabelsMatchParams) {
+  SyntheticParams p;
+  p.num_objects = 300;
+  p.num_attributes = 12;
+  p.seed = 1;
+  auto data = GenerateSynthetic(p);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->data.num_objects(), 300u);
+  EXPECT_EQ(data->data.num_attributes(), 12u);
+  ASSERT_TRUE(data->data.has_labels());
+  // Outliers can overlap across subspaces, so count is bounded by
+  // groups * outliers_per_subspace.
+  const std::size_t max_outliers =
+      data->relevant_subspaces.size() * p.outliers_per_subspace;
+  EXPECT_LE(data->data.CountOutliers(), max_outliers);
+  EXPECT_GE(data->data.CountOutliers(), p.outliers_per_subspace);
+}
+
+TEST(SyntheticTest, SubspacePartitionIsDisjointAndComplete) {
+  SyntheticParams p;
+  p.num_objects = 100;
+  p.num_attributes = 17;
+  p.seed = 2;
+  auto data = GenerateSynthetic(p);
+  ASSERT_TRUE(data.ok());
+  std::set<std::size_t> covered;
+  for (const Subspace& s : data->relevant_subspaces) {
+    EXPECT_GE(s.size(), p.min_subspace_dims);
+    for (std::size_t dim : s) {
+      EXPECT_TRUE(covered.insert(dim).second)
+          << "dimension " << dim << " in two groups";
+    }
+  }
+  EXPECT_EQ(covered.size(), p.num_attributes);
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticParams p;
+  p.num_objects = 120;
+  p.num_attributes = 8;
+  p.seed = 3;
+  auto a = GenerateSynthetic(p);
+  auto b = GenerateSynthetic(p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t i = 0; i < 120; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(a->data.Get(i, j), b->data.Get(i, j));
+    }
+  }
+  EXPECT_EQ(a->data.labels(), b->data.labels());
+}
+
+TEST(SyntheticTest, OutliersAreNonTrivial) {
+  // The defining property (§V-A): an implanted outlier's coordinates stay
+  // within the marginal value range of the regular data (no 1-D extreme),
+  // but its distance to every cluster in its subspace is large.
+  SyntheticParams p;
+  p.num_objects = 500;
+  p.num_attributes = 6;
+  p.min_subspace_dims = 3;
+  p.max_subspace_dims = 3;
+  p.min_clusters = 3;
+  p.max_clusters = 3;
+  p.seed = 4;
+  auto data = GenerateSynthetic(p);
+  ASSERT_TRUE(data.ok());
+
+  for (std::size_t g = 0; g < data->relevant_subspaces.size(); ++g) {
+    const Subspace& group = data->relevant_subspaces[g];
+    // Marginal ranges of the inliers.
+    for (std::size_t dim : group) {
+      double lo = 1e9, hi = -1e9;
+      for (std::size_t i = 0; i < 500; ++i) {
+        if (data->data.labels()[i]) continue;
+        lo = std::min(lo, data->data.Get(i, dim));
+        hi = std::max(hi, data->data.Get(i, dim));
+      }
+      for (std::size_t id : data->outlier_ids[g]) {
+        const double v = data->data.Get(id, dim);
+        EXPECT_GE(v, lo - 0.05) << "outlier " << id << " extreme low";
+        EXPECT_LE(v, hi + 0.05) << "outlier " << id << " extreme high";
+      }
+    }
+    // Every outlier is far (in the joint subspace) from every inlier's
+    // position: check min distance to inliers exceeds the typical
+    // nearest-neighbor distance of inliers.
+    for (std::size_t id : data->outlier_ids[g]) {
+      double min_dist = 1e9;
+      for (std::size_t i = 0; i < 500; ++i) {
+        if (i == id || data->data.labels()[i]) continue;
+        double d2 = 0.0;
+        for (std::size_t dim : group) {
+          const double diff =
+              data->data.Get(id, dim) - data->data.Get(i, dim);
+          d2 += diff * diff;
+        }
+        min_dist = std::min(min_dist, std::sqrt(d2));
+      }
+      EXPECT_GT(min_dist, 3.0 * p.cluster_stddev)
+          << "outlier " << id << " not isolated in its subspace";
+    }
+  }
+}
+
+TEST(ToyDatasetsTest, SharedMarginalsDifferentJoint) {
+  const Dataset a = MakeToyUncorrelated(2000, 5);
+  const Dataset b = MakeToyCorrelated(2000, 5);
+  ASSERT_EQ(a.num_attributes(), 2u);
+  ASSERT_EQ(b.num_attributes(), 2u);
+  // Marginal moments agree closely between A and B.
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(stats::Mean(a.Column(j)), stats::Mean(b.Column(j)), 0.03);
+    EXPECT_NEAR(stats::StdDev(a.Column(j)), stats::StdDev(b.Column(j)),
+                0.03);
+  }
+  // The joint distributions differ: in B the two attributes share the
+  // mixture component, so their covariance is large; in A it is ~0.
+  auto covariance = [](const Dataset& ds) {
+    const double mx = stats::Mean(ds.Column(0));
+    const double my = stats::Mean(ds.Column(1));
+    double sum = 0.0;
+    for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+      sum += (ds.Get(i, 0) - mx) * (ds.Get(i, 1) - my);
+    }
+    return sum / static_cast<double>(ds.num_objects());
+  };
+  EXPECT_NEAR(covariance(a), 0.0, 0.01);
+  EXPECT_GT(covariance(b), 0.04);
+}
+
+TEST(ToyDatasetsTest, LabeledOutliersPresent) {
+  const Dataset a = MakeToyUncorrelated(100, 6);
+  EXPECT_EQ(a.CountOutliers(), 1u);
+  EXPECT_TRUE(a.labels()[99]);
+  const Dataset b = MakeToyCorrelated(100, 6);
+  EXPECT_EQ(b.CountOutliers(), 2u);
+  EXPECT_TRUE(b.labels()[98]);
+  EXPECT_TRUE(b.labels()[99]);
+}
+
+TEST(XorCubeTest, TwoDimensionalProjectionsBalanced) {
+  const Dataset cube = MakeXorCube(8000, 7);
+  ASSERT_EQ(cube.num_attributes(), 3u);
+  // In every 2-D projection, all four quadrants (around 0.5) hold ~25%.
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a + 1; b < 3; ++b) {
+      int quadrants[4] = {0, 0, 0, 0};
+      for (std::size_t i = 0; i < cube.num_objects(); ++i) {
+        const int qa = cube.Get(i, a) > 0.5 ? 1 : 0;
+        const int qb = cube.Get(i, b) > 0.5 ? 1 : 0;
+        ++quadrants[2 * qa + qb];
+      }
+      for (int q : quadrants) {
+        EXPECT_NEAR(static_cast<double>(q) / 8000.0, 0.25, 0.03);
+      }
+    }
+  }
+  // The 3-D joint occupies only the even-parity corners.
+  int parity_violations = 0;
+  for (std::size_t i = 0; i < cube.num_objects(); ++i) {
+    const int x = cube.Get(i, 0) > 0.5 ? 1 : 0;
+    const int y = cube.Get(i, 1) > 0.5 ? 1 : 0;
+    const int z = cube.Get(i, 2) > 0.5 ? 1 : 0;
+    if ((x ^ y ^ z) != 0) ++parity_violations;
+  }
+  // Gaussian jitter can push a few points across 0.5.
+  EXPECT_LT(parity_violations, 200);
+}
+
+}  // namespace
+}  // namespace hics

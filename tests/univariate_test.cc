@@ -1,0 +1,138 @@
+#include "outlier/univariate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hics {
+namespace {
+
+std::vector<double> NormalSampleWithSpike(std::size_t n, double spike,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Gaussian(0.0, 1.0);
+  v.back() = spike;
+  return v;
+}
+
+class UnivariateMethodTest
+    : public ::testing::TestWithParam<UnivariateMethod> {};
+
+TEST_P(UnivariateMethodTest, SpikeGetsTopScore) {
+  const auto values = NormalSampleWithSpike(500, 15.0, 1);
+  const auto scores = UnivariateDeviations(values, GetParam());
+  ASSERT_EQ(scores.size(), values.size());
+  for (std::size_t i = 0; i + 1 < scores.size(); ++i) {
+    EXPECT_GT(scores.back(), scores[i]);
+  }
+}
+
+TEST_P(UnivariateMethodTest, ScoresNonNegative) {
+  const auto values = NormalSampleWithSpike(200, -8.0, 2);
+  for (double s : UnivariateDeviations(values, GetParam())) {
+    EXPECT_GE(s, 0.0);
+  }
+}
+
+TEST_P(UnivariateMethodTest, ConstantSampleAllZero) {
+  const std::vector<double> values(50, 3.0);
+  for (double s : UnivariateDeviations(values, GetParam())) {
+    EXPECT_EQ(s, 0.0);
+  }
+}
+
+TEST_P(UnivariateMethodTest, EmptySampleEmptyResult) {
+  EXPECT_TRUE(UnivariateDeviations({}, GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, UnivariateMethodTest,
+                         ::testing::Values(UnivariateMethod::kZScore,
+                                           UnivariateMethod::kRobustZScore,
+                                           UnivariateMethod::kIqr));
+
+TEST(UnivariateScorerTest, FindsTrivialOutlierAcrossAttributes) {
+  Rng rng(3);
+  Dataset ds(300, 3);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) ds.Set(i, j, rng.Gaussian());
+  }
+  ds.Set(123, 2, 40.0);  // extreme in attribute 2 only
+  UnivariateScorer scorer;
+  const auto scores = scorer.ScoreFullSpace(ds);
+  for (std::size_t i = 0; i < 300; ++i) {
+    if (i != 123) EXPECT_GT(scores[123], scores[i]);
+  }
+}
+
+TEST(UnivariateScorerTest, IgnoresAttributesOutsideSubspace) {
+  Rng rng(4);
+  Dataset ds(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    ds.Set(i, 0, rng.Gaussian());
+    ds.Set(i, 1, rng.Gaussian());
+  }
+  ds.Set(7, 1, 50.0);
+  UnivariateScorer scorer;
+  const auto scores = scorer.ScoreSubspace(ds, Subspace({0}));
+  // The spike lives in attribute 1, which is excluded.
+  std::size_t higher = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (scores[i] > scores[7]) ++higher;
+  }
+  EXPECT_GT(higher, 50u);
+}
+
+TEST(UnivariateScorerTest, IQRMisssesMildInliers) {
+  // Values inside Tukey's fences score exactly 0 under kIqr.
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(0.01 * i);
+  const auto scores = UnivariateDeviations(values, UnivariateMethod::kIqr);
+  for (double s : scores) EXPECT_EQ(s, 0.0);
+}
+
+TEST(UnivariateScorerTest, Names) {
+  EXPECT_EQ(UnivariateScorer(UnivariateMethod::kZScore).name(),
+            "uni-zscore");
+  EXPECT_EQ(UnivariateScorer(UnivariateMethod::kRobustZScore).name(),
+            "uni-robust");
+  EXPECT_EQ(UnivariateScorer(UnivariateMethod::kIqr).name(), "uni-iqr");
+}
+
+TEST(CombineScoresTest, TrivialOutlierLiftedToTop) {
+  // Object 0: top trivial score, bottom subspace score. With weight 1 it
+  // must end up at the top of the combined ranking.
+  const std::vector<double> trivial = {10.0, 1.0, 2.0, 3.0};
+  const std::vector<double> subspace = {0.0, 5.0, 6.0, 7.0};
+  const auto combined = CombineTrivialAndSubspaceScores(trivial, subspace);
+  for (std::size_t i = 1; i < combined.size(); ++i) {
+    EXPECT_GE(combined[0], combined[i] - 1e-12);
+  }
+}
+
+TEST(CombineScoresTest, ZeroWeightDisablesTrivialChannel) {
+  const std::vector<double> trivial = {10.0, 1.0, 2.0};
+  const std::vector<double> subspace = {1.0, 2.0, 3.0};
+  const auto combined =
+      CombineTrivialAndSubspaceScores(trivial, subspace, 0.0);
+  // Order must follow the subspace scores alone.
+  EXPECT_LT(combined[0], combined[1]);
+  EXPECT_LT(combined[1], combined[2]);
+}
+
+TEST(CombineScoresTest, RankNormalizationBoundsOutput) {
+  const std::vector<double> trivial = {1e9, 0.0, 5.0, 2.0};
+  const std::vector<double> subspace = {0.1, 0.2, 0.3, 1e-9};
+  for (double v :
+       CombineTrivialAndSubspaceScores(trivial, subspace, 1.0)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(CombineScoresDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH(CombineTrivialAndSubspaceScores({1.0}, {1.0, 2.0}), "");
+}
+
+}  // namespace
+}  // namespace hics
