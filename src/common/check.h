@@ -31,6 +31,39 @@ class CheckFailureStream {
   std::ostringstream stream_;
 };
 
+/// Captures the two operands of a failed comparison so the abort message
+/// shows the actual values, e.g. "(3 vs. 5)". Operands are evaluated exactly
+/// once; non-streamable types print as "<unprintable>".
+class OperandCapture {
+ public:
+  template <typename A, typename B, typename Cmp>
+  bool Compare(const A& a, const B& b, Cmp cmp) {
+    if (cmp(a, b)) return true;
+    std::ostringstream os;
+    os << "(";
+    Print(os, a);
+    os << " vs. ";
+    Print(os, b);
+    os << ")";
+    text_ = os.str();
+    return false;
+  }
+
+  const std::string& text() const { return text_; }
+
+ private:
+  template <typename T>
+  static void Print(std::ostringstream& os, const T& value) {
+    if constexpr (requires(std::ostringstream& s, const T& v) { s << v; }) {
+      os << value;
+    } else {
+      os << "<unprintable>";
+    }
+  }
+
+  std::string text_;
+};
+
 }  // namespace hics::internal_check
 
 /// Aborts with a message if `condition` is false. For programming errors /
@@ -41,12 +74,26 @@ class CheckFailureStream {
     ::hics::internal_check::CheckFailureStream(#condition, __FILE__,  \
                                                __LINE__)
 
-#define HICS_CHECK_EQ(a, b) HICS_CHECK((a) == (b))
-#define HICS_CHECK_NE(a, b) HICS_CHECK((a) != (b))
-#define HICS_CHECK_LT(a, b) HICS_CHECK((a) < (b))
-#define HICS_CHECK_LE(a, b) HICS_CHECK((a) <= (b))
-#define HICS_CHECK_GT(a, b) HICS_CHECK((a) > (b))
-#define HICS_CHECK_GE(a, b) HICS_CHECK((a) >= (b))
+/// Comparison checks that log the actual operand values on failure, e.g.
+///   HICS_CHECK failure: (rows.size() == n) (3 vs. 5) at foo.cc:42
+/// so crash reports (fault-injection runs included) are actionable without
+/// a debugger. Operands are evaluated exactly once.
+#define HICS_CHECK_OP_(op, a, b)                                              \
+  if (::hics::internal_check::OperandCapture _hics_operands;                  \
+      _hics_operands.Compare(                                                 \
+          (a), (b),                                                           \
+          [](const auto& _x, const auto& _y) { return _x op _y; })) {         \
+  } else                                                                      \
+    ::hics::internal_check::CheckFailureStream(#a " " #op " " #b, __FILE__,   \
+                                               __LINE__)                      \
+        << _hics_operands.text() << " "
+
+#define HICS_CHECK_EQ(a, b) HICS_CHECK_OP_(==, a, b)
+#define HICS_CHECK_NE(a, b) HICS_CHECK_OP_(!=, a, b)
+#define HICS_CHECK_LT(a, b) HICS_CHECK_OP_(<, a, b)
+#define HICS_CHECK_LE(a, b) HICS_CHECK_OP_(<=, a, b)
+#define HICS_CHECK_GT(a, b) HICS_CHECK_OP_(>, a, b)
+#define HICS_CHECK_GE(a, b) HICS_CHECK_OP_(>=, a, b)
 
 /// Cheap assert in debug builds, no-op in release builds.
 #ifndef NDEBUG

@@ -1,5 +1,6 @@
 #include "common/csv.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -62,6 +63,7 @@ Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options) {
     std::vector<double> row;
     row.reserve(cells.size());
     bool label = false;
+    bool drop_row = false;
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (label_col >= 0 && i == static_cast<std::size_t>(label_col)) {
         double numeric = 0.0;
@@ -79,8 +81,21 @@ Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options) {
             std::to_string(i) + ": cannot parse '" + Trim(cells[i]) +
             "' as a number");
       }
+      if (!std::isfinite(value) &&
+          options.non_finite != NonFinitePolicy::kAllow) {
+        if (options.non_finite == NonFinitePolicy::kReject) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_number) + ", column " +
+              std::to_string(i) + ": non-finite value '" + Trim(cells[i]) +
+              "' (set CsvOptions::non_finite to kDropRow or kAllow to "
+              "accept)");
+        }
+        drop_row = true;
+        break;
+      }
       row.push_back(value);
     }
+    if (drop_row) continue;
     if (!rows.empty() && row.size() != rows.front().size()) {
       return Status::InvalidArgument("line " + std::to_string(line_number) +
                                      ": ragged row");

@@ -19,6 +19,8 @@ struct CsvOptions {
   /// `outlier_label` (case-sensitive).
   int label_column = -1;
   std::string outlier_label = "outlier";
+  /// Handling of NaN/inf feature cells.
+  NonFinitePolicy non_finite = NonFinitePolicy::kReject;
 };
 
 /// Parses CSV text into a dataset. Returns InvalidArgument on ragged rows or

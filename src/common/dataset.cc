@@ -108,6 +108,33 @@ void Dataset::AppendRow(const std::vector<double>& row, bool label) {
   ++num_objects_;
 }
 
+Status Dataset::Validate(bool require_non_constant) const {
+  if (num_objects_ < 2) {
+    return Status::InvalidArgument(
+        "dataset has " + std::to_string(num_objects_) +
+        " rows; at least 2 required");
+  }
+  for (std::size_t j = 0; j < columns_.size(); ++j) {
+    const std::vector<double>& col = columns_[j];
+    bool constant = true;
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      if (!std::isfinite(col[i])) {
+        return Status::InvalidArgument(
+            "non-finite value at row " + std::to_string(i) + ", column " +
+            std::to_string(j) + " ('" + names_[j] + "')");
+      }
+      if (col[i] != col.front()) constant = false;
+    }
+    if (require_non_constant && constant) {
+      return Status::InvalidArgument(
+          "column " + std::to_string(j) + " ('" + names_[j] +
+          "') is constant (" + std::to_string(col.front()) +
+          " in every row)");
+    }
+  }
+  return Status::OK();
+}
+
 Dataset& Dataset::NormalizeMinMax() {
   for (auto& col : columns_) {
     if (col.empty()) continue;

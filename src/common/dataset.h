@@ -11,6 +11,16 @@
 
 namespace hics {
 
+/// What a loader does with a feature cell that parses to NaN or +/-inf.
+/// strtod accepts "nan"/"inf" spellings, and letting them through silently
+/// poisons contrast and LOF math downstream, so loaders default to
+/// rejecting the file with an error naming the offending line.
+enum class NonFinitePolicy {
+  kReject,   ///< fail parsing with line/column in the error (default)
+  kDropRow,  ///< silently drop any row containing a non-finite cell
+  kAllow,    ///< keep the value (caller promises to Dataset::Validate())
+};
+
 /// In-memory real-valued dataset: N objects x D attributes, stored
 /// column-major (one contiguous vector per attribute) because contrast
 /// estimation and slicing scan single attributes. Optionally carries binary
@@ -76,6 +86,17 @@ class Dataset {
 
   /// Appends one row (size must be D; label optional when labeled).
   void AppendRow(const std::vector<double>& row, bool label = false);
+
+  /// Sanity-checks the dataset before analysis, reporting the first
+  /// violation with its row/column:
+  ///  - every value finite (NaN/inf poison contrast and LOF math),
+  ///  - at least 2 rows (every estimator needs a two-sample comparison),
+  ///  - no constant attribute when `require_non_constant` (a constant
+  ///    column has no marginal distribution to deviate from and yields
+  ///    degenerate slices).
+  /// Loaders run the finite check themselves (see CsvOptions /
+  /// ArffOptions); call this on programmatically built datasets too.
+  Status Validate(bool require_non_constant = true) const;
 
   /// Min-max normalizes every attribute to [0, 1] in place. Constant
   /// attributes map to 0. Returns *this for chaining.

@@ -1,6 +1,9 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -13,6 +16,7 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t num_threads,
   HICS_CHECK_LE(begin, end);
   const std::size_t count = end - begin;
   if (count == 0) return;
+  if (num_threads == 0) num_threads = DefaultNumThreads();
   if (num_threads <= 1 || count == 1) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
@@ -30,6 +34,70 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t num_threads,
     });
   }
   for (std::thread& t : threads) t.join();
+}
+
+Status ParallelTryFor(std::size_t begin, std::size_t end,
+                      std::size_t num_threads,
+                      const std::function<Status(std::size_t)>& fn,
+                      const std::function<bool()>& should_stop) {
+  HICS_CHECK_LE(begin, end);
+  const std::size_t count = end - begin;
+  if (count == 0) return Status::OK();
+  if (num_threads == 0) num_threads = DefaultNumThreads();
+
+  // First error wins by *index*, not by wall-clock arrival. A worker skips
+  // an iteration only when its index is at or above the smallest failing
+  // index recorded so far; everything below a known failure keeps running
+  // and may replace it with an earlier one. The globally smallest failing
+  // index can therefore never be starved (all indices before it succeed,
+  // so its worker always reaches it), which makes the returned error
+  // deterministic under any thread count or scheduling.
+  std::mutex error_mutex;
+  Status first_error;
+  std::atomic<std::size_t> first_error_index{
+      std::numeric_limits<std::size_t>::max()};
+  std::atomic<bool> stop{false};  // cooperative wind-down, not an error
+
+  auto record_error = [&](std::size_t index, Status status) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (index < first_error_index.load(std::memory_order_relaxed)) {
+      first_error = std::move(status);
+      first_error_index.store(index, std::memory_order_relaxed);
+    }
+  };
+  auto run_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i >= first_error_index.load(std::memory_order_relaxed)) return;
+      if (stop.load(std::memory_order_relaxed)) return;
+      if (should_stop && should_stop()) {
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      Status st = fn(i);
+      if (!st.ok()) {
+        record_error(i, std::move(st));
+        return;
+      }
+    }
+  };
+
+  if (num_threads <= 1 || count == 1) {
+    run_range(begin, end);
+    return first_error;
+  }
+
+  const std::size_t workers = std::min(num_threads, count);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &run_range] { run_range(lo, hi); });
+  }
+  for (std::thread& t : threads) t.join();
+  return first_error;
 }
 
 std::size_t DefaultNumThreads() {

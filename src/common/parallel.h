@@ -4,19 +4,37 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/status.h"
+
 namespace hics {
 
 /// Runs fn(i) for every i in [begin, end) using up to `num_threads` worker
-/// threads (static contiguous partitioning). With num_threads <= 1 the
-/// loop runs inline on the calling thread. `fn` must be safe to call
-/// concurrently for distinct indices; iteration order within a worker is
-/// ascending, across workers unspecified.
+/// threads (static contiguous partitioning). num_threads = 0 means
+/// hardware concurrency; with num_threads == 1 the loop runs inline on the
+/// calling thread. `fn` must be safe to call concurrently for distinct
+/// indices; iteration order within a worker is ascending, across workers
+/// unspecified.
 ///
 /// Deliberately minimal: the library's parallel sections are coarse
 /// (one contrast estimate / one kNN query per index), so spawn-per-call
 /// threads beat the complexity of a persistent pool.
 void ParallelFor(std::size_t begin, std::size_t end, std::size_t num_threads,
                  const std::function<void(std::size_t)>& fn);
+
+/// Fallible variant: runs fn(i) like ParallelFor but stops scheduling new
+/// iterations as soon as any call returns a non-OK Status, and returns the
+/// error of the *smallest failing index* — deterministic regardless of
+/// thread count or scheduling. Iterations already in flight on other
+/// workers finish; iterations never started are skipped. Returns OK when
+/// every executed call returned OK.
+///
+/// `should_stop`, when provided, is polled before each iteration; returning
+/// true makes remaining iterations wind down without producing an error
+/// (the caller knows why it asked to stop — see RunContext).
+Status ParallelTryFor(std::size_t begin, std::size_t end,
+                      std::size_t num_threads,
+                      const std::function<Status(std::size_t)>& fn,
+                      const std::function<bool()>& should_stop = nullptr);
 
 /// Default worker count: hardware concurrency, at least 1.
 std::size_t DefaultNumThreads();

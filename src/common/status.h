@@ -19,6 +19,9 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
+  kDataLoss,
 };
 
 /// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
@@ -58,6 +61,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

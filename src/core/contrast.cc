@@ -53,4 +53,22 @@ double ContrastEstimator::Contrast(const Subspace& subspace, Rng* rng,
   return deviation_sum / static_cast<double>(params_.num_iterations);
 }
 
+Result<double> ContrastEstimator::Contrast(
+    const Subspace& subspace, Rng* rng, std::vector<std::uint16_t>* scratch,
+    const RunContext& ctx) const {
+  HICS_CHECK(rng != nullptr);
+  HICS_CHECK_GE(subspace.size(), 2u);
+  double deviation_sum = 0.0;
+  for (std::size_t iteration = 0; iteration < params_.num_iterations;
+       ++iteration) {
+    HICS_RETURN_NOT_OK(ctx.CheckProgress());
+    HICS_RETURN_NOT_OK(ctx.InjectFault("contrast.slice"));
+    const SliceDraw draw =
+        sampler_.Draw(subspace, params_.alpha, rng, scratch);
+    deviation_sum += test_.DeviationPresortedMarginal(
+        sorted_columns_[draw.test_attribute], draw.conditional_sample);
+  }
+  return deviation_sum / static_cast<double>(params_.num_iterations);
+}
+
 }  // namespace hics

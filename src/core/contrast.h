@@ -7,6 +7,7 @@
 
 #include "common/dataset.h"
 #include "common/random.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "common/subspace.h"
 #include "core/slice.h"
@@ -53,6 +54,16 @@ class ContrastEstimator {
   /// Thread-safe variant with caller-provided per-thread scratch.
   double Contrast(const Subspace& subspace, Rng* rng,
                   std::vector<std::uint16_t>* scratch) const;
+
+  /// Context-aware variant: checks `ctx` between Monte Carlo iterations and
+  /// returns kCancelled/kDeadlineExceeded instead of finishing all M
+  /// iterations; also exposes the fault-injection site "contrast.slice"
+  /// (checked once per iteration). Callers treat those interruption codes
+  /// as "stop the search, keep best-so-far" and any other error as "skip
+  /// this subspace" — see RunHicsSearch.
+  Result<double> Contrast(const Subspace& subspace, Rng* rng,
+                          std::vector<std::uint16_t>* scratch,
+                          const RunContext& ctx) const;
 
   const ContrastParams& params() const { return params_; }
   const SortedAttributeIndex& index() const { return index_; }

@@ -1,6 +1,7 @@
 #include "core/hics.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/parallel.h"
 #include "common/random.h"
@@ -107,6 +108,13 @@ std::size_t PruneRedundant(std::vector<ScoredSubspace>* subspaces) {
 Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
                                                   const HicsParams& params,
                                                   HicsRunStats* stats) {
+  return RunHicsSearch(dataset, params, RunContext(), stats);
+}
+
+Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
+                                                  const HicsParams& params,
+                                                  const RunContext& ctx,
+                                                  HicsRunStats* stats) {
   HICS_RETURN_NOT_OK(params.Validate());
   if (dataset.num_attributes() < 2) {
     return Status::InvalidArgument(
@@ -116,6 +124,7 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
   if (dataset.num_objects() < 2) {
     return Status::InvalidArgument("HiCS requires at least 2 objects");
   }
+  HICS_RETURN_NOT_OK(ctx.InjectFault("hics.search"));
 
   const auto test = stats::MakeTwoSampleTest(params.statistical_test);
   HICS_CHECK(test != nullptr);
@@ -131,43 +140,100 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
   auto subspace_rng = [&params](const Subspace& s) {
     return Rng(params.seed ^ (SubspaceHash{}(s) * 0x9e3779b97f4a7c15ULL));
   };
+  auto record_interruption = [&local_stats](const Status& st) {
+    if (st.code() == StatusCode::kCancelled) local_stats.cancelled = true;
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      local_stats.deadline_exceeded = true;
+    }
+  };
 
   std::vector<ScoredSubspace> pool;   // everything retained across levels
   std::vector<Subspace> level = internal::AllTwoDimensionalSubspaces(
       dataset.num_attributes());
 
   while (!level.empty()) {
+    const Status progress = ctx.CheckProgress();
+    if (!progress.ok()) {
+      record_interruption(progress);
+      break;
+    }
     const std::size_t dims = level.front().size();
     if (params.max_dimensionality != 0 &&
         dims > params.max_dimensionality) {
       break;
     }
     ++local_stats.levels_processed;
-    local_stats.max_level_reached =
-        std::max(local_stats.max_level_reached, dims);
 
     // Score the whole level (in parallel when configured), then apply the
     // adaptive threshold: keep only the candidate_cutoff best (§IV-B).
+    // A contrast evaluation that fails is isolated: its subspace is skipped
+    // (it neither enters the pool nor seeds the next level) and tallied.
+    // Only interruption codes (cancel/deadline) stop the level early; the
+    // subspaces scored before the stop still count as best-so-far results.
     std::vector<ScoredSubspace> scored(level.size());
-    ParallelFor(0, level.size(), num_threads, [&](std::size_t i) {
-      Rng rng = subspace_rng(level[i]);
-      std::vector<std::uint16_t> scratch;
-      const double contrast = estimator.Contrast(level[i], &rng, &scratch);
-      scored[i] = {std::move(level[i]), contrast};
-    });
-    local_stats.contrast_evaluations += scored.size();
-    if (scored.size() > params.candidate_cutoff) {
+    std::vector<char> scored_ok(level.size(), 0);
+    std::atomic<std::size_t> failed{0};
+    const Status level_status = ParallelTryFor(
+        0, level.size(), num_threads,
+        [&](std::size_t i) -> Status {
+          Status injected = ctx.InjectFault("contrast.estimate");
+          Result<double> contrast =
+              injected.ok()
+                  ? [&]() -> Result<double> {
+                      Rng rng = subspace_rng(level[i]);
+                      std::vector<std::uint16_t> scratch;
+                      return estimator.Contrast(level[i], &rng, &scratch,
+                                                ctx);
+                    }()
+                  : Result<double>(std::move(injected));
+          if (contrast.ok()) {
+            scored[i] = {std::move(level[i]), *contrast};
+            scored_ok[i] = 1;
+            return Status::OK();
+          }
+          const StatusCode code = contrast.status().code();
+          if (code == StatusCode::kCancelled ||
+              code == StatusCode::kDeadlineExceeded) {
+            return contrast.status();  // stops the level deterministically
+          }
+          failed.fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();  // isolated: skip this subspace, keep going
+        },
+        [&ctx] { return ctx.ShouldStop(); });
+    local_stats.failed_contrast_evaluations +=
+        failed.load(std::memory_order_relaxed);
+
+    std::vector<ScoredSubspace> completed;
+    completed.reserve(scored.size());
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+      if (scored_ok[i]) completed.push_back(std::move(scored[i]));
+    }
+    local_stats.contrast_evaluations += completed.size();
+    if (!completed.empty()) {
+      local_stats.max_level_reached =
+          std::max(local_stats.max_level_reached, dims);
+    }
+    if (completed.size() > params.candidate_cutoff) {
       ++local_stats.cutoff_applications;
     }
-    KeepTopK(&scored, params.candidate_cutoff);
+    KeepTopK(&completed, params.candidate_cutoff);
 
     // Survivors seed the next level and enter the output pool.
     std::vector<Subspace> survivors;
-    survivors.reserve(scored.size());
-    for (const ScoredSubspace& s : scored) survivors.push_back(s.subspace);
+    survivors.reserve(completed.size());
+    for (const ScoredSubspace& s : completed) survivors.push_back(s.subspace);
     std::sort(survivors.begin(), survivors.end());
-    for (ScoredSubspace& s : scored) pool.push_back(std::move(s));
+    for (ScoredSubspace& s : completed) pool.push_back(std::move(s));
 
+    if (!level_status.ok()) {
+      record_interruption(level_status);
+      break;
+    }
+    const Status after_level = ctx.CheckProgress();
+    if (!after_level.ok()) {
+      record_interruption(after_level);
+      break;
+    }
     level = internal::GenerateCandidates(survivors);
   }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "common/subspace.h"
 #include "core/contrast.h"
@@ -46,11 +47,24 @@ struct HicsParams {
 
 /// Progress/diagnostic statistics of one HiCS run.
 struct HicsRunStats {
-  std::size_t contrast_evaluations = 0;   ///< total subspaces scored
+  std::size_t contrast_evaluations = 0;   ///< subspaces scored successfully
   std::size_t levels_processed = 0;       ///< lattice levels visited
   std::size_t max_level_reached = 0;      ///< highest dimensionality scored
   std::size_t pruned_redundant = 0;       ///< dropped by redundancy pruning
   std::size_t cutoff_applications = 0;    ///< levels where cutoff truncated
+
+  /// Contrast evaluations that failed (fault injection or data errors) and
+  /// were skipped; the affected subspaces neither enter the result nor seed
+  /// the next lattice level.
+  std::size_t failed_contrast_evaluations = 0;
+  /// The run stopped early because the RunContext deadline expired; the
+  /// returned subspaces are the best found up to that point.
+  bool deadline_exceeded = false;
+  /// The run stopped early because cancellation was requested.
+  bool cancelled = false;
+
+  /// True when the search wound down before exhausting the lattice.
+  bool interrupted() const { return deadline_exceeded || cancelled; }
 };
 
 /// HiCS subspace search (paper §IV): level-wise Apriori-style generation of
@@ -66,6 +80,22 @@ struct HicsRunStats {
 /// descending contrast. `stats`, when non-null, receives run diagnostics.
 Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
                                                   const HicsParams& params,
+                                                  HicsRunStats* stats =
+                                                      nullptr);
+
+/// Context-aware search. The context is checked between lattice levels,
+/// between subspace evaluations within a level, and between Monte Carlo
+/// iterations within one contrast estimate. On deadline expiry or
+/// cancellation the search *does not fail*: it returns the best subspaces
+/// scored so far, with `stats->deadline_exceeded` / `stats->cancelled` set.
+/// A contrast evaluation that fails for any other reason (e.g. an injected
+/// fault at "contrast.slice" or "contrast.estimate") is isolated: the
+/// subspace is skipped and counted in `stats->failed_contrast_evaluations`.
+/// Errors are returned only for invalid params/dataset or when a fault is
+/// injected at site "hics.search" (whole-search failure).
+Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
+                                                  const HicsParams& params,
+                                                  const RunContext& ctx,
                                                   HicsRunStats* stats =
                                                       nullptr);
 

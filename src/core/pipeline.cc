@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 namespace hics {
 
@@ -9,12 +10,71 @@ Result<PipelineResult> RunHicsPipeline(const Dataset& dataset,
                                        const HicsParams& params,
                                        const OutlierScorer& scorer,
                                        ScoreAggregation aggregation) {
+  return RunHicsPipeline(dataset, params, scorer, RunContext(), aggregation);
+}
+
+Result<PipelineResult> RunHicsPipeline(const Dataset& dataset,
+                                       const HicsParams& params,
+                                       const OutlierScorer& scorer,
+                                       const RunContext& ctx,
+                                       ScoreAggregation aggregation) {
   PipelineResult result;
-  HICS_ASSIGN_OR_RETURN(result.subspaces,
-                        RunHicsSearch(dataset, params, &result.search_stats));
-  result.scores =
-      RankWithSubspaces(dataset, result.subspaces, scorer, aggregation);
-  return result;
+  HICS_ASSIGN_OR_RETURN(
+      result.subspaces,
+      RunHicsSearch(dataset, params, ctx, &result.search_stats));
+
+  PipelineDiagnostics& diag = result.diagnostics;
+  diag.deadline_exceeded = result.search_stats.deadline_exceeded;
+  diag.cancelled = result.search_stats.cancelled;
+  if (result.search_stats.failed_contrast_evaluations > 0) {
+    diag.error_tally["contrast.estimate"] +=
+        result.search_stats.failed_contrast_evaluations;
+  }
+
+  std::vector<Subspace> plain;
+  plain.reserve(result.subspaces.size());
+  for (const ScoredSubspace& s : result.subspaces) {
+    plain.push_back(s.subspace);
+  }
+  diag.requested_subspaces = plain.size();
+
+  DegradedRankingResult ranked =
+      RankWithSubspacesDegraded(dataset, plain, scorer, aggregation, ctx);
+  diag.scored_subspaces = ranked.succeeded;
+  diag.skipped_subspaces = ranked.failures.size();
+  diag.deadline_exceeded |= ranked.deadline_exceeded;
+  diag.cancelled |= ranked.cancelled;
+  const std::string scorer_site = "scorer." + scorer.name();
+  for (SubspaceFailure& failure : ranked.failures) {
+    ++diag.error_tally[scorer_site];
+    diag.failures.push_back(std::move(failure));
+  }
+
+  if (!ranked.scores.empty()) {
+    result.scores = std::move(ranked.scores);
+    return result;
+  }
+
+  // No subspace produced scores: either the search returned none
+  // (degenerate data, the historical full-space path) or every member of
+  // the ensemble failed. Fall back to scoring the full space; surface an
+  // error only when that fails too.
+  Result<std::vector<double>> full =
+      scorer.ScoreSubspaceChecked(dataset, dataset.FullSpace(), ctx);
+  if (full.ok()) {
+    diag.used_fullspace_fallback = true;
+    result.scores = std::move(full).ValueOrDie();
+    return result;
+  }
+  if (!diag.failures.empty()) {
+    return Status(full.status().code(),
+                  "all " + std::to_string(diag.requested_subspaces) +
+                      " subspaces failed (first: " +
+                      diag.failures.front().status.ToString() +
+                      ") and full-space fallback failed: " +
+                      full.status().ToString());
+  }
+  return full.status();
 }
 
 std::vector<std::size_t> RankingFromScores(

@@ -116,6 +116,7 @@ Result<Dataset> ParseArff(const std::string& text,
   bool in_data = false;
   std::size_t line_number = 0;
   std::vector<std::vector<std::string>> raw_rows;
+  std::vector<std::size_t> row_lines;  // source line of each raw row
 
   while (std::getline(stream, line)) {
     ++line_number;
@@ -153,6 +154,7 @@ Result<Dataset> ParseArff(const std::string& text,
           std::to_string(cells.size()));
     }
     raw_rows.push_back(std::move(cells));
+    row_lines.push_back(line_number);
   }
   if (!in_data) return Status::InvalidArgument("missing @data section");
 
@@ -192,6 +194,42 @@ Result<Dataset> ParseArff(const std::string& text,
   }
   if (feature_attrs.empty()) {
     return Status::InvalidArgument("no feature attributes");
+  }
+
+  // Non-finite screening pass: strtod accepts "nan"/"inf" spellings, which
+  // would silently poison downstream contrast/LOF math. Reject (with the
+  // source line) or drop such rows before the dataset is built.
+  if (options.non_finite != NonFinitePolicy::kAllow) {
+    std::vector<std::vector<std::string>> kept_rows;
+    std::vector<std::size_t> kept_lines;
+    kept_rows.reserve(raw_rows.size());
+    kept_lines.reserve(raw_rows.size());
+    for (std::size_t r = 0; r < raw_rows.size(); ++r) {
+      bool finite = true;
+      for (std::size_t c = 0; c < feature_attrs.size() && finite; ++c) {
+        const ArffAttribute& attr = attributes[feature_attrs[c]];
+        const std::string& cell = raw_rows[r][feature_attrs[c]];
+        if (attr.nominal || cell == "?") continue;
+        char* end = nullptr;
+        const double value = std::strtod(cell.c_str(), &end);
+        if (end == cell.c_str() + cell.size() && !std::isfinite(value)) {
+          if (options.non_finite == NonFinitePolicy::kReject) {
+            return Status::InvalidArgument(
+                "line " + std::to_string(row_lines[r]) +
+                ": non-finite value '" + cell + "' for attribute '" +
+                attr.name + "' (set ArffOptions::non_finite to kDropRow or "
+                "kAllow to accept)");
+          }
+          finite = false;
+        }
+      }
+      if (finite) {
+        kept_rows.push_back(std::move(raw_rows[r]));
+        kept_lines.push_back(row_lines[r]);
+      }
+    }
+    raw_rows = std::move(kept_rows);
+    row_lines = std::move(kept_lines);
   }
 
   Dataset ds(raw_rows.size(), feature_attrs.size());

@@ -19,6 +19,9 @@ struct ArffOptions {
   /// uses for the UCI datasets: "we assume the minority class to contain
   /// the outliers").
   std::string outlier_value;
+  /// Handling of NaN/inf numeric cells ("?" missing cells are unaffected —
+  /// they are mean-imputed as before).
+  NonFinitePolicy non_finite = NonFinitePolicy::kReject;
 };
 
 /// Minimal ARFF reader for the subset UCI datasets use: `@relation`,

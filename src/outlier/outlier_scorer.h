@@ -1,10 +1,13 @@
 #ifndef HICS_OUTLIER_OUTLIER_SCORER_H_
 #define HICS_OUTLIER_OUTLIER_SCORER_H_
 
+#include <cmath>
 #include <string>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/run_context.h"
+#include "common/status.h"
 #include "common/subspace.h"
 
 namespace hics {
@@ -29,6 +32,35 @@ class OutlierScorer {
   /// Scores in the full data space.
   std::vector<double> ScoreFullSpace(const Dataset& dataset) const {
     return ScoreSubspace(dataset, dataset.FullSpace());
+  }
+
+  /// Fallible entry point used by the degraded-execution pipeline: honors
+  /// the context (cancellation/deadline checked up front), exposes the
+  /// fault-injection site "scorer.<name>", and validates the output — a
+  /// wrong-sized or non-finite score vector becomes a Status error naming
+  /// the offending object instead of silently poisoning the aggregate.
+  /// Scorer implementations may override to add internal checkpoints.
+  virtual Result<std::vector<double>> ScoreSubspaceChecked(
+      const Dataset& dataset, const Subspace& subspace,
+      const RunContext& ctx) const {
+    HICS_RETURN_NOT_OK(ctx.CheckProgress());
+    HICS_RETURN_NOT_OK(ctx.InjectFault("scorer." + name()));
+    std::vector<double> scores = ScoreSubspace(dataset, subspace);
+    if (scores.size() != dataset.num_objects()) {
+      return Status::Internal(
+          "scorer '" + name() + "' returned " +
+          std::to_string(scores.size()) + " scores for " +
+          std::to_string(dataset.num_objects()) + " objects in subspace " +
+          subspace.ToString());
+    }
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      if (!std::isfinite(scores[i])) {
+        return Status::DataLoss(
+            "scorer '" + name() + "' produced a non-finite score for object " +
+            std::to_string(i) + " in subspace " + subspace.ToString());
+      }
+    }
+    return scores;
   }
 
   /// Short identifier, e.g. "lof".

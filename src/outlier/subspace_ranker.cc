@@ -59,4 +59,42 @@ std::vector<double> RankWithSubspaces(
   return RankWithSubspaces(dataset, plain, scorer, aggregation);
 }
 
+DegradedRankingResult RankWithSubspacesDegraded(
+    const Dataset& dataset, const std::vector<Subspace>& subspaces,
+    const OutlierScorer& scorer, ScoreAggregation aggregation,
+    const RunContext& ctx) {
+  DegradedRankingResult result;
+  std::vector<std::vector<double>> per_subspace;
+  per_subspace.reserve(subspaces.size());
+  for (const Subspace& subspace : subspaces) {
+    const Status progress = ctx.CheckProgress();
+    if (!progress.ok()) {
+      result.cancelled = progress.code() == StatusCode::kCancelled;
+      result.deadline_exceeded =
+          progress.code() == StatusCode::kDeadlineExceeded;
+      break;
+    }
+    ++result.attempted;
+    Result<std::vector<double>> scores =
+        scorer.ScoreSubspaceChecked(dataset, subspace, ctx);
+    if (scores.ok()) {
+      ++result.succeeded;
+      per_subspace.push_back(std::move(scores).ValueOrDie());
+      continue;
+    }
+    const StatusCode code = scores.status().code();
+    if (code == StatusCode::kCancelled ||
+        code == StatusCode::kDeadlineExceeded) {
+      result.cancelled = code == StatusCode::kCancelled;
+      result.deadline_exceeded = code == StatusCode::kDeadlineExceeded;
+      break;
+    }
+    result.failures.push_back({subspace, scores.status()});
+  }
+  if (!per_subspace.empty()) {
+    result.scores = AggregateScores(per_subspace, aggregation);
+  }
+  return result;
+}
+
 }  // namespace hics

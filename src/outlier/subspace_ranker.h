@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/run_context.h"
+#include "common/status.h"
 #include "common/subspace.h"
 #include "outlier/outlier_scorer.h"
 
@@ -41,6 +43,44 @@ std::vector<double> RankWithSubspaces(
     const Dataset& dataset, const std::vector<ScoredSubspace>& subspaces,
     const OutlierScorer& scorer,
     ScoreAggregation aggregation = ScoreAggregation::kAverage);
+
+/// One isolated per-subspace failure observed during degraded ranking.
+struct SubspaceFailure {
+  Subspace subspace;
+  Status status;
+};
+
+/// Outcome of fault-isolated subspace ranking. HiCS is an ensemble
+/// (Definition 1 averages over the selected subspaces), so the aggregate
+/// stays meaningful when individual members drop out; `scores` is the
+/// aggregation over the `succeeded` subspaces only — the average
+/// renormalizes automatically because AggregateScores divides by the
+/// number of score vectors it is given.
+struct DegradedRankingResult {
+  /// Aggregated scores over the subspaces that scored successfully.
+  /// Empty iff `succeeded == 0` (the caller decides on a fallback).
+  std::vector<double> scores;
+  std::size_t attempted = 0;   ///< subspaces whose scoring was started
+  std::size_t succeeded = 0;   ///< subspaces that produced valid scores
+  /// Isolated failures (injected faults, non-finite scorer output, ...),
+  /// in subspace order. Interruptions are not failures; they set the
+  /// flags below instead.
+  std::vector<SubspaceFailure> failures;
+  bool cancelled = false;           ///< stopped early: cancellation
+  bool deadline_exceeded = false;   ///< stopped early: deadline
+};
+
+/// Fault-isolated, context-aware ranking: scores each subspace through
+/// OutlierScorer::ScoreSubspaceChecked, skips and records subspaces whose
+/// scorer fails, and stops early (keeping the aggregate over the subspaces
+/// already scored) when the context is cancelled or past its deadline.
+/// Never fails itself; with an empty `subspaces` list it returns an empty
+/// result with attempted == 0 so the caller can fall back to full-space
+/// scoring.
+DegradedRankingResult RankWithSubspacesDegraded(
+    const Dataset& dataset, const std::vector<Subspace>& subspaces,
+    const OutlierScorer& scorer, ScoreAggregation aggregation,
+    const RunContext& ctx);
 
 }  // namespace hics
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace hics {
 namespace {
 
@@ -142,6 +144,80 @@ TEST(ArffTest, ErrorCases) {
   options = ArffOptions{};
   options.outlier_value = "ugly";
   EXPECT_FALSE(ParseArff(kBasicArff, options).ok());
+}
+
+TEST(ArffTest, RejectsNonFiniteNumericCellByDefault) {
+  const char text[] = R"(@relation r
+@attribute x numeric
+@attribute y numeric
+@data
+1, 2
+nan, 4
+)";
+  auto ds = ParseArff(text);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+  // Line 6 of the source text holds the poisoned row; the attribute is
+  // named too.
+  EXPECT_NE(ds.status().message().find("line 6"), std::string::npos)
+      << ds.status().ToString();
+  EXPECT_NE(ds.status().message().find("x"), std::string::npos);
+}
+
+TEST(ArffTest, DropRowPolicySkipsNonFiniteRows) {
+  const char text[] = R"(@relation r
+@attribute x numeric
+@attribute class {in, out}
+@data
+1.0, in
+inf, in
+2.0, in
+3.0, out
+)";
+  ArffOptions options;
+  options.non_finite = NonFinitePolicy::kDropRow;
+  auto ds = ParseArff(text, options);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_objects(), 3u);
+  EXPECT_DOUBLE_EQ(ds->Get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ds->Get(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ds->Get(2, 0), 3.0);
+  // Labels stay aligned with the surviving rows; "out" is still the
+  // minority class after the drop.
+  ASSERT_TRUE(ds->has_labels());
+  EXPECT_FALSE(ds->labels()[0]);
+  EXPECT_FALSE(ds->labels()[1]);
+  EXPECT_TRUE(ds->labels()[2]);
+}
+
+TEST(ArffTest, AllowPolicyAdmitsNonFiniteValues) {
+  const char text[] = R"(@relation r
+@attribute x numeric
+@attribute y numeric
+@data
+1, nan
+3, 4
+)";
+  ArffOptions options;
+  options.non_finite = NonFinitePolicy::kAllow;
+  auto ds = ParseArff(text, options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(std::isnan(ds->Get(0, 1)));
+}
+
+TEST(ArffTest, MissingValueMarkerIsNotScreened) {
+  // '?' goes through mean imputation, not the non-finite screen.
+  const char text[] = R"(@relation r
+@attribute x numeric
+@attribute class {in, out}
+@data
+1.0, in
+?, in
+3.0, out
+)";
+  auto ds = ParseArff(text);  // default kReject
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_DOUBLE_EQ(ds->Get(1, 0), 2.0);
 }
 
 TEST(ArffTest, MissingFileIsIOError) {

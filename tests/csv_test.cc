@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -126,6 +127,61 @@ TEST(CsvTest, EmptyTextYieldsEmptyDataset) {
   auto ds = ParseCsv("", CsvOptions{.has_header = false});
   ASSERT_TRUE(ds.ok());
   EXPECT_EQ(ds->num_objects(), 0u);
+}
+
+TEST(CsvTest, RejectsNanCellByDefault) {
+  // strtod happily parses "nan"/"inf"; the loader must not let them
+  // through silently.
+  const auto ds =
+      ParseCsv("a,b\n1,2\n3,nan\n", CsvOptions{});
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ds.status().message().find("line 3"), std::string::npos)
+      << ds.status().ToString();
+  EXPECT_NE(ds.status().message().find("non-finite"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsInfinityCellByDefault) {
+  const auto ds =
+      ParseCsv("1,2\n-inf,4\n", CsvOptions{.has_header = false});
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ds.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, DropRowPolicySkipsPoisonedRows) {
+  CsvOptions options;
+  options.has_header = false;
+  options.non_finite = NonFinitePolicy::kDropRow;
+  const auto ds = ParseCsv("1,2\n3,nan\ninf,6\n7,8\n", options);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  ASSERT_EQ(ds->num_objects(), 2u);
+  EXPECT_EQ(ds->Get(0, 0), 1.0);
+  EXPECT_EQ(ds->Get(1, 1), 8.0);
+  EXPECT_TRUE(ds->Validate(/*require_non_constant=*/false).ok());
+}
+
+TEST(CsvTest, AllowPolicyKeepsNonFiniteValues) {
+  CsvOptions options;
+  options.has_header = false;
+  options.non_finite = NonFinitePolicy::kAllow;
+  const auto ds = ParseCsv("1,nan\n3,4\n", options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(std::isnan(ds->Get(0, 1)));
+  // ...and Validate() is the backstop that still catches them.
+  EXPECT_FALSE(ds->Validate().ok());
+}
+
+TEST(CsvTest, NanLabelCellDoesNotTriggerRejection) {
+  // Only *feature* cells are screened; the label column is not numeric
+  // data.
+  CsvOptions options;
+  options.has_header = false;
+  options.label_column = 2;
+  options.outlier_label = "nan";
+  const auto ds = ParseCsv("1,2,nan\n3,4,ok\n", options);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_objects(), 2u);
 }
 
 }  // namespace

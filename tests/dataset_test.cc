@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace hics {
 namespace {
 
@@ -135,6 +138,48 @@ TEST(DatasetTest, StandardizeCentersAndScales) {
 TEST(DatasetDeathTest, ProjectSubspaceOutOfRangeAborts) {
   Dataset ds(1, 2);
   EXPECT_DEATH(ds.ProjectSubspace(Subspace({5})), "");
+}
+
+TEST(DatasetValidateTest, AcceptsCleanData) {
+  auto ds = *Dataset::FromColumns({{1.0, 2.0, 3.0}, {4.0, 6.0, 5.0}});
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(DatasetValidateTest, RejectsTooFewRows) {
+  auto ds = *Dataset::FromColumns({{1.0}, {2.0}});
+  const Status st = ds.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("at least 2"), std::string::npos);
+}
+
+TEST(DatasetValidateTest, ReportsNonFiniteRowAndColumn) {
+  auto ds = *Dataset::FromColumns(
+      {{1.0, 2.0, 3.0}, {4.0, std::nan(""), 5.0}});
+  const Status st = ds.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The message names the offending cell: row 1, column 1 ("a1").
+  EXPECT_NE(st.message().find("row 1"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("column 1"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("a1"), std::string::npos) << st.ToString();
+}
+
+TEST(DatasetValidateTest, ReportsInfinityToo) {
+  auto ds = *Dataset::FromColumns(
+      {{1.0, std::numeric_limits<double>::infinity()}, {2.0, 3.0}});
+  EXPECT_EQ(ds.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetValidateTest, ReportsConstantColumnByName) {
+  auto ds = *Dataset::FromColumns({{1.0, 2.0, 3.0}, {7.0, 7.0, 7.0}});
+  const Status st = ds.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("column 1"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("constant"), std::string::npos)
+      << st.ToString();
+  // Constant columns can be allowed explicitly.
+  EXPECT_TRUE(ds.Validate(/*require_non_constant=*/false).ok());
 }
 
 }  // namespace

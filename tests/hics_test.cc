@@ -107,6 +107,40 @@ TEST(HicsParamsTest, RejectsBadValues) {
   EXPECT_FALSE(p.Validate().ok());
 }
 
+TEST(HicsParamsTest, EdgeValuesReportInvalidArgument) {
+  // Every rejected edge value must carry the exact StatusCode so API
+  // callers can branch on it.
+  const auto code_for = [](auto&& mutate) {
+    HicsParams p;
+    mutate(p);
+    return p.Validate().code();
+  };
+  EXPECT_EQ(code_for([](HicsParams& p) { p.alpha = 0.0; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code_for([](HicsParams& p) { p.alpha = 1.0; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code_for([](HicsParams& p) { p.alpha = -0.25; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code_for([](HicsParams& p) { p.candidate_cutoff = 0; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code_for([](HicsParams& p) { p.output_top_k = 0; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code_for([](HicsParams& p) { p.statistical_test = "mannwhitney"; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code_for([](HicsParams& p) { p.statistical_test = ""; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code_for([](HicsParams& p) { p.num_iterations = 0; }),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HicsParamsTest, AlphaBoundaryJustInsideDomainIsValid) {
+  HicsParams p;
+  p.alpha = 1e-9;
+  EXPECT_TRUE(p.Validate().ok());
+  p.alpha = 1.0 - 1e-9;
+  EXPECT_TRUE(p.Validate().ok());
+}
+
 // ------------------------------------------------------ end-to-end --
 
 TEST(HicsSearchTest, RejectsDegenerateDatasets) {

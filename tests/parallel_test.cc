@@ -61,6 +61,98 @@ TEST(DefaultNumThreadsTest, AtLeastOne) {
   EXPECT_GE(DefaultNumThreads(), 1u);
 }
 
+TEST(ParallelForTest, ZeroThreadsMeansHardwareConcurrency) {
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(0, hits.size(), 0, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ----------------------------------------- ParallelTryFor error semantics --
+
+TEST(ParallelTryForTest, AllOkVisitsEveryIndex) {
+  for (std::size_t threads : {0u, 1u, 4u, 16u}) {
+    std::vector<std::atomic<int>> hits(50);
+    const Status st = ParallelTryFor(0, 50, threads, [&](std::size_t i) {
+      ++hits[i];
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok());
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelTryForTest, EmptyRangeReturnsOkWithoutCalling) {
+  std::atomic<int> calls{0};
+  const Status st = ParallelTryFor(7, 7, 4, [&](std::size_t) {
+    ++calls;
+    return Status::Internal("never");
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelTryForTest, SerialStopsAtFirstError) {
+  std::atomic<int> calls{0};
+  const Status st = ParallelTryFor(0, 100, 1, [&](std::size_t i) {
+    ++calls;
+    if (i == 13) return Status::IOError("broke at 13");
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.message(), "broke at 13");
+  // Serial execution stops immediately after the failing index.
+  EXPECT_EQ(calls.load(), 14);
+}
+
+TEST(ParallelTryForTest, FirstErrorWinsDeterministically) {
+  // Several indices fail; the reported error must always be the smallest
+  // failing index, regardless of thread count or which worker finishes
+  // first.
+  for (std::size_t threads : {1u, 2u, 4u, 16u}) {
+    for (int repeat = 0; repeat < 10; ++repeat) {
+      const Status st = ParallelTryFor(0, 64, threads, [&](std::size_t i) {
+        if (i == 11 || i == 12 || i == 40 || i == 63) {
+          return Status::Internal("fail " + std::to_string(i));
+        }
+        return Status::OK();
+      });
+      EXPECT_EQ(st.code(), StatusCode::kInternal);
+      EXPECT_EQ(st.message(), "fail 11")
+          << "threads=" << threads << " repeat=" << repeat;
+    }
+  }
+}
+
+TEST(ParallelTryForTest, ErrorStopsRemainingWork) {
+  // Workers poll the stop flag before each iteration, so an early error
+  // must prevent at least the untouched tail of the failing worker's own
+  // chunk from running. With 2 threads over [0, 1000), indices 1..499
+  // belong to the first worker and cannot run after index 0 fails.
+  std::vector<std::atomic<int>> hits(1000);
+  const Status st = ParallelTryFor(0, 1000, 2, [&](std::size_t i) {
+    ++hits[i];
+    if (i == 0) return Status::Internal("immediate");
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  for (std::size_t i = 1; i < 500; ++i) {
+    EXPECT_EQ(hits[i].load(), 0) << "index " << i << " ran after the error";
+  }
+}
+
+TEST(ParallelTryForTest, ShouldStopWindsDownWithoutError) {
+  std::atomic<int> calls{0};
+  const Status st = ParallelTryFor(
+      0, 1000, 1,
+      [&](std::size_t) {
+        ++calls;
+        return Status::OK();
+      },
+      [&] { return calls.load() >= 5; });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls.load(), 5);
+}
+
 TEST(ParallelDeterminismTest, HicsIndependentOfThreadCount) {
   SyntheticParams gen;
   gen.num_objects = 400;

@@ -1,0 +1,181 @@
+// Tests for the RunContext subsystem: deadlines, cooperative cancellation,
+// and the deterministic fault injector.
+
+#include "common/run_context.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace hics {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ------------------------------------------------------------ RunContext --
+
+TEST(RunContextTest, DefaultContextNeverStops) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.Cancelled());
+  EXPECT_FALSE(ctx.DeadlineExpired());
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.CheckProgress().ok());
+  EXPECT_TRUE(ctx.InjectFault("any.site").ok());
+}
+
+TEST(RunContextTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  RunContext ctx = RunContext::WithTimeout(milliseconds(0));
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.DeadlineExpired());
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.CheckProgress().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, FutureDeadlineDoesNotStop) {
+  RunContext ctx = RunContext::WithTimeout(std::chrono::hours(1));
+  EXPECT_FALSE(ctx.DeadlineExpired());
+  EXPECT_TRUE(ctx.CheckProgress().ok());
+}
+
+TEST(RunContextTest, AbsoluteDeadline) {
+  const auto past = RunContext::Clock::now() - milliseconds(1);
+  RunContext ctx = RunContext::WithDeadline(past);
+  EXPECT_TRUE(ctx.DeadlineExpired());
+}
+
+TEST(RunContextTest, CancellationIsSharedAcrossCopies) {
+  RunContext ctx;
+  RunContext copy = ctx;
+  EXPECT_FALSE(copy.Cancelled());
+  ctx.RequestCancellation();
+  EXPECT_TRUE(copy.Cancelled());
+  EXPECT_EQ(copy.CheckProgress().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, CancellationBeatsDeadlineInCheckProgress) {
+  RunContext ctx = RunContext::WithTimeout(milliseconds(0));
+  ctx.RequestCancellation();
+  EXPECT_EQ(ctx.CheckProgress().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, CancellationVisibleFromAnotherThread) {
+  RunContext ctx;
+  std::atomic<bool> observed{false};
+  std::thread waiter([&] {
+    while (!ctx.Cancelled()) std::this_thread::yield();
+    observed = true;
+  });
+  ctx.RequestCancellation();
+  waiter.join();
+  EXPECT_TRUE(observed.load());
+}
+
+// --------------------------------------------------------- FaultInjector --
+
+TEST(FaultInjectorTest, NthCallFiresExactlyOnce) {
+  FaultInjector injector;
+  injector.FailNthCall("site", 3, Status::Internal("boom"));
+  RunContext ctx;
+  ctx.SetFaultInjector(&injector);
+
+  EXPECT_TRUE(ctx.InjectFault("site").ok());
+  EXPECT_TRUE(ctx.InjectFault("site").ok());
+  const Status third = ctx.InjectFault("site");
+  EXPECT_EQ(third.code(), StatusCode::kInternal);
+  EXPECT_EQ(third.message(), "boom");
+  EXPECT_TRUE(ctx.InjectFault("site").ok());
+
+  EXPECT_EQ(injector.CallCount("site"), 4u);
+  EXPECT_EQ(injector.FiredCount("site"), 1u);
+}
+
+TEST(FaultInjectorTest, MultipleArmedCallNumbers) {
+  FaultInjector injector;
+  injector.FailNthCall("s", 1, Status::IOError("a"));
+  injector.FailNthCall("s", 3, Status::IOError("b"));
+  RunContext ctx;
+  ctx.SetFaultInjector(&injector);
+  EXPECT_FALSE(ctx.InjectFault("s").ok());
+  EXPECT_TRUE(ctx.InjectFault("s").ok());
+  EXPECT_FALSE(ctx.InjectFault("s").ok());
+  EXPECT_EQ(injector.FiredCount("s"), 2u);
+}
+
+TEST(FaultInjectorTest, FailFromNthCallFailsEveryLaterCall) {
+  FaultInjector injector;
+  injector.FailFromNthCall("s", 2, Status::Internal("down"));
+  RunContext ctx;
+  ctx.SetFaultInjector(&injector);
+  EXPECT_TRUE(ctx.InjectFault("s").ok());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(ctx.InjectFault("s").ok());
+  EXPECT_EQ(injector.FiredCount("s"), 5u);
+}
+
+TEST(FaultInjectorTest, SitesAreIndependent) {
+  FaultInjector injector;
+  injector.FailFromNthCall("a", 1, Status::Internal("x"));
+  RunContext ctx;
+  ctx.SetFaultInjector(&injector);
+  EXPECT_FALSE(ctx.InjectFault("a").ok());
+  EXPECT_TRUE(ctx.InjectFault("b").ok());
+  EXPECT_EQ(injector.CallCount("b"), 1u);
+  EXPECT_EQ(injector.FiredCount("b"), 0u);
+}
+
+TEST(FaultInjectorTest, ProbabilityRuleIsDeterministicInSeed) {
+  auto run = [](std::uint64_t seed) {
+    FaultInjector injector;
+    injector.FailWithProbability("s", 0.3, seed, Status::Internal("p"));
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(!injector.OnSite("s").ok());
+    return fired;
+  };
+  EXPECT_EQ(run(7), run(7));        // same seed, same fault schedule
+  EXPECT_NE(run(7), run(8));        // different seed, different schedule
+  const auto fired = run(7);
+  const std::size_t count =
+      static_cast<std::size_t>(std::count(fired.begin(), fired.end(), true));
+  // ~Binomial(200, 0.3); bounds are generous, the point is "neither none
+  // nor all".
+  EXPECT_GT(count, 20u);
+  EXPECT_LT(count, 120u);
+}
+
+TEST(FaultInjectorTest, TalliesAndReset) {
+  FaultInjector injector;
+  injector.FailFromNthCall("a", 1, Status::Internal("x"));
+  injector.FailNthCall("b", 1, Status::IOError("y"));
+  (void)injector.OnSite("a");
+  (void)injector.OnSite("a");
+  (void)injector.OnSite("b");
+  (void)injector.OnSite("c");
+  EXPECT_EQ(injector.TotalFired(), 3u);
+  const auto tallies = injector.FiredTallies();
+  ASSERT_EQ(tallies.size(), 2u);
+  EXPECT_EQ(tallies.at("a"), 2u);
+  EXPECT_EQ(tallies.at("b"), 1u);
+  injector.Reset();
+  EXPECT_EQ(injector.TotalFired(), 0u);
+  EXPECT_TRUE(injector.OnSite("a").ok());
+}
+
+TEST(FaultInjectorTest, ThreadSafeCountingIsExact) {
+  FaultInjector injector;
+  injector.FailNthCall("s", 500, Status::Internal("boom"));
+  std::atomic<int> failures{0};
+  ParallelFor(0, 1000, 8, [&](std::size_t) {
+    if (!injector.OnSite("s").ok()) ++failures;
+  });
+  EXPECT_EQ(injector.CallCount("s"), 1000u);
+  EXPECT_EQ(injector.FiredCount("s"), 1u);
+  EXPECT_EQ(failures.load(), 1);
+}
+
+}  // namespace
+}  // namespace hics
