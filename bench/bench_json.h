@@ -1,0 +1,139 @@
+// Minimal streaming JSON writer for machine-readable benchmark reports
+// (BENCH_*.json). Keys are emitted in call order; no external dependency.
+
+#ifndef HICS_BENCH_BENCH_JSON_H_
+#define HICS_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hics::bench {
+
+/// Builds one JSON document through nested Begin*/End*/Field calls:
+///
+///   JsonWriter json;
+///   json.BeginObject()
+///       .Field("benchmark", "bench_micro")
+///       .BeginObject("stages")
+///       .Field("search_seconds", 1.5)
+///       .EndObject()
+///       .EndObject();
+///   WriteJsonFile("BENCH_micro.json", json);
+///
+/// The writer trusts the caller to balance Begin/End calls; it only
+/// handles commas, quoting, and string escaping.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& BeginObject(const std::string& key) {
+    WriteKey(key);
+    return Open('{');
+  }
+  JsonWriter& EndObject() { return Close('}'); }
+
+  JsonWriter& BeginArray(const std::string& key) {
+    WriteKey(key);
+    return Open('[');
+  }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Field(const std::string& key, const std::string& value) {
+    WriteKey(key);
+    WriteString(value);
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonWriter& Field(const std::string& key, bool value) {
+    WriteKey(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, double value) {
+    WriteKey(key);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    out_ += buffer;
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, std::uint64_t value) {
+    WriteKey(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, int value) {
+    return Field(key, static_cast<std::uint64_t>(value));
+  }
+
+  /// Bare array element (between BeginArray/EndArray).
+  JsonWriter& Element(double value) {
+    Separate();
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    out_ += buffer;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate() {
+    if (!needs_comma_.empty() && needs_comma_.back()) out_ += ',';
+    if (!needs_comma_.empty()) needs_comma_.back() = true;
+  }
+  void WriteKey(const std::string& key) {
+    Separate();
+    WriteString(key);
+    out_ += ':';
+  }
+  void WriteString(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default: out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+  JsonWriter& Open(char bracket) {
+    // A keyed container already got its separator from WriteKey; a bare
+    // one (top level or array element) separates itself.
+    if (out_.empty() || out_.back() != ':') Separate();
+    out_ += bracket;
+    needs_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& Close(char bracket) {
+    out_ += bracket;
+    needs_comma_.pop_back();
+    return *this;
+  }
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+};
+
+/// Writes the document (plus a trailing newline) to `path`; returns false
+/// and prints to stderr when the file cannot be written.
+inline bool WriteJsonFile(const std::string& path, const JsonWriter& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hics::bench
+
+#endif  // HICS_BENCH_BENCH_JSON_H_

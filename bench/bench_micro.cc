@@ -2,15 +2,29 @@
 // the HiCS pipeline is built from. Not a paper artifact; used to verify
 // the design decisions called out in DESIGN.md §5 (sorted-index slicing,
 // brute force vs KD-tree neighbor search, Welch vs KS deviation cost).
+//
+// Before the google-benchmark suite runs, main() times the pipeline stages
+// (search, serial ranking, parallel ranking) on one synthetic dataset and
+// writes the wall-clock numbers to BENCH_micro.json in the working
+// directory, so CI and scripts can track stage cost and the ranking-phase
+// speedup without scraping the console output.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_json.h"
+#include "common/parallel.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "core/contrast.h"
+#include "core/hics.h"
 #include "core/slice.h"
 #include "data/synthetic.h"
 #include "index/neighbor_searcher.h"
 #include "outlier/lof.h"
+#include "outlier/subspace_ranker.h"
 #include "stats/ks_test.h"
 #include "stats/welch_t_test.h"
 
@@ -121,6 +135,110 @@ void BM_LofScore(benchmark::State& state) {
 BENCHMARK(BM_LofScore)->Arg(500)->Arg(1000)->Arg(2000);
 
 }  // namespace
+
+/// Times search + ranking on one synthetic dataset and writes
+/// BENCH_micro.json. The ranking phase runs once serially and once on the
+/// thread pool (>= 4 workers) over the same top-100 subspaces; the JSON
+/// records both wall-clocks, the speedup, and whether the parallel scores
+/// matched the serial ones bit for bit.
+void WritePipelineStageReport() {
+  SyntheticParams gen;
+  gen.num_objects = 1000;
+  gen.num_attributes = 20;
+  gen.seed = 17;
+  const auto generated = GenerateSynthetic(gen);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "synthetic data failed: %s\n",
+                 generated.status().ToString().c_str());
+    return;
+  }
+  const Dataset& data = generated->data;
+
+  HicsParams params;
+  params.num_iterations = 50;
+  params.output_top_k = 100;
+  params.max_dimensionality = 4;
+  params.num_threads = 0;  // hardware concurrency
+  Timer search_timer;
+  const auto subspaces = RunHicsSearch(data, params);
+  const double search_seconds = search_timer.ElapsedSeconds();
+  if (!subspaces.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 subspaces.status().ToString().c_str());
+    return;
+  }
+
+  const LofScorer lof({.min_pts = 10});
+  const std::size_t parallel_threads = std::max<std::size_t>(
+      4, DefaultNumThreads());
+  Timer serial_timer;
+  const auto serial_scores = RankWithSubspaces(
+      data, *subspaces, lof, ScoreAggregation::kAverage, 1);
+  const double rank_serial_seconds = serial_timer.ElapsedSeconds();
+  Timer parallel_timer;
+  const auto parallel_scores = RankWithSubspaces(
+      data, *subspaces, lof, ScoreAggregation::kAverage, parallel_threads);
+  const double rank_parallel_seconds = parallel_timer.ElapsedSeconds();
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Field("benchmark", "bench_micro.pipeline_stages")
+      .Field("hardware_concurrency",
+             static_cast<std::uint64_t>(DefaultNumThreads()))
+      .BeginObject("dataset")
+      .Field("num_objects", static_cast<std::uint64_t>(data.num_objects()))
+      .Field("num_attributes",
+             static_cast<std::uint64_t>(data.num_attributes()))
+      .Field("seed", static_cast<std::uint64_t>(gen.seed))
+      .EndObject()
+      .BeginObject("params")
+      .Field("num_iterations",
+             static_cast<std::uint64_t>(params.num_iterations))
+      .Field("alpha", params.alpha)
+      .Field("output_top_k", static_cast<std::uint64_t>(params.output_top_k))
+      .Field("statistical_test", params.statistical_test)
+      .Field("lof_min_pts", static_cast<std::uint64_t>(10))
+      .EndObject()
+      .BeginObject("stages")
+      .BeginObject("search")
+      .Field("seconds", search_seconds)
+      .Field("num_threads", static_cast<std::uint64_t>(DefaultNumThreads()))
+      .Field("subspaces_found",
+             static_cast<std::uint64_t>(subspaces->size()))
+      .EndObject()
+      .BeginObject("rank_serial")
+      .Field("seconds", rank_serial_seconds)
+      .Field("num_threads", static_cast<std::uint64_t>(1))
+      .EndObject()
+      .BeginObject("rank_parallel")
+      .Field("seconds", rank_parallel_seconds)
+      .Field("num_threads", static_cast<std::uint64_t>(parallel_threads))
+      .EndObject()
+      .BeginObject("total")
+      .Field("seconds", search_seconds + rank_parallel_seconds)
+      .EndObject()
+      .EndObject()
+      .Field("ranking_speedup", rank_serial_seconds / rank_parallel_seconds)
+      .Field("ranking_identical", serial_scores == parallel_scores)
+      .EndObject();
+  if (bench::WriteJsonFile("BENCH_micro.json", json)) {
+    std::printf(
+        "pipeline stages: search %.3fs, rank serial %.3fs, rank parallel "
+        "(%zu threads) %.3fs, speedup %.2fx, identical=%s -> "
+        "BENCH_micro.json\n\n",
+        search_seconds, rank_serial_seconds, parallel_threads,
+        rank_parallel_seconds, rank_serial_seconds / rank_parallel_seconds,
+        serial_scores == parallel_scores ? "yes" : "NO (BUG)");
+  }
+}
+
 }  // namespace hics
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hics::WritePipelineStageReport();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

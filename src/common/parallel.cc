@@ -8,42 +8,64 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace hics {
 
-void ParallelFor(std::size_t begin, std::size_t end, std::size_t num_threads,
-                 const std::function<void(std::size_t)>& fn) {
+namespace {
+
+std::size_t ResolveThreads(std::size_t num_threads) {
+  return num_threads == 0 ? DefaultNumThreads() : num_threads;
+}
+
+}  // namespace
+
+std::size_t ParallelWorkerCount(std::size_t count, std::size_t num_threads) {
+  std::size_t workers = std::min(ResolveThreads(num_threads),
+                                 ThreadPool::kMaxParallelism);
+  workers = std::min(workers, std::max<std::size_t>(count, 1));
+  return std::max<std::size_t>(workers, 1);
+}
+
+void ParallelForWorker(
+    std::size_t begin, std::size_t end, std::size_t num_threads,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   HICS_CHECK_LE(begin, end);
   const std::size_t count = end - begin;
   if (count == 0) return;
-  if (num_threads == 0) num_threads = DefaultNumThreads();
-  if (num_threads <= 1 || count == 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+  const std::size_t workers = ParallelWorkerCount(count, num_threads);
+  if (workers <= 1 || count == 1 || ThreadPool::InParallelRegion()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i, 0);
     return;
   }
-  const std::size_t workers = std::min(num_threads, count);
-  const std::size_t chunk = (count + workers - 1) / workers;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t lo = begin + w * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    threads.emplace_back([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
-  }
-  for (std::thread& t : threads) t.join();
+  // Chunked self-scheduling: ~8 chunks per slot amortizes the shared-cursor
+  // contention while still balancing uneven per-index cost.
+  const std::size_t chunk = std::max<std::size_t>(1, count / (workers * 8));
+  std::atomic<std::size_t> cursor{begin};
+  ThreadPool::Global().Run(workers, [&](std::size_t slot) {
+    for (;;) {
+      const std::size_t lo =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(end, lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) fn(i, slot);
+    }
+  });
 }
 
-Status ParallelTryFor(std::size_t begin, std::size_t end,
-                      std::size_t num_threads,
-                      const std::function<Status(std::size_t)>& fn,
-                      const std::function<bool()>& should_stop) {
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t num_threads,
+                 const std::function<void(std::size_t)>& fn) {
+  ParallelForWorker(begin, end, num_threads,
+                    [&fn](std::size_t i, std::size_t) { fn(i); });
+}
+
+Status ParallelTryForWorker(
+    std::size_t begin, std::size_t end, std::size_t num_threads,
+    const std::function<Status(std::size_t, std::size_t)>& fn,
+    const std::function<bool()>& should_stop) {
   HICS_CHECK_LE(begin, end);
   const std::size_t count = end - begin;
   if (count == 0) return Status::OK();
-  if (num_threads == 0) num_threads = DefaultNumThreads();
 
   // First error wins by *index*, not by wall-clock arrival. A worker skips
   // an iteration only when its index is at or above the smallest failing
@@ -65,7 +87,7 @@ Status ParallelTryFor(std::size_t begin, std::size_t end,
       first_error_index.store(index, std::memory_order_relaxed);
     }
   };
-  auto run_range = [&](std::size_t lo, std::size_t hi) {
+  auto run_range = [&](std::size_t lo, std::size_t hi, std::size_t slot) {
     for (std::size_t i = lo; i < hi; ++i) {
       if (i >= first_error_index.load(std::memory_order_relaxed)) return;
       if (stop.load(std::memory_order_relaxed)) return;
@@ -73,7 +95,7 @@ Status ParallelTryFor(std::size_t begin, std::size_t end,
         stop.store(true, std::memory_order_relaxed);
         return;
       }
-      Status st = fn(i);
+      Status st = fn(i, slot);
       if (!st.ok()) {
         record_error(i, std::move(st));
         return;
@@ -81,23 +103,31 @@ Status ParallelTryFor(std::size_t begin, std::size_t end,
     }
   };
 
-  if (num_threads <= 1 || count == 1) {
-    run_range(begin, end);
+  const std::size_t workers = ParallelWorkerCount(count, num_threads);
+  if (workers <= 1 || count == 1 || ThreadPool::InParallelRegion()) {
+    run_range(begin, end, 0);
     return first_error;
   }
 
-  const std::size_t workers = std::min(num_threads, count);
+  // Static contiguous chunks, one per slot: slot w owns
+  // [begin + w*chunk, begin + (w+1)*chunk). An error therefore stops the
+  // rest of the failing slot's own range immediately (see header).
   const std::size_t chunk = (count + workers - 1) / workers;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t lo = begin + w * chunk;
+  ThreadPool::Global().Run(workers, [&](std::size_t slot) {
+    const std::size_t lo = begin + slot * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    threads.emplace_back([lo, hi, &run_range] { run_range(lo, hi); });
-  }
-  for (std::thread& t : threads) t.join();
+    if (lo < hi) run_range(lo, hi, slot);
+  });
   return first_error;
+}
+
+Status ParallelTryFor(std::size_t begin, std::size_t end,
+                      std::size_t num_threads,
+                      const std::function<Status(std::size_t)>& fn,
+                      const std::function<bool()>& should_stop) {
+  return ParallelTryForWorker(
+      begin, end, num_threads,
+      [&fn](std::size_t i, std::size_t) { return fn(i); }, should_stop);
 }
 
 std::size_t DefaultNumThreads() {

@@ -9,17 +9,26 @@
 namespace hics {
 
 /// Runs fn(i) for every i in [begin, end) using up to `num_threads` worker
-/// threads (static contiguous partitioning). num_threads = 0 means
-/// hardware concurrency; with num_threads == 1 the loop runs inline on the
-/// calling thread. `fn` must be safe to call concurrently for distinct
-/// indices; iteration order within a worker is ascending, across workers
-/// unspecified.
+/// slots of the persistent process-wide ThreadPool. num_threads = 0 means
+/// hardware concurrency; with num_threads == 1 (or when called from inside
+/// another parallel region) the loop runs inline on the calling thread.
+/// `fn` must be safe to call concurrently for distinct indices.
 ///
-/// Deliberately minimal: the library's parallel sections are coarse
-/// (one contrast estimate / one kNN query per index), so spawn-per-call
-/// threads beat the complexity of a persistent pool.
+/// Work distribution is chunked self-scheduling: slots repeatedly claim
+/// contiguous chunks off a shared cursor, so uneven per-index cost (kNN
+/// queries, varying subspace dimensionality) balances automatically.
+/// Iteration order within a chunk is ascending; across chunks unspecified.
 void ParallelFor(std::size_t begin, std::size_t end, std::size_t num_threads,
                  const std::function<void(std::size_t)>& fn);
+
+/// ParallelFor variant for per-thread scratch: fn(i, worker_id) with
+/// worker_id a dense slot index in [0, ParallelWorkerCount(end - begin,
+/// num_threads)). Concurrent calls always see distinct worker ids, so
+/// indexing a pre-sized scratch array by worker_id is race-free; the
+/// inline path always uses worker_id 0.
+void ParallelForWorker(
+    std::size_t begin, std::size_t end, std::size_t num_threads,
+    const std::function<void(std::size_t, std::size_t)>& fn);
 
 /// Fallible variant: runs fn(i) like ParallelFor but stops scheduling new
 /// iterations as soon as any call returns a non-OK Status, and returns the
@@ -28,6 +37,11 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t num_threads,
 /// workers finish; iterations never started are skipped. Returns OK when
 /// every executed call returned OK.
 ///
+/// Unlike ParallelFor, distribution is static contiguous (slot w owns the
+/// w-th chunk): an error makes the failing slot abandon the rest of its own
+/// chunk immediately, which keeps the post-error wind-down window bounded
+/// and predictable.
+///
 /// `should_stop`, when provided, is polled before each iteration; returning
 /// true makes remaining iterations wind down without producing an error
 /// (the caller knows why it asked to stop — see RunContext).
@@ -35,6 +49,20 @@ Status ParallelTryFor(std::size_t begin, std::size_t end,
                       std::size_t num_threads,
                       const std::function<Status(std::size_t)>& fn,
                       const std::function<bool()>& should_stop = nullptr);
+
+/// ParallelTryFor with worker slot ids, for fallible loops that reuse
+/// per-thread scratch (the HiCS contrast lattice). Same error and
+/// wind-down semantics as ParallelTryFor; same worker_id contract as
+/// ParallelForWorker.
+Status ParallelTryForWorker(
+    std::size_t begin, std::size_t end, std::size_t num_threads,
+    const std::function<Status(std::size_t, std::size_t)>& fn,
+    const std::function<bool()>& should_stop = nullptr);
+
+/// Number of distinct worker slots the Parallel*Worker entry points may use
+/// for a loop of `count` iterations at the given num_threads setting (>= 1;
+/// callers size per-worker scratch arrays with this).
+std::size_t ParallelWorkerCount(std::size_t count, std::size_t num_threads);
 
 /// Default worker count: hardware concurrency, at least 1.
 std::size_t DefaultNumThreads();

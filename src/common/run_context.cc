@@ -56,10 +56,13 @@ void FaultInjector::FailWithProbability(const std::string& site,
   rules.probability_status = std::move(status);
 }
 
-Status FaultInjector::OnSite(const std::string& site) {
+Status FaultInjector::OnSite(const std::string& site, std::uint64_t ordinal) {
   std::lock_guard<std::mutex> lock(mutex_);
   SiteRules& rules = sites_[site];
-  const std::uint64_t call = ++rules.calls;
+  ++rules.calls;
+  // Rules match the caller-supplied ordinal when given (deterministic under
+  // parallel execution), the arrival count otherwise.
+  const std::uint64_t call = ordinal == 0 ? rules.calls : ordinal;
 
   const auto it = rules.fail_at.find(call);
   if (it != rules.fail_at.end()) {
@@ -138,9 +141,10 @@ Status RunContext::CheckProgress() const {
   return Status::OK();
 }
 
-Status RunContext::InjectFault(const std::string& site) const {
+Status RunContext::InjectFault(const std::string& site,
+                               std::uint64_t ordinal) const {
   if (fault_injector_ == nullptr) return Status::OK();
-  return fault_injector_->OnSite(site);
+  return fault_injector_->OnSite(site, ordinal);
 }
 
 }  // namespace hics

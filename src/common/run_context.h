@@ -26,10 +26,15 @@ namespace hics {
 ///    (seed, p) pair always fails the same calls.
 ///
 /// Thread-safe: call counters and tallies are mutex-protected, so injection
-/// sites may be hit concurrently from ParallelFor workers. Counting is by
-/// arrival order, which under concurrency makes *which* worker observes the
-/// fault scheduling-dependent while the fault count stays exact; tests that
-/// need bit-exact placement use num_threads = 1.
+/// sites may be hit concurrently from ParallelFor workers. By default
+/// counting is by arrival order, which under concurrency makes *which*
+/// worker observes the fault scheduling-dependent while the fault count
+/// stays exact. Call sites inside parallel loops can instead pass an
+/// explicit 1-based *ordinal* (their deterministic position in the logical
+/// call sequence — e.g. the subspace index in a ranking pass); rules are
+/// then evaluated against the ordinal, so fault placement is bit-identical
+/// for every thread count. The search and ranking phases do this, which is
+/// what makes degraded runs reproducible under parallelism.
 class FaultInjector {
  public:
   FaultInjector() = default;
@@ -51,7 +56,13 @@ class FaultInjector {
   /// The hook production code calls (via RunContext::InjectFault). Returns
   /// OK when no armed rule fires; advances the site's call counter either
   /// way. Unknown sites are free: no rule, no bookkeeping beyond a counter.
-  Status OnSite(const std::string& site);
+  ///
+  /// `ordinal`, when non-zero, is the 1-based deterministic position of
+  /// this call in the site's logical sequence; rules are evaluated against
+  /// it instead of the arrival count, making placement independent of
+  /// thread scheduling. ordinal = 0 keeps the legacy arrival-order
+  /// behavior.
+  Status OnSite(const std::string& site, std::uint64_t ordinal = 0);
 
   /// Total calls observed at `site` (fired or not).
   std::uint64_t CallCount(const std::string& site) const;
@@ -146,8 +157,10 @@ class RunContext {
   Status CheckProgress() const;
 
   /// Fault-injection hook: OK when no injector is attached or no rule
-  /// fires; otherwise the armed Status for `site`.
-  Status InjectFault(const std::string& site) const;
+  /// fires; otherwise the armed Status for `site`. A non-zero `ordinal`
+  /// (1-based logical call position) makes rule evaluation deterministic
+  /// under parallel execution — see FaultInjector::OnSite.
+  Status InjectFault(const std::string& site, std::uint64_t ordinal = 0) const;
 
   FaultInjector* fault_injector() const { return fault_injector_; }
 

@@ -1,0 +1,117 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace hics {
+
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+// RAII guard for the nested-region flag; restores the previous value so a
+// slot that finishes leaves the thread in the state it found it (the flag
+// stays set across nested inline regions).
+class ScopedRegionFlag {
+ public:
+  ScopedRegionFlag() : previous_(tls_in_parallel_region) {
+    tls_in_parallel_region = true;
+  }
+  ~ScopedRegionFlag() { tls_in_parallel_region = previous_; }
+  ScopedRegionFlag(const ScopedRegionFlag&) = delete;
+  ScopedRegionFlag& operator=(const ScopedRegionFlag&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
+
+std::size_t ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::EnsureWorkersLocked(std::size_t target) {
+  target = std::min(target, kMaxParallelism - 1);
+  while (workers_.size() < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Run(std::size_t parallelism,
+                     const std::function<void(std::size_t)>& task) {
+  parallelism = std::min(parallelism, kMaxParallelism);
+  if (parallelism == 0) return;
+  if (parallelism == 1 || tls_in_parallel_region) {
+    ScopedRegionFlag region;
+    for (std::size_t slot = 0; slot < parallelism; ++slot) task(slot);
+    return;
+  }
+
+  // Regions are serialized: every pool worker is parked when a job is
+  // published, so all parallelism-1 worker slots are guaranteed to be
+  // claimed and `outstanding` to reach zero.
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  Job job;
+  job.task = &task;
+  job.parallelism = parallelism;
+  job.next_slot = 1;
+  job.outstanding = parallelism - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnsureWorkersLocked(parallelism - 1);
+    job_ = &job;
+  }
+  work_cv_.notify_all();
+
+  {
+    ScopedRegionFlag region;
+    task(0);
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&job] { return job.outstanding == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return shutting_down_ ||
+             (job_ != nullptr && job_->next_slot < job_->parallelism);
+    });
+    if (shutting_down_) return;
+    Job* job = job_;
+    const std::size_t slot = job->next_slot++;
+    // The worker that claims the last slot unpublishes the job so parked
+    // threads stop re-checking it; finishers below may still hold `job`
+    // (it outlives them: Run() waits for outstanding == 0 before
+    // returning).
+    if (job->next_slot >= job->parallelism) job_ = nullptr;
+    lock.unlock();
+    {
+      ScopedRegionFlag region;
+      (*job->task)(slot);
+    }
+    lock.lock();
+    if (--job->outstanding == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace hics

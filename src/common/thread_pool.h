@@ -1,0 +1,90 @@
+#ifndef HICS_COMMON_THREAD_POOL_H_
+#define HICS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hics {
+
+/// Persistent worker-thread pool behind the ParallelFor family. Workers are
+/// spawned once (growing on demand up to the largest parallelism ever
+/// requested) and parked on a condition variable between parallel regions,
+/// so entering a region costs two lock/notify handshakes instead of thread
+/// creation and join — the dominant fixed cost of the old spawn-per-call
+/// scheme when regions are entered thousands of times per run (one per
+/// lattice level, one per ranked subspace, ...).
+///
+/// Execution model: one region runs at a time (concurrent Run() calls from
+/// different threads are serialized internally). The calling thread
+/// participates as slot 0; pool workers claim slots 1..parallelism-1. Slot
+/// ids are dense, stable for the duration of one task invocation, and
+/// distinct across concurrently running slots — which is what per-worker
+/// scratch indexing needs (see ParallelForWorker).
+///
+/// Nested regions are not run on the pool: a Run() issued from inside a
+/// running slot executes inline on that thread (see InParallelRegion), so
+/// outer-parallel callers compose with inner-parallel callees without
+/// deadlock or oversubscription.
+class ThreadPool {
+ public:
+  /// Upper bound on slots per region (1 caller + kMaxParallelism-1 pool
+  /// workers). Requests beyond it are clamped; far above any real core
+  /// count, it only bounds pathological num_threads values.
+  static constexpr std::size_t kMaxParallelism = 256;
+
+  /// Creates an empty pool; workers are spawned on demand by Run().
+  ThreadPool() = default;
+
+  /// Joins all workers. Must not race with an active Run().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Executes task(slot) for every slot in [0, parallelism), each slot on a
+  /// distinct thread (slot 0 on the calling thread), and returns when every
+  /// slot has finished. `task` must not throw. parallelism == 0 is a no-op;
+  /// parallelism == 1 and nested calls run inline.
+  void Run(std::size_t parallelism,
+           const std::function<void(std::size_t)>& task);
+
+  /// Number of worker threads currently alive (grows on demand, never
+  /// shrinks before destruction).
+  std::size_t num_workers() const;
+
+  /// True while the calling thread is executing inside a Run() region
+  /// (a worker slot or the caller's slot 0). The Parallel* entry points use
+  /// this to degrade nested parallel sections to inline execution.
+  static bool InParallelRegion();
+
+  /// The process-wide pool used by ParallelFor/ParallelTryFor.
+  static ThreadPool& Global();
+
+ private:
+  // One parallel region; lives on the caller's stack for its duration.
+  struct Job {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t parallelism = 0;
+    std::size_t next_slot = 1;    // next slot to hand out (0 = caller)
+    std::size_t outstanding = 0;  // worker slots still running
+  };
+
+  void WorkerLoop();
+  void EnsureWorkersLocked(std::size_t target);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: new job or shutdown
+  std::condition_variable done_cv_;  // caller: all worker slots finished
+  std::mutex run_mutex_;             // serializes regions
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;  // currently published region, nullptr when idle
+  bool shutting_down_ = false;
+};
+
+}  // namespace hics
+
+#endif  // HICS_COMMON_THREAD_POOL_H_

@@ -32,41 +32,50 @@ ContrastEstimator::ContrastEstimator(const Dataset& dataset,
 }
 
 double ContrastEstimator::Contrast(const Subspace& subspace, Rng* rng) const {
-  std::vector<std::uint16_t> scratch;
+  ContrastScratch scratch;
   return Contrast(subspace, rng, &scratch);
 }
 
 double ContrastEstimator::Contrast(const Subspace& subspace, Rng* rng,
-                                   std::vector<std::uint16_t>* scratch) const {
+                                   ContrastScratch* scratch) const {
   HICS_CHECK(rng != nullptr);
+  HICS_CHECK(scratch != nullptr);
   HICS_CHECK_GE(subspace.size(), 2u);
   double deviation_sum = 0.0;
   for (std::size_t iteration = 0; iteration < params_.num_iterations;
        ++iteration) {
-    const SliceDraw draw =
-        sampler_.Draw(subspace, params_.alpha, rng, scratch);
+    sampler_.Draw(subspace, params_.alpha, rng, &scratch->slice,
+                  &scratch->draw);
     // Degenerate slices (empty conditional sample) contribute deviation 0;
     // the test implementations handle small samples the same way.
     deviation_sum += test_.DeviationPresortedMarginal(
-        sorted_columns_[draw.test_attribute], draw.conditional_sample);
+        sorted_columns_[scratch->draw.test_attribute],
+        scratch->draw.conditional_sample, &scratch->sorted_conditional);
   }
   return deviation_sum / static_cast<double>(params_.num_iterations);
 }
 
-Result<double> ContrastEstimator::Contrast(
-    const Subspace& subspace, Rng* rng, std::vector<std::uint16_t>* scratch,
-    const RunContext& ctx) const {
+Result<double> ContrastEstimator::Contrast(const Subspace& subspace, Rng* rng,
+                                           ContrastScratch* scratch,
+                                           const RunContext& ctx,
+                                           std::uint64_t fault_ordinal) const {
   HICS_CHECK(rng != nullptr);
+  HICS_CHECK(scratch != nullptr);
   HICS_CHECK_GE(subspace.size(), 2u);
   double deviation_sum = 0.0;
   for (std::size_t iteration = 0; iteration < params_.num_iterations;
        ++iteration) {
     HICS_RETURN_NOT_OK(ctx.CheckProgress());
-    HICS_RETURN_NOT_OK(ctx.InjectFault("contrast.slice"));
-    const SliceDraw draw =
-        sampler_.Draw(subspace, params_.alpha, rng, scratch);
+    const std::uint64_t slice_ordinal =
+        fault_ordinal == 0
+            ? 0
+            : (fault_ordinal - 1) * params_.num_iterations + iteration + 1;
+    HICS_RETURN_NOT_OK(ctx.InjectFault("contrast.slice", slice_ordinal));
+    sampler_.Draw(subspace, params_.alpha, rng, &scratch->slice,
+                  &scratch->draw);
     deviation_sum += test_.DeviationPresortedMarginal(
-        sorted_columns_[draw.test_attribute], draw.conditional_sample);
+        sorted_columns_[scratch->draw.test_attribute],
+        scratch->draw.conditional_sample, &scratch->sorted_conditional);
   }
   return deviation_sum / static_cast<double>(params_.num_iterations);
 }

@@ -2,8 +2,10 @@
 #define HICS_CORE_CONTRAST_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/dataset.h"
 #include "common/random.h"
@@ -29,6 +31,16 @@ struct ContrastParams {
   Status Validate() const;
 };
 
+/// Reusable working storage for one worker thread's contrast estimation:
+/// the slice sampler's scratch, the draw output buffer, and the deviation
+/// function's conditional-sample sort buffer. Capacity persists across
+/// subspaces, making the Monte Carlo loop allocation-free at steady state.
+struct ContrastScratch {
+  SliceScratch slice;
+  SliceDraw draw;
+  std::vector<double> sorted_conditional;
+};
+
 /// Estimates the contrast (Definition 5) of subspaces of one dataset:
 /// the average deviation between the marginal distribution of a randomly
 /// chosen attribute and its distribution conditioned on a random subspace
@@ -46,14 +58,15 @@ class ContrastEstimator {
 
   /// Contrast of `subspace` in [0, 1]; higher = stronger conditional
   /// dependence among its attributes. Requires |subspace| >= 2.
-  /// Deterministic given the rng state. Not safe for concurrent calls on
-  /// one estimator (shared scratch); use the overload below from worker
-  /// threads.
+  /// Deterministic given the rng state. The estimator itself is immutable
+  /// after construction, so concurrent calls are safe as long as each
+  /// caller uses its own rng (and scratch, for the overloads below).
   double Contrast(const Subspace& subspace, Rng* rng) const;
 
-  /// Thread-safe variant with caller-provided per-thread scratch.
+  /// Allocation-free variant for worker threads: `scratch` is reusable
+  /// per-worker storage, distinct per concurrent caller.
   double Contrast(const Subspace& subspace, Rng* rng,
-                  std::vector<std::uint16_t>* scratch) const;
+                  ContrastScratch* scratch) const;
 
   /// Context-aware variant: checks `ctx` between Monte Carlo iterations and
   /// returns kCancelled/kDeadlineExceeded instead of finishing all M
@@ -61,9 +74,15 @@ class ContrastEstimator {
   /// (checked once per iteration). Callers treat those interruption codes
   /// as "stop the search, keep best-so-far" and any other error as "skip
   /// this subspace" — see RunHicsSearch.
+  ///
+  /// `fault_ordinal`, when non-zero, is this call's 1-based position in
+  /// the caller's logical evaluation sequence; the "contrast.slice" site
+  /// is then probed with ordinal (fault_ordinal - 1) * M + iteration + 1,
+  /// so slice-level fault placement is deterministic under parallel
+  /// evaluation. 0 keeps arrival-order counting.
   Result<double> Contrast(const Subspace& subspace, Rng* rng,
-                          std::vector<std::uint16_t>* scratch,
-                          const RunContext& ctx) const;
+                          ContrastScratch* scratch, const RunContext& ctx,
+                          std::uint64_t fault_ordinal = 0) const;
 
   const ContrastParams& params() const { return params_; }
   const SortedAttributeIndex& index() const { return index_; }

@@ -34,15 +34,17 @@ Result<Matrix> ComputeContrastMatrix(const Dataset& dataset,
     for (std::size_t j = i + 1; j < d; ++j) pairs.emplace_back(i, j);
   }
   std::vector<double> values(pairs.size());
-  ParallelFor(0, pairs.size(), num_threads, [&](std::size_t t) {
-    const Subspace s{pairs[t].first, pairs[t].second};
-    // Same per-subspace stream derivation as the lattice search, so the
-    // matrix entries equal the level-2 scores of RunHicsSearch with the
-    // same seed.
-    Rng rng(params.seed ^ (SubspaceHash{}(s) * 0x9e3779b97f4a7c15ULL));
-    std::vector<std::uint16_t> scratch;
-    values[t] = estimator.Contrast(s, &rng, &scratch);
-  });
+  std::vector<ContrastScratch> scratches(
+      ParallelWorkerCount(pairs.size(), num_threads));
+  ParallelForWorker(
+      0, pairs.size(), num_threads, [&](std::size_t t, std::size_t worker) {
+        const Subspace s{pairs[t].first, pairs[t].second};
+        // Same per-subspace stream derivation as the lattice search, so the
+        // matrix entries equal the level-2 scores of RunHicsSearch with the
+        // same seed.
+        Rng rng(params.seed ^ (SubspaceHash{}(s) * 0x9e3779b97f4a7c15ULL));
+        values[t] = estimator.Contrast(s, &rng, &scratches[worker]);
+      });
 
   Matrix result(d, d);
   for (std::size_t t = 0; t < pairs.size(); ++t) {

@@ -150,6 +150,10 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
   std::vector<ScoredSubspace> pool;   // everything retained across levels
   std::vector<Subspace> level = internal::AllTwoDimensionalSubspaces(
       dataset.num_attributes());
+  // Cumulative count of contrast evaluations issued before the current
+  // level; eval_base + i + 1 is evaluation i's deterministic 1-based fault
+  // ordinal, equal to the arrival count of an uninterrupted serial run.
+  std::uint64_t eval_base = 0;
 
   while (!level.empty()) {
     const Status progress = ctx.CheckProgress();
@@ -173,17 +177,20 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
     std::vector<ScoredSubspace> scored(level.size());
     std::vector<char> scored_ok(level.size(), 0);
     std::atomic<std::size_t> failed{0};
-    const Status level_status = ParallelTryFor(
+    std::vector<ContrastScratch> scratches(
+        ParallelWorkerCount(level.size(), num_threads));
+    const Status level_status = ParallelTryForWorker(
         0, level.size(), num_threads,
-        [&](std::size_t i) -> Status {
-          Status injected = ctx.InjectFault("contrast.estimate");
+        [&](std::size_t i, std::size_t worker) -> Status {
+          const std::uint64_t ordinal = eval_base + i + 1;
+          Status injected = ctx.InjectFault("contrast.estimate", ordinal);
           Result<double> contrast =
               injected.ok()
                   ? [&]() -> Result<double> {
                       Rng rng = subspace_rng(level[i]);
-                      std::vector<std::uint16_t> scratch;
-                      return estimator.Contrast(level[i], &rng, &scratch,
-                                                ctx);
+                      return estimator.Contrast(level[i], &rng,
+                                                &scratches[worker], ctx,
+                                                ordinal);
                     }()
                   : Result<double>(std::move(injected));
           if (contrast.ok()) {
@@ -200,6 +207,7 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
           return Status::OK();  // isolated: skip this subspace, keep going
         },
         [&ctx] { return ctx.ShouldStop(); });
+    eval_base += level.size();
     local_stats.failed_contrast_evaluations +=
         failed.load(std::memory_order_relaxed);
 

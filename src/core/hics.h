@@ -38,8 +38,10 @@ struct HicsParams {
   /// Monte Carlo stream is derived from (seed, subspace), so results are
   /// also independent of evaluation order and thread count.
   std::uint64_t seed = 42;
-  /// Worker threads for the per-level contrast evaluations. 1 = serial
-  /// (default), 0 = hardware concurrency.
+  /// Worker threads for the per-level contrast evaluations and, when the
+  /// pipeline runs the ranking phase, for the per-subspace outlier scoring.
+  /// 1 = serial (default), 0 = hardware concurrency. Results are identical
+  /// for every value — see DESIGN.md "Threading model".
   std::size_t num_threads = 1;
 
   Status Validate() const;

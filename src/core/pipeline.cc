@@ -38,8 +38,8 @@ Result<PipelineResult> RunHicsPipeline(const Dataset& dataset,
   }
   diag.requested_subspaces = plain.size();
 
-  DegradedRankingResult ranked =
-      RankWithSubspacesDegraded(dataset, plain, scorer, aggregation, ctx);
+  DegradedRankingResult ranked = RankWithSubspacesDegraded(
+      dataset, plain, scorer, aggregation, ctx, params.num_threads);
   diag.scored_subspaces = ranked.succeeded;
   diag.skipped_subspaces = ranked.failures.size();
   diag.deadline_exceeded |= ranked.deadline_exceeded;

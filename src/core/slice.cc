@@ -7,7 +7,7 @@ namespace hics {
 
 SliceSampler::SliceSampler(const Dataset& dataset,
                            const SortedAttributeIndex& index)
-    : dataset_(dataset), index_(index), selected_(dataset.num_objects(), 1) {
+    : dataset_(dataset), index_(index) {
   HICS_CHECK_EQ(dataset.num_objects(), index.num_objects());
 }
 
@@ -24,26 +24,30 @@ std::size_t SliceSampler::BlockSize(std::size_t dims, double alpha) const {
 
 SliceDraw SliceSampler::Draw(const Subspace& subspace, double alpha,
                              Rng* rng) const {
-  return Draw(subspace, alpha, rng, &selected_);
+  SliceScratch scratch;
+  SliceDraw draw;
+  Draw(subspace, alpha, rng, &scratch, &draw);
+  return draw;
 }
 
-SliceDraw SliceSampler::Draw(const Subspace& subspace, double alpha,
-                             Rng* rng,
-                             std::vector<std::uint16_t>* scratch) const {
+void SliceSampler::Draw(const Subspace& subspace, double alpha, Rng* rng,
+                        SliceScratch* scratch, SliceDraw* out) const {
   HICS_CHECK(rng != nullptr);
   HICS_CHECK(scratch != nullptr);
-  std::vector<std::uint16_t>& selected = *scratch;
-  selected.resize(dataset_.num_objects());
+  HICS_CHECK(out != nullptr);
   HICS_CHECK_GE(subspace.size(), 2u)
       << "a one-dimensional subspace has no notion of contrast";
   const std::size_t n = dataset_.num_objects();
-  SliceDraw draw;
-  if (n == 0) return draw;
+  out->test_attribute = 0;
+  out->conditional_sample.clear();
+  out->selected_count = 0;
+  if (n == 0) return;
 
   // Random attribute permutation: last entry is tested, the rest condition.
-  std::vector<std::size_t> attrs(subspace.begin(), subspace.end());
+  std::vector<std::size_t>& attrs = scratch->attrs;
+  attrs.assign(subspace.begin(), subspace.end());
   rng->Shuffle(&attrs);
-  draw.test_attribute = attrs.back();
+  out->test_attribute = attrs.back();
 
   const std::size_t block = BlockSize(subspace.size(), alpha);
   // Conjunctive combination of the per-attribute index-block selections by
@@ -52,7 +56,8 @@ SliceDraw SliceSampler::Draw(const Subspace& subspace, double alpha,
   // per-condition mask-AND formulation by ~3x in memory traffic.
   const std::uint16_t num_conditions =
       static_cast<std::uint16_t>(attrs.size() - 1);
-  std::fill(selected.begin(), selected.end(), 0);
+  std::vector<std::uint16_t>& selected = scratch->selected;
+  selected.assign(n, 0);
   for (std::size_t c = 0; c + 1 < attrs.size(); ++c) {
     const std::size_t attribute = attrs[c];
     const std::size_t max_start = n - block;
@@ -63,15 +68,14 @@ SliceDraw SliceSampler::Draw(const Subspace& subspace, double alpha,
     }
   }
 
-  const std::vector<double>& column = dataset_.Column(draw.test_attribute);
-  draw.conditional_sample.reserve(block);
+  const std::vector<double>& column = dataset_.Column(out->test_attribute);
+  out->conditional_sample.reserve(block);
   for (std::size_t i = 0; i < n; ++i) {
     if (selected[i] == num_conditions) {
-      draw.conditional_sample.push_back(column[i]);
+      out->conditional_sample.push_back(column[i]);
     }
   }
-  draw.selected_count = draw.conditional_sample.size();
-  return draw;
+  out->selected_count = out->conditional_sample.size();
 }
 
 }  // namespace hics

@@ -24,6 +24,17 @@ struct SliceDraw {
   std::size_t selected_count = 0;
 };
 
+/// Reusable working storage for SliceSampler::Draw. One instance per
+/// worker thread; capacity persists across draws so the steady-state hot
+/// loop performs no allocations.
+struct SliceScratch {
+  /// Per-object condition counter; an object is selected when its counter
+  /// reaches the number of conditions.
+  std::vector<std::uint16_t> selected;
+  /// Attribute permutation of the subspace under test.
+  std::vector<std::size_t> attrs;
+};
+
 /// Generates random adaptive subspace slices over pre-sorted attribute
 /// indices (paper §III-C / §IV-A).
 ///
@@ -39,6 +50,12 @@ struct SliceDraw {
 /// Algorithm 1 verbatim; it keeps the conditional sample size stable as the
 /// subspace dimensionality grows, which is what lets the contrast estimate
 /// escape the curse of dimensionality.
+/// Thread-safety contract: a SliceSampler holds no mutable state, so any
+/// number of threads may call Draw concurrently on one instance — each
+/// call's working storage is either a local (convenience overload) or the
+/// caller's SliceScratch, which must not be shared between concurrent
+/// calls. Both overloads consume the RNG identically, so results depend
+/// only on (subspace, alpha, rng state), never on which overload ran.
 class SliceSampler {
  public:
   /// Both references must outlive the sampler. `index` must be built over
@@ -46,15 +63,16 @@ class SliceSampler {
   SliceSampler(const Dataset& dataset, const SortedAttributeIndex& index);
 
   /// Draws one random slice for `subspace` with selection ratio `alpha`
-  /// (in (0,1)). Requires |subspace| >= 2. Uses an internal scratch
-  /// buffer, so concurrent calls on one sampler must use the overload
-  /// below with per-thread scratch.
+  /// (in (0,1)). Requires |subspace| >= 2. Allocates local working
+  /// storage per call; the hot path uses the scratch overload below.
   SliceDraw Draw(const Subspace& subspace, double alpha, Rng* rng) const;
 
-  /// Thread-safe variant: `scratch` is caller-provided per-thread storage
-  /// (resized as needed).
-  SliceDraw Draw(const Subspace& subspace, double alpha, Rng* rng,
-                 std::vector<std::uint16_t>* scratch) const;
+  /// Allocation-free variant for worker threads: `scratch` is reusable
+  /// per-worker storage and `out` is reused across draws (its
+  /// conditional_sample keeps capacity between calls). `scratch` and
+  /// `out` must be distinct objects per concurrent caller.
+  void Draw(const Subspace& subspace, double alpha, Rng* rng,
+            SliceScratch* scratch, SliceDraw* out) const;
 
   /// Block size used for one condition of a |dims|-dimensional subspace:
   /// ceil(N * alpha^(1/dims)), clamped to [1, N].
@@ -65,9 +83,6 @@ class SliceSampler {
  private:
   const Dataset& dataset_;
   const SortedAttributeIndex& index_;
-  // Scratch per-object condition counter reused across draws; an object is
-  // selected when its counter reaches the number of conditions.
-  mutable std::vector<std::uint16_t> selected_;
 };
 
 }  // namespace hics

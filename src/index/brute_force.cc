@@ -21,10 +21,11 @@ class BruteForceSearcher : public NeighborSearcher {
     }
   }
 
-  std::vector<Neighbor> QueryKnn(std::size_t query,
-                                 std::size_t k) const override {
+  void QueryKnn(std::size_t query, std::size_t k,
+                std::vector<Neighbor>* out) const override {
     HICS_CHECK_LT(query, num_objects_);
-    std::vector<Neighbor> heap;  // max-heap of the k best so far
+    std::vector<Neighbor>& heap = *out;  // max-heap of the k best so far
+    heap.clear();
     heap.reserve(k + 1);
     const double* q = &points_[query * dim_];
     for (std::size_t i = 0; i < num_objects_; ++i) {
@@ -49,7 +50,6 @@ class BruteForceSearcher : public NeighborSearcher {
     }
     std::sort_heap(heap.begin(), heap.end());
     for (Neighbor& n : heap) n.distance = std::sqrt(n.distance);
-    return heap;
   }
 
   std::vector<Neighbor> QueryRadius(std::size_t query,

@@ -28,17 +28,17 @@ class KdTreeSearcher : public NeighborSearcher {
     }
   }
 
-  std::vector<Neighbor> QueryKnn(std::size_t query,
-                                 std::size_t k) const override {
+  void QueryKnn(std::size_t query, std::size_t k,
+                std::vector<Neighbor>* out) const override {
     HICS_CHECK_LT(query, num_objects_);
-    std::vector<Neighbor> heap;  // max-heap of squared distances
+    std::vector<Neighbor>& heap = *out;  // max-heap of squared distances
+    heap.clear();
     heap.reserve(k + 1);
     if (root_ >= 0 && k > 0) {
       SearchKnn(root_, &points_[query * dim_], query, k, &heap);
     }
     std::sort_heap(heap.begin(), heap.end());
     for (Neighbor& n : heap) n.distance = std::sqrt(n.distance);
-    return heap;
   }
 
   std::vector<Neighbor> QueryRadius(std::size_t query,

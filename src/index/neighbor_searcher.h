@@ -31,9 +31,18 @@ class NeighborSearcher {
   virtual ~NeighborSearcher() = default;
 
   /// The k nearest neighbors of object `query` (itself excluded), sorted by
-  /// ascending distance. Returns fewer than k when the dataset is small.
-  virtual std::vector<Neighbor> QueryKnn(std::size_t query,
-                                         std::size_t k) const = 0;
+  /// ascending distance into `*out` (cleared first; its capacity is reused
+  /// across calls, so a caller-kept buffer makes repeated queries
+  /// allocation-free). Yields fewer than k when the dataset is small.
+  virtual void QueryKnn(std::size_t query, std::size_t k,
+                        std::vector<Neighbor>* out) const = 0;
+
+  /// Allocating convenience wrapper around the buffer variant.
+  std::vector<Neighbor> QueryKnn(std::size_t query, std::size_t k) const {
+    std::vector<Neighbor> out;
+    QueryKnn(query, k, &out);
+    return out;
+  }
 
   /// All objects (excluding `query`) within `radius` of object `query`.
   virtual std::vector<Neighbor> QueryRadius(std::size_t query,

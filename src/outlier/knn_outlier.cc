@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "index/neighbor_searcher.h"
 
 namespace hics {
@@ -13,10 +14,14 @@ std::vector<double> KnnDistanceScorer::ScoreSubspace(
   if (n < 2) return scores;
   const std::size_t k = std::min(k_, n - 1);
   const auto searcher = MakeBruteForceSearcher(dataset, subspace);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto nbrs = searcher->QueryKnn(i, k);
-    scores[i] = nbrs.empty() ? 0.0 : nbrs.back().distance;
-  }
+  std::vector<std::vector<Neighbor>> buffers(
+      ParallelWorkerCount(n, num_threads_));
+  ParallelForWorker(0, n, num_threads_,
+                    [&](std::size_t i, std::size_t worker) {
+                      std::vector<Neighbor>& buffer = buffers[worker];
+                      searcher->QueryKnn(i, k, &buffer);
+                      scores[i] = buffer.empty() ? 0.0 : buffer.back().distance;
+                    });
   return scores;
 }
 
@@ -27,13 +32,17 @@ std::vector<double> KnnAverageScorer::ScoreSubspace(
   if (n < 2) return scores;
   const std::size_t k = std::min(k_, n - 1);
   const auto searcher = MakeBruteForceSearcher(dataset, subspace);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto nbrs = searcher->QueryKnn(i, k);
-    if (nbrs.empty()) continue;
-    double sum = 0.0;
-    for (const Neighbor& nb : nbrs) sum += nb.distance;
-    scores[i] = sum / static_cast<double>(nbrs.size());
-  }
+  std::vector<std::vector<Neighbor>> buffers(
+      ParallelWorkerCount(n, num_threads_));
+  ParallelForWorker(0, n, num_threads_,
+                    [&](std::size_t i, std::size_t worker) {
+                      std::vector<Neighbor>& buffer = buffers[worker];
+                      searcher->QueryKnn(i, k, &buffer);
+                      if (buffer.empty()) return;
+                      double sum = 0.0;
+                      for (const Neighbor& nb : buffer) sum += nb.distance;
+                      scores[i] = sum / static_cast<double>(buffer.size());
+                    });
   return scores;
 }
 

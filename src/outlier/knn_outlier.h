@@ -11,9 +11,14 @@ namespace hics {
 /// k-distance outlier score (Ramaswamy-style): score(x) = distance to the
 /// k-th nearest neighbor in the subspace. Simple, global density proxy;
 /// provided as an alternative instantiation of the ranking step.
+///
+/// `num_threads` parallelizes the per-object kNN queries like
+/// LofParams::num_threads (1 = serial, 0 = hardware concurrency); scores
+/// are identical for any value.
 class KnnDistanceScorer : public OutlierScorer {
  public:
-  explicit KnnDistanceScorer(std::size_t k = 10) : k_(k) {}
+  explicit KnnDistanceScorer(std::size_t k = 10, std::size_t num_threads = 1)
+      : k_(k), num_threads_(num_threads) {}
 
   std::vector<double> ScoreSubspace(const Dataset& dataset,
                                     const Subspace& subspace) const override;
@@ -22,14 +27,16 @@ class KnnDistanceScorer : public OutlierScorer {
 
  private:
   std::size_t k_;
+  std::size_t num_threads_;
 };
 
 /// Average-kNN-distance score (Angiulli-Pizzuti style): score(x) = mean
 /// distance to the k nearest neighbors. Slightly more robust than the pure
-/// k-distance.
+/// k-distance. `num_threads` as in KnnDistanceScorer.
 class KnnAverageScorer : public OutlierScorer {
  public:
-  explicit KnnAverageScorer(std::size_t k = 10) : k_(k) {}
+  explicit KnnAverageScorer(std::size_t k = 10, std::size_t num_threads = 1)
+      : k_(k), num_threads_(num_threads) {}
 
   std::vector<double> ScoreSubspace(const Dataset& dataset,
                                     const Subspace& subspace) const override;
@@ -38,6 +45,7 @@ class KnnAverageScorer : public OutlierScorer {
 
  private:
   std::size_t k_;
+  std::size_t num_threads_;
 };
 
 }  // namespace hics

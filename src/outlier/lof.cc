@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "common/parallel.h"
 #include "index/neighbor_searcher.h"
@@ -20,26 +21,40 @@ std::vector<double> LofScorer::ScoreSubspace(const Dataset& dataset,
                             : MakeBruteForceSearcher(dataset, subspace);
 
   // Pass 1: k-nearest neighborhoods and k-distances (the quadratic part;
-  // parallel over query objects, read-only on the searcher).
+  // parallel over query objects, read-only on the searcher). Neighborhoods
+  // live in one flat n*k slab filled through per-worker query buffers, so
+  // the pass allocates per worker, not per object.
   const std::size_t num_threads = params_.num_threads == 0
                                       ? DefaultNumThreads()
                                       : params_.num_threads;
-  std::vector<std::vector<Neighbor>> neighborhoods(n);
+  std::vector<Neighbor> flat(n * k);
+  std::vector<std::size_t> counts(n, 0);
   std::vector<double> k_distance(n, 0.0);
-  ParallelFor(0, n, num_threads, [&](std::size_t i) {
-    neighborhoods[i] = searcher->QueryKnn(i, k);
-    k_distance[i] =
-        neighborhoods[i].empty() ? 0.0 : neighborhoods[i].back().distance;
-  });
+  {
+    std::vector<std::vector<Neighbor>> buffers(
+        ParallelWorkerCount(n, num_threads));
+    ParallelForWorker(
+        0, n, num_threads, [&](std::size_t i, std::size_t worker) {
+          std::vector<Neighbor>& buffer = buffers[worker];
+          searcher->QueryKnn(i, k, &buffer);
+          counts[i] = buffer.size();
+          std::copy(buffer.begin(), buffer.end(), flat.begin() + i * k);
+          k_distance[i] = buffer.empty() ? 0.0 : buffer.back().distance;
+        });
+  }
+  const auto neighbors_of = [&](std::size_t i) {
+    return std::span<const Neighbor>(flat.data() + i * k, counts[i]);
+  };
 
-  // Pass 2: local reachability densities.
+  // Pass 2: local reachability densities. Reads only pass-1 output, so the
+  // objects are independent and the pass parallelizes directly.
   constexpr double kInfinity = std::numeric_limits<double>::infinity();
   std::vector<double> lrd(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& nbrs = neighborhoods[i];
+  ParallelFor(0, n, num_threads, [&](std::size_t i) {
+    const auto nbrs = neighbors_of(i);
     if (nbrs.empty()) {
       lrd[i] = kInfinity;
-      continue;
+      return;
     }
     double sum_reach = 0.0;
     for (const Neighbor& nb : nbrs) {
@@ -49,20 +64,21 @@ std::vector<double> LofScorer::ScoreSubspace(const Dataset& dataset,
     lrd[i] = sum_reach > 0.0
                  ? static_cast<double>(nbrs.size()) / sum_reach
                  : kInfinity;
-  }
+  });
 
-  // Pass 3: LOF = mean neighbor lrd ratio.
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& nbrs = neighborhoods[i];
+  // Pass 3: LOF = mean neighbor lrd ratio; independent per object like
+  // pass 2.
+  ParallelFor(0, n, num_threads, [&](std::size_t i) {
+    const auto nbrs = neighbors_of(i);
     if (nbrs.empty()) {
       scores[i] = 1.0;
-      continue;
+      return;
     }
     if (lrd[i] == kInfinity) {
       // Duplicate-heavy neighborhoods: object is at least as dense as its
       // neighbors, LOF defined as 1 (Breunig et al. §4 duplicate handling).
       scores[i] = 1.0;
-      continue;
+      return;
     }
     double sum_ratio = 0.0;
     std::size_t finite_terms = 0;
@@ -78,7 +94,7 @@ std::vector<double> LofScorer::ScoreSubspace(const Dataset& dataset,
     scores[i] = finite_terms > 0
                     ? sum_ratio / static_cast<double>(finite_terms)
                     : 1.0;
-  }
+  });
   return scores;
 }
 

@@ -2,6 +2,7 @@
 #define HICS_OUTLIER_OUTLIER_SCORER_H_
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,11 +41,16 @@ class OutlierScorer {
   /// wrong-sized or non-finite score vector becomes a Status error naming
   /// the offending object instead of silently poisoning the aggregate.
   /// Scorer implementations may override to add internal checkpoints.
+  ///
+  /// `fault_ordinal`, when non-zero, is this call's 1-based position in
+  /// the caller's logical scoring sequence (the subspace index in a
+  /// ranking pass); the fault site is probed with it so fault placement
+  /// is deterministic under parallel ranking. 0 counts by arrival order.
   virtual Result<std::vector<double>> ScoreSubspaceChecked(
-      const Dataset& dataset, const Subspace& subspace,
-      const RunContext& ctx) const {
+      const Dataset& dataset, const Subspace& subspace, const RunContext& ctx,
+      std::uint64_t fault_ordinal = 0) const {
     HICS_RETURN_NOT_OK(ctx.CheckProgress());
-    HICS_RETURN_NOT_OK(ctx.InjectFault("scorer." + name()));
+    HICS_RETURN_NOT_OK(ctx.InjectFault("scorer." + name(), fault_ordinal));
     std::vector<double> scores = ScoreSubspace(dataset, subspace);
     if (scores.size() != dataset.num_objects()) {
       return Status::Internal(

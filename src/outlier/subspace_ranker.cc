@@ -1,8 +1,11 @@
 #include "outlier/subspace_ranker.h"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace hics {
 
@@ -40,33 +43,43 @@ std::vector<double> AggregateScores(
 std::vector<double> RankWithSubspaces(const Dataset& dataset,
                                       const std::vector<Subspace>& subspaces,
                                       const OutlierScorer& scorer,
-                                      ScoreAggregation aggregation) {
+                                      ScoreAggregation aggregation,
+                                      std::size_t num_threads) {
   if (subspaces.empty()) return scorer.ScoreFullSpace(dataset);
-  std::vector<std::vector<double>> per_subspace;
-  per_subspace.reserve(subspaces.size());
-  for (const Subspace& s : subspaces) {
-    per_subspace.push_back(scorer.ScoreSubspace(dataset, s));
-  }
+  // Pre-sized slots: each subspace's vector lands at its own index, so the
+  // aggregation consumes them in subspace order regardless of which worker
+  // finished first — the result is byte-identical to the serial run.
+  std::vector<std::vector<double>> per_subspace(subspaces.size());
+  ParallelFor(0, subspaces.size(), num_threads, [&](std::size_t i) {
+    per_subspace[i] = scorer.ScoreSubspace(dataset, subspaces[i]);
+  });
   return AggregateScores(per_subspace, aggregation);
 }
 
 std::vector<double> RankWithSubspaces(
     const Dataset& dataset, const std::vector<ScoredSubspace>& subspaces,
-    const OutlierScorer& scorer, ScoreAggregation aggregation) {
+    const OutlierScorer& scorer, ScoreAggregation aggregation,
+    std::size_t num_threads) {
   std::vector<Subspace> plain;
   plain.reserve(subspaces.size());
   for (const ScoredSubspace& s : subspaces) plain.push_back(s.subspace);
-  return RankWithSubspaces(dataset, plain, scorer, aggregation);
+  return RankWithSubspaces(dataset, plain, scorer, aggregation, num_threads);
 }
 
-DegradedRankingResult RankWithSubspacesDegraded(
-    const Dataset& dataset, const std::vector<Subspace>& subspaces,
-    const OutlierScorer& scorer, ScoreAggregation aggregation,
-    const RunContext& ctx) {
+namespace {
+
+/// Serial degraded ranking: subspaces are attempted strictly in order and
+/// an interruption stops before the next one starts.
+DegradedRankingResult RankDegradedSerial(const Dataset& dataset,
+                                         const std::vector<Subspace>& subspaces,
+                                         const OutlierScorer& scorer,
+                                         ScoreAggregation aggregation,
+                                         const RunContext& ctx) {
   DegradedRankingResult result;
   std::vector<std::vector<double>> per_subspace;
   per_subspace.reserve(subspaces.size());
-  for (const Subspace& subspace : subspaces) {
+  for (std::size_t i = 0; i < subspaces.size(); ++i) {
+    const Subspace& subspace = subspaces[i];
     const Status progress = ctx.CheckProgress();
     if (!progress.ok()) {
       result.cancelled = progress.code() == StatusCode::kCancelled;
@@ -76,7 +89,7 @@ DegradedRankingResult RankWithSubspacesDegraded(
     }
     ++result.attempted;
     Result<std::vector<double>> scores =
-        scorer.ScoreSubspaceChecked(dataset, subspace, ctx);
+        scorer.ScoreSubspaceChecked(dataset, subspace, ctx, i + 1);
     if (scores.ok()) {
       ++result.succeeded;
       per_subspace.push_back(std::move(scores).ValueOrDie());
@@ -95,6 +108,92 @@ DegradedRankingResult RankWithSubspacesDegraded(
     result.scores = AggregateScores(per_subspace, aggregation);
   }
   return result;
+}
+
+/// Parallel degraded ranking: per-subspace outcomes land in pre-sized
+/// slots and are assembled in subspace order, so healthy runs match the
+/// serial path bit for bit (each scorer call carries its subspace index as
+/// the fault ordinal, pinning injected faults to the same subspaces).
+DegradedRankingResult RankDegradedParallel(
+    const Dataset& dataset, const std::vector<Subspace>& subspaces,
+    const OutlierScorer& scorer, ScoreAggregation aggregation,
+    const RunContext& ctx, std::size_t num_threads) {
+  enum class SlotState : char { kPending, kOk, kFailed };
+  DegradedRankingResult result;
+  std::vector<SlotState> state(subspaces.size(), SlotState::kPending);
+  std::vector<std::vector<double>> slot_scores(subspaces.size());
+  std::vector<Status> slot_status(subspaces.size());
+  std::atomic<std::size_t> attempted{0};
+
+  const Status level_status = ParallelTryFor(
+      0, subspaces.size(), num_threads,
+      [&](std::size_t i) -> Status {
+        HICS_RETURN_NOT_OK(ctx.CheckProgress());
+        attempted.fetch_add(1, std::memory_order_relaxed);
+        Result<std::vector<double>> scores =
+            scorer.ScoreSubspaceChecked(dataset, subspaces[i], ctx, i + 1);
+        if (scores.ok()) {
+          slot_scores[i] = std::move(scores).ValueOrDie();
+          state[i] = SlotState::kOk;
+          return Status::OK();
+        }
+        const StatusCode code = scores.status().code();
+        if (code == StatusCode::kCancelled ||
+            code == StatusCode::kDeadlineExceeded) {
+          return scores.status();  // interruption: winds the ranking down
+        }
+        slot_status[i] = scores.status();
+        state[i] = SlotState::kFailed;
+        return Status::OK();  // isolated failure: keep ranking
+      },
+      [&ctx] { return ctx.ShouldStop(); });
+
+  result.attempted = attempted.load(std::memory_order_relaxed);
+  if (!level_status.ok()) {
+    result.cancelled = level_status.code() == StatusCode::kCancelled;
+    result.deadline_exceeded =
+        level_status.code() == StatusCode::kDeadlineExceeded;
+  } else if (std::find(state.begin(), state.end(), SlotState::kPending) !=
+             state.end()) {
+    // Holes without an error: the should_stop wind-down skipped work.
+    const Status progress = ctx.CheckProgress();
+    result.cancelled = progress.code() == StatusCode::kCancelled;
+    result.deadline_exceeded =
+        progress.code() == StatusCode::kDeadlineExceeded;
+  }
+
+  std::vector<std::vector<double>> per_subspace;
+  per_subspace.reserve(subspaces.size());
+  for (std::size_t i = 0; i < subspaces.size(); ++i) {
+    switch (state[i]) {
+      case SlotState::kOk:
+        ++result.succeeded;
+        per_subspace.push_back(std::move(slot_scores[i]));
+        break;
+      case SlotState::kFailed:
+        result.failures.push_back({subspaces[i], std::move(slot_status[i])});
+        break;
+      case SlotState::kPending:
+        break;
+    }
+  }
+  if (!per_subspace.empty()) {
+    result.scores = AggregateScores(per_subspace, aggregation);
+  }
+  return result;
+}
+
+}  // namespace
+
+DegradedRankingResult RankWithSubspacesDegraded(
+    const Dataset& dataset, const std::vector<Subspace>& subspaces,
+    const OutlierScorer& scorer, ScoreAggregation aggregation,
+    const RunContext& ctx, std::size_t num_threads) {
+  if (ParallelWorkerCount(subspaces.size(), num_threads) <= 1) {
+    return RankDegradedSerial(dataset, subspaces, scorer, aggregation, ctx);
+  }
+  return RankDegradedParallel(dataset, subspaces, scorer, aggregation, ctx,
+                              num_threads);
 }
 
 }  // namespace hics

@@ -31,18 +31,27 @@ std::vector<double> AggregateScores(
 /// The outlier-ranking half of the decoupled pipeline: runs `scorer` on
 /// every subspace in `subspaces` and aggregates. With an empty subspace
 /// list, scores the full space (traditional outlier ranking).
+///
+/// `num_threads` scores subspaces concurrently on the shared thread pool
+/// (1 = serial, 0 = hardware concurrency). Each subspace's scores land in
+/// a pre-sized slot and aggregation runs over the slots in subspace
+/// order, so the result is byte-identical for every thread count. The
+/// scorer must tolerate concurrent ScoreSubspace calls (all shipped
+/// scorers are stateless).
 std::vector<double> RankWithSubspaces(const Dataset& dataset,
                                       const std::vector<Subspace>& subspaces,
                                       const OutlierScorer& scorer,
                                       ScoreAggregation aggregation =
-                                          ScoreAggregation::kAverage);
+                                          ScoreAggregation::kAverage,
+                                      std::size_t num_threads = 1);
 
 /// Convenience overload for scored subspaces (scores ignored; only the
 /// projections matter for ranking).
 std::vector<double> RankWithSubspaces(
     const Dataset& dataset, const std::vector<ScoredSubspace>& subspaces,
     const OutlierScorer& scorer,
-    ScoreAggregation aggregation = ScoreAggregation::kAverage);
+    ScoreAggregation aggregation = ScoreAggregation::kAverage,
+    std::size_t num_threads = 1);
 
 /// One isolated per-subspace failure observed during degraded ranking.
 struct SubspaceFailure {
@@ -77,10 +86,20 @@ struct DegradedRankingResult {
 /// Never fails itself; with an empty `subspaces` list it returns an empty
 /// result with attempted == 0 so the caller can fall back to full-space
 /// scoring.
+///
+/// `num_threads` (1 = serial, 0 = hardware concurrency) scores subspaces
+/// concurrently; each call passes its subspace index as the fault
+/// ordinal, so injected fault placement — and therefore the surviving
+/// ensemble and its aggregate — is byte-identical for every thread
+/// count. On interruption the serial path stops before the next subspace
+/// in order, while the parallel path additionally keeps any later
+/// subspaces that had already completed (both aggregate only completed
+/// members, in subspace order). `failures` is in subspace order either
+/// way.
 DegradedRankingResult RankWithSubspacesDegraded(
     const Dataset& dataset, const std::vector<Subspace>& subspaces,
     const OutlierScorer& scorer, ScoreAggregation aggregation,
-    const RunContext& ctx);
+    const RunContext& ctx, std::size_t num_threads = 1);
 
 }  // namespace hics
 

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "index/neighbor_searcher.h"
+#include "stats/special.h"
 
 namespace hics {
 
@@ -26,7 +27,7 @@ namespace {
 double UnitBallVolume(std::size_t d) {
   const double dd = static_cast<double>(d);
   return std::pow(std::numbers::pi, dd / 2.0) /
-         std::exp(std::lgamma(dd / 2.0 + 1.0));
+         std::exp(stats::LogGamma(dd / 2.0 + 1.0));
 }
 
 class RisMethod : public SubspaceSearchMethod {

@@ -69,11 +69,19 @@ double CvmDeviation::Deviation(std::span<const double> marginal,
 double CvmDeviation::DeviationPresortedMarginal(
     std::span<const double> marginal_sorted,
     std::span<const double> conditional) const {
+  std::vector<double> sort_scratch;
+  return DeviationPresortedMarginal(marginal_sorted, conditional,
+                                    &sort_scratch);
+}
+
+double CvmDeviation::DeviationPresortedMarginal(
+    std::span<const double> marginal_sorted,
+    std::span<const double> conditional,
+    std::vector<double>* sort_scratch) const {
   if (marginal_sorted.empty() || conditional.empty()) return 0.0;
-  std::vector<double> sorted_conditional(conditional.begin(),
-                                         conditional.end());
-  std::sort(sorted_conditional.begin(), sorted_conditional.end());
-  const CvmResult r = CvmSorted(marginal_sorted, sorted_conditional);
+  sort_scratch->assign(conditional.begin(), conditional.end());
+  std::sort(sort_scratch->begin(), sort_scratch->end());
+  const CvmResult r = CvmSorted(marginal_sorted, *sort_scratch);
   return r.valid ? r.statistic : 0.0;
 }
 

@@ -62,11 +62,19 @@ double KsDeviation::Deviation(std::span<const double> marginal,
 double KsDeviation::DeviationPresortedMarginal(
     std::span<const double> marginal_sorted,
     std::span<const double> conditional) const {
+  std::vector<double> sort_scratch;
+  return DeviationPresortedMarginal(marginal_sorted, conditional,
+                                    &sort_scratch);
+}
+
+double KsDeviation::DeviationPresortedMarginal(
+    std::span<const double> marginal_sorted,
+    std::span<const double> conditional,
+    std::vector<double>* sort_scratch) const {
   if (marginal_sorted.empty() || conditional.empty()) return 0.0;
-  std::vector<double> sorted_conditional(conditional.begin(),
-                                         conditional.end());
-  std::sort(sorted_conditional.begin(), sorted_conditional.end());
-  const KsResult r = KsTestSorted(marginal_sorted, sorted_conditional);
+  sort_scratch->assign(conditional.begin(), conditional.end());
+  std::sort(sort_scratch->begin(), sort_scratch->end());
+  const KsResult r = KsTestSorted(marginal_sorted, *sort_scratch);
   return r.valid ? r.statistic : 0.0;
 }
 

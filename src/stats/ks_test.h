@@ -3,6 +3,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "stats/two_sample_test.h"
 
@@ -31,6 +32,10 @@ class KsDeviation : public TwoSampleTest {
   double DeviationPresortedMarginal(
       std::span<const double> marginal_sorted,
       std::span<const double> conditional) const override;
+  double DeviationPresortedMarginal(
+      std::span<const double> marginal_sorted,
+      std::span<const double> conditional,
+      std::vector<double>* sort_scratch) const override;
   std::string name() const override { return "ks"; }
 };
 

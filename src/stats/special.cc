@@ -48,7 +48,16 @@ double BetaContinuedFraction(double a, double b, double x) {
 
 }  // namespace
 
-double LogGamma(double x) { return std::lgamma(x); }
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the process-global signgam, racing under concurrent
+  // contrast evaluation; the reentrant variant returns identical values.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 double RegularizedIncompleteBeta(double a, double b, double x) {
   HICS_CHECK(a > 0.0 && b > 0.0) << "beta parameters must be positive";

@@ -3,8 +3,8 @@
 
 namespace hics::stats {
 
-/// Natural log of the gamma function (thin wrapper over std::lgamma with a
-/// stable name for the library).
+/// Natural log of the gamma function. Thread-safe: uses the reentrant
+/// lgamma_r where available (std::lgamma races on the global signgam).
 double LogGamma(double x);
 
 /// Regularized incomplete beta function I_x(a, b) for a, b > 0 and

@@ -4,6 +4,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace hics::stats {
 
@@ -33,6 +34,20 @@ class TwoSampleTest {
       std::span<const double> marginal_sorted,
       std::span<const double> conditional) const {
     return Deviation(marginal_sorted, conditional);
+  }
+
+  /// Same contract as DeviationPresortedMarginal, with a caller-provided
+  /// sort buffer: rank-based tests copy+sort `conditional` into
+  /// `sort_scratch` (reusing its capacity) instead of allocating a fresh
+  /// vector — the contrast estimator calls this once per Monte Carlo draw
+  /// with per-worker scratch, making the hot loop allocation-free.
+  /// Tests that never sort ignore the buffer.
+  virtual double DeviationPresortedMarginal(
+      std::span<const double> marginal_sorted,
+      std::span<const double> conditional,
+      std::vector<double>* sort_scratch) const {
+    (void)sort_scratch;
+    return DeviationPresortedMarginal(marginal_sorted, conditional);
   }
 
   /// Short identifier for reports, e.g. "welch" or "ks".

@@ -1,0 +1,199 @@
+// Unit tests of the persistent ThreadPool and the worker-slot Parallel*
+// entry points built on it: slot coverage, worker reuse across regions,
+// nested-region inlining, scratch-slot isolation, and deterministic
+// first-error-wins semantics of ParallelTryForWorker.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace hics {
+namespace {
+
+TEST(ThreadPoolTest, RunExecutesEverySlotExactlyOnce) {
+  ThreadPool pool;
+  constexpr std::size_t kSlots = 8;
+  std::vector<std::atomic<int>> hits(kSlots);
+  pool.Run(kSlots, [&](std::size_t slot) {
+    ASSERT_LT(slot, kSlots);
+    hits[slot].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    EXPECT_EQ(hits[s].load(), 1) << "slot " << s;
+  }
+}
+
+TEST(ThreadPoolTest, SlotZeroRunsOnTheCallingThread) {
+  ThreadPool pool;
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id slot0_thread;
+  pool.Run(4, [&](std::size_t slot) {
+    if (slot == 0) slot0_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(slot0_thread, caller);
+}
+
+TEST(ThreadPoolTest, ParallelismZeroIsNoOpAndOneRunsInline) {
+  ThreadPool pool;
+  std::atomic<int> calls{0};
+  pool.Run(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.Run(1, [&](std::size_t slot) {
+    EXPECT_EQ(slot, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkersAreReusedAcrossRegions) {
+  ThreadPool pool;
+  pool.Run(4, [](std::size_t) {});
+  const std::size_t workers_after_first = pool.num_workers();
+  EXPECT_LE(workers_after_first, 3u);  // slot 0 is the caller
+  for (int round = 0; round < 50; ++round) {
+    pool.Run(4, [](std::size_t) {});
+  }
+  // Re-entering a region must not spawn additional threads.
+  EXPECT_EQ(pool.num_workers(), workers_after_first);
+}
+
+TEST(ThreadPoolTest, NestedRunExecutesInlineInsideARegion) {
+  ThreadPool pool;
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  std::atomic<int> nested_calls{0};
+  pool.Run(4, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    const std::thread::id self = std::this_thread::get_id();
+    // A nested region degrades to an inline loop on this thread: all slots
+    // run here, sequentially.
+    pool.Run(3, [&](std::size_t nested_slot) {
+      EXPECT_LT(nested_slot, 3u);
+      EXPECT_EQ(std::this_thread::get_id(), self);
+      nested_calls.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  EXPECT_EQ(nested_calls.load(), 4 * 3);
+}
+
+TEST(ThreadPoolTest, ParallelismIsClampedToTheMaximum) {
+  ThreadPool pool;
+  std::set<std::size_t> slots;
+  std::mutex mutex;
+  pool.Run(ThreadPool::kMaxParallelism + 100, [&](std::size_t slot) {
+    std::lock_guard<std::mutex> lock(mutex);
+    slots.insert(slot);
+  });
+  EXPECT_LE(slots.size(), ThreadPool::kMaxParallelism);
+  EXPECT_EQ(*slots.rbegin(), slots.size() - 1);  // dense 0..n-1
+}
+
+TEST(ParallelWorkerCountTest, BoundsAndDegenerateInputs) {
+  EXPECT_EQ(ParallelWorkerCount(100, 1), 1u);
+  EXPECT_EQ(ParallelWorkerCount(100, 4), 4u);
+  // Never more workers than iterations.
+  EXPECT_LE(ParallelWorkerCount(3, 16), 3u);
+  // Zero iterations still sizes one slot (the inline path).
+  EXPECT_GE(ParallelWorkerCount(0, 8), 1u);
+  // num_threads = 0 resolves to hardware concurrency, at least 1.
+  EXPECT_GE(ParallelWorkerCount(1000, 0), 1u);
+  EXPECT_LE(ParallelWorkerCount(1000, 0), ThreadPool::kMaxParallelism);
+}
+
+TEST(ParallelForWorkerTest, WorkerIdsIndexDistinctScratchSlots) {
+  constexpr std::size_t kCount = 5000;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const std::size_t workers = ParallelWorkerCount(kCount, threads);
+    // Non-atomic per-worker counters: any two concurrent calls sharing a
+    // worker id would race and (under TSan) fail loudly.
+    std::vector<std::size_t> per_worker(workers, 0);
+    ParallelForWorker(0, kCount, threads,
+                      [&](std::size_t i, std::size_t worker) {
+                        ASSERT_LT(worker, workers);
+                        (void)i;
+                        ++per_worker[worker];
+                      });
+    std::size_t total = 0;
+    for (std::size_t c : per_worker) total += c;
+    EXPECT_EQ(total, kCount) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForWorkerTest, InlinePathUsesWorkerZero) {
+  std::set<std::size_t> ids;
+  ParallelForWorker(0, 100, 1, [&](std::size_t, std::size_t worker) {
+    ids.insert(worker);
+  });
+  EXPECT_EQ(ids, std::set<std::size_t>{0});
+}
+
+TEST(ParallelForWorkerTest, EveryIndexVisitedOnce) {
+  constexpr std::size_t kCount = 2048;
+  std::vector<std::atomic<int>> visits(kCount);
+  ParallelForWorker(3, 3 + kCount, 0, [&](std::size_t i, std::size_t) {
+    visits[i - 3].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTryForWorkerTest, SmallestFailingIndexWinsForAnyThreadCount) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const Status status = ParallelTryForWorker(
+        0, 1000, threads,
+        [&](std::size_t i, std::size_t) -> Status {
+          if (i == 700) return Status::Internal("late failure");
+          if (i == 100) return Status::InvalidArgument("early failure");
+          return Status::OK();
+        },
+        nullptr);
+    ASSERT_FALSE(status.ok()) << "threads=" << threads;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTryForWorkerTest, ScratchSlotsStayIsolatedUnderErrors) {
+  const std::size_t threads = 4;
+  const std::size_t workers = ParallelWorkerCount(1000, threads);
+  std::vector<std::size_t> per_worker(workers, 0);
+  const Status status = ParallelTryForWorker(
+      0, 1000, threads,
+      [&](std::size_t i, std::size_t worker) -> Status {
+        ++per_worker[worker];
+        if (i == 500) return Status::Internal("boom");
+        return Status::OK();
+      },
+      nullptr);
+  EXPECT_FALSE(status.ok());
+  std::size_t total = 0;
+  for (std::size_t c : per_worker) total += c;
+  EXPECT_LE(total, 1000u);  // wind-down skips, never double-runs
+}
+
+TEST(ThreadPoolStressTest, ManySmallRegionsInSequence) {
+  std::atomic<std::size_t> sum{0};
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t threads = 1 + static_cast<std::size_t>(round % 5);
+    ParallelFor(0, 64, threads, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 300u * (64u * 63u / 2));
+}
+
+}  // namespace
+}  // namespace hics
