@@ -120,6 +120,40 @@ class JsonWriter {
   std::vector<bool> needs_comma_;
 };
 
+/// Compiler identification string baked in at compile time, so a committed
+/// BENCH_*.json names the toolchain its numbers came from.
+inline std::string CompilerId() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Appends a "build" object (compiler id, optimization flags, build type)
+/// to the record under construction. The flag strings come from the bench
+/// CMakeLists (HICS_BENCH_* definitions); absolute timings are only
+/// comparable between records whose build objects match.
+inline JsonWriter& WriteBuildInfo(JsonWriter& json) {
+#ifdef HICS_BENCH_CXX_FLAGS
+  const char* flags = HICS_BENCH_CXX_FLAGS;
+#else
+  const char* flags = "unknown";
+#endif
+#ifdef HICS_BENCH_BUILD_TYPE
+  const char* build_type = HICS_BENCH_BUILD_TYPE;
+#else
+  const char* build_type = "unknown";
+#endif
+  return json.BeginObject("build")
+      .Field("compiler", CompilerId())
+      .Field("cxx_flags", flags)
+      .Field("build_type", build_type)
+      .EndObject();
+}
+
 /// Writes the document (plus a trailing newline) to `path`; returns false
 /// and prints to stderr when the file cannot be written.
 inline bool WriteJsonFile(const std::string& path, const JsonWriter& json) {

@@ -114,6 +114,19 @@ void BM_KnnBruteForce(benchmark::State& state) {
 }
 BENCHMARK(BM_KnnBruteForce)->Arg(2)->Arg(8)->Arg(25);
 
+// The batched all-kNN kernel, whole-table per iteration; compare one
+// iteration here against 2000x a BM_KnnBruteForce iteration.
+void BM_KnnBruteForceBatched(benchmark::State& state) {
+  const Dataset ds = UniformData(2000, state.range(0), 8);
+  const auto searcher = MakeBruteForceSearcher(ds, ds.FullSpace());
+  KnnResultTable table;
+  for (auto _ : state) {
+    searcher->QueryAllKnn(10, &table);
+    benchmark::DoNotOptimize(table.count(0));
+  }
+}
+BENCHMARK(BM_KnnBruteForceBatched)->Arg(2)->Arg(8)->Arg(25);
+
 void BM_KnnKdTree(benchmark::State& state) {
   const Dataset ds = UniformData(2000, state.range(0), 9);
   const auto searcher = MakeKdTreeSearcher(ds, ds.FullSpace());
@@ -137,10 +150,14 @@ BENCHMARK(BM_LofScore)->Arg(500)->Arg(1000)->Arg(2000);
 }  // namespace
 
 /// Times search + ranking on one synthetic dataset and writes
-/// BENCH_micro.json. The ranking phase runs once serially and once on the
-/// thread pool (>= 4 workers) over the same top-100 subspaces; the JSON
-/// records both wall-clocks, the speedup, and whether the parallel scores
-/// matched the serial ones bit for bit.
+/// BENCH_micro.json. The ranking phase runs three times over the same
+/// top-100 subspaces: once on the pre-batching per-query serial path
+/// (rank_serial_per_query, the reference), once on the batched all-kNN
+/// serial path (rank_serial), and once batched on the thread pool (>= 4
+/// workers, rank_parallel). The JSON records all three wall-clocks, the
+/// batch and parallel speedups, and ranking_identical = whether the
+/// batched serial and parallel scores matched the per-query reference
+/// byte for byte.
 void WritePipelineStageReport() {
   SyntheticParams gen;
   gen.num_objects = 1000;
@@ -169,8 +186,15 @@ void WritePipelineStageReport() {
   }
 
   const LofScorer lof({.min_pts = 10});
+  const LofScorer lof_per_query({.min_pts = 10,
+                                 .backend = KnnBackend::kBruteForce,
+                                 .use_batch_knn = false});
   const std::size_t parallel_threads = std::max<std::size_t>(
       4, DefaultNumThreads());
+  Timer per_query_timer;
+  const auto per_query_scores = RankWithSubspaces(
+      data, *subspaces, lof_per_query, ScoreAggregation::kAverage, 1);
+  const double rank_per_query_seconds = per_query_timer.ElapsedSeconds();
   Timer serial_timer;
   const auto serial_scores = RankWithSubspaces(
       data, *subspaces, lof, ScoreAggregation::kAverage, 1);
@@ -179,13 +203,16 @@ void WritePipelineStageReport() {
   const auto parallel_scores = RankWithSubspaces(
       data, *subspaces, lof, ScoreAggregation::kAverage, parallel_threads);
   const double rank_parallel_seconds = parallel_timer.ElapsedSeconds();
+  const bool identical = serial_scores == per_query_scores &&
+                         parallel_scores == serial_scores;
 
   bench::JsonWriter json;
   json.BeginObject()
       .Field("benchmark", "bench_micro.pipeline_stages")
       .Field("hardware_concurrency",
-             static_cast<std::uint64_t>(DefaultNumThreads()))
-      .BeginObject("dataset")
+             static_cast<std::uint64_t>(DefaultNumThreads()));
+  bench::WriteBuildInfo(json);
+  json.BeginObject("dataset")
       .Field("num_objects", static_cast<std::uint64_t>(data.num_objects()))
       .Field("num_attributes",
              static_cast<std::uint64_t>(data.num_attributes()))
@@ -206,6 +233,10 @@ void WritePipelineStageReport() {
       .Field("subspaces_found",
              static_cast<std::uint64_t>(subspaces->size()))
       .EndObject()
+      .BeginObject("rank_serial_per_query")
+      .Field("seconds", rank_per_query_seconds)
+      .Field("num_threads", static_cast<std::uint64_t>(1))
+      .EndObject()
       .BeginObject("rank_serial")
       .Field("seconds", rank_serial_seconds)
       .Field("num_threads", static_cast<std::uint64_t>(1))
@@ -219,16 +250,19 @@ void WritePipelineStageReport() {
       .EndObject()
       .EndObject()
       .Field("ranking_speedup", rank_serial_seconds / rank_parallel_seconds)
-      .Field("ranking_identical", serial_scores == parallel_scores)
+      .Field("batch_knn_speedup",
+             rank_per_query_seconds / rank_serial_seconds)
+      .Field("ranking_identical", identical)
       .EndObject();
   if (bench::WriteJsonFile("BENCH_micro.json", json)) {
     std::printf(
-        "pipeline stages: search %.3fs, rank serial %.3fs, rank parallel "
-        "(%zu threads) %.3fs, speedup %.2fx, identical=%s -> "
-        "BENCH_micro.json\n\n",
-        search_seconds, rank_serial_seconds, parallel_threads,
+        "pipeline stages: search %.3fs, rank serial/per-query %.3fs, rank "
+        "serial/batched %.3fs (%.2fx), rank parallel (%zu threads) %.3fs "
+        "(%.2fx), identical=%s -> BENCH_micro.json\n\n",
+        search_seconds, rank_per_query_seconds, rank_serial_seconds,
+        rank_per_query_seconds / rank_serial_seconds, parallel_threads,
         rank_parallel_seconds, rank_serial_seconds / rank_parallel_seconds,
-        serial_scores == parallel_scores ? "yes" : "NO (BUG)");
+        identical ? "yes" : "NO (BUG)");
   }
 }
 

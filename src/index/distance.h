@@ -1,0 +1,50 @@
+// Shared Euclidean distance kernels for the neighbor-search backends and
+// the distance-based scorers. Every caller that needs results identical to
+// another path (KD-tree vs brute force parity, batched vs per-query kNN,
+// ORCA vs the brute-force top-n reference) must accumulate in the same
+// order; centralizing the kernels here makes that invariant structural.
+
+#ifndef HICS_INDEX_DISTANCE_H_
+#define HICS_INDEX_DISTANCE_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace hics {
+
+/// Squared Euclidean distance between two dense points of length `dim`,
+/// accumulated in ascending dimension order. All exact-distance paths in
+/// the repo funnel through this, so their results agree bit for bit.
+inline double SquaredDistance(const double* a, const double* b,
+                              std::size_t dim) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Squared distance with early exit once `bound` is exceeded; checks the
+/// bound every 8 dimensions to keep the common low-dimensional path
+/// branch-light. When the result is <= bound it equals SquaredDistance
+/// exactly (full accumulation, same order); above the bound it is only a
+/// certificate of exceedance.
+inline double SquaredDistanceBounded(const double* a, const double* b,
+                                     std::size_t dim, double bound) {
+  double sum = 0.0;
+  std::size_t j = 0;
+  while (j < dim) {
+    const std::size_t chunk_end = std::min(dim, j + 8);
+    for (; j < chunk_end; ++j) {
+      const double diff = a[j] - b[j];
+      sum += diff * diff;
+    }
+    if (sum > bound) return sum;
+  }
+  return sum;
+}
+
+}  // namespace hics
+
+#endif  // HICS_INDEX_DISTANCE_H_

@@ -2,6 +2,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "index/distance.h"
 #include "index/neighbor_searcher.h"
 
 namespace hics {
@@ -41,17 +42,17 @@ class KdTreeSearcher : public NeighborSearcher {
     for (Neighbor& n : heap) n.distance = std::sqrt(n.distance);
   }
 
-  std::vector<Neighbor> QueryRadius(std::size_t query,
-                                    double radius) const override {
+  void QueryRadius(std::size_t query, double radius,
+                   std::vector<Neighbor>* out) const override {
     HICS_CHECK_LT(query, num_objects_);
-    std::vector<Neighbor> result;
+    std::vector<Neighbor>& result = *out;
+    result.clear();
     if (root_ >= 0) {
       SearchRadius(root_, &points_[query * dim_], query, radius * radius,
                    &result);
     }
     for (Neighbor& n : result) n.distance = std::sqrt(n.distance);
     std::sort(result.begin(), result.end());
-    return result;
   }
 
   std::size_t num_objects() const override { return num_objects_; }
@@ -118,15 +119,6 @@ class KdTreeSearcher : public NeighborSearcher {
     return self;
   }
 
-  double SquaredDistance(const double* a, const double* b) const {
-    double sum = 0.0;
-    for (std::size_t j = 0; j < dim_; ++j) {
-      const double diff = a[j] - b[j];
-      sum += diff * diff;
-    }
-    return sum;
-  }
-
   void SearchKnn(int node_id, const double* q, std::size_t exclude,
                  std::size_t k, std::vector<Neighbor>* heap) const {
     const Node& node = nodes_[node_id];
@@ -134,7 +126,7 @@ class KdTreeSearcher : public NeighborSearcher {
       for (std::size_t i = node.begin; i < node.end; ++i) {
         const std::size_t id = ids_[i];
         if (id == exclude) continue;
-        const double d2 = SquaredDistance(q, &points_[id * dim_]);
+        const double d2 = SquaredDistance(q, &points_[id * dim_], dim_);
         if (heap->size() < k) {
           heap->push_back({id, d2});
           std::push_heap(heap->begin(), heap->end());
@@ -164,7 +156,7 @@ class KdTreeSearcher : public NeighborSearcher {
       for (std::size_t i = node.begin; i < node.end; ++i) {
         const std::size_t id = ids_[i];
         if (id == exclude) continue;
-        const double d2 = SquaredDistance(q, &points_[id * dim_]);
+        const double d2 = SquaredDistance(q, &points_[id * dim_], dim_);
         if (d2 <= r2) out->push_back({id, d2});
       }
       return;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/dataset.h"
@@ -21,6 +22,56 @@ struct Neighbor {
     if (a.distance != b.distance) return a.distance < b.distance;
     return a.id < b.id;
   }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.distance == b.distance;
+  }
+};
+
+/// Dense all-kNN result: row q holds the neighbors of query q in ascending
+/// (distance, id) order, all rows packed into one flat slab of stride k.
+/// Reusing one table across subspaces keeps the batched kNN pass down to a
+/// single allocation per dataset size change.
+class KnnResultTable {
+ public:
+  /// Shapes the table for `num_queries` rows of capacity `k` and zeroes the
+  /// per-row counts. Existing slab capacity is reused.
+  void Reset(std::size_t num_queries, std::size_t k) {
+    num_queries_ = num_queries;
+    k_ = k;
+    flat_.clear();
+    flat_.resize(num_queries * k);
+    counts_.assign(num_queries, 0);
+  }
+
+  std::size_t num_queries() const { return num_queries_; }
+  /// Row capacity (the clamped k the producing backend used).
+  std::size_t k() const { return k_; }
+
+  /// The neighbors of query q (only the filled prefix of the row).
+  std::span<const Neighbor> Row(std::size_t q) const {
+    return {flat_.data() + q * k_, counts_[q]};
+  }
+  std::size_t count(std::size_t q) const { return counts_[q]; }
+
+  /// Backend access: raw row storage and its fill count.
+  Neighbor* MutableRow(std::size_t q) { return flat_.data() + q * k_; }
+  std::size_t* MutableCount(std::size_t q) { return &counts_[q]; }
+
+ private:
+  std::size_t num_queries_ = 0;
+  std::size_t k_ = 0;
+  std::vector<Neighbor> flat_;
+  std::vector<std::size_t> counts_;
+};
+
+/// Which neighbor-search backend to use. All backends return identical
+/// results (same ids, same bit-exact distances, same order); the choice is
+/// purely a performance decision — see ChooseKnnBackend in
+/// outlier/subspace_ranker.h for the calibrated policy.
+enum class KnnBackend {
+  kBruteForce,  ///< blocked/batched exhaustive scan
+  kKdTree,      ///< median-split KD-tree
+  kAuto,        ///< let the caller's selection policy decide
 };
 
 /// k-nearest-neighbor search over the objects of one dataset, with distances
@@ -44,31 +95,75 @@ class NeighborSearcher {
     return out;
   }
 
-  /// All objects (excluding `query`) within `radius` of object `query`.
-  virtual std::vector<Neighbor> QueryRadius(std::size_t query,
-                                            double radius) const = 0;
+  /// Batched all-kNN: the k nearest neighbors of *every* object at once,
+  /// into `out` (row q = neighbors of q, ascending (distance, id)). Result
+  /// rows are element-identical to per-query QueryKnn calls; backends only
+  /// differ in how fast they get there. `num_threads` parallelizes over
+  /// query blocks on the shared pool (1 = serial, 0 = hardware
+  /// concurrency); results are identical for any value.
+  virtual void QueryAllKnn(std::size_t k, KnnResultTable* out,
+                           std::size_t num_threads = 1) const {
+    QueryAllKnnPerQuery(k, out, num_threads);
+  }
+
+  /// Reference all-kNN path: one QueryKnn call per object (worker-parallel
+  /// over queries). This is the default QueryAllKnn for backends without a
+  /// batched kernel, and the oracle the batched kernels are tested against.
+  void QueryAllKnnPerQuery(std::size_t k, KnnResultTable* out,
+                           std::size_t num_threads = 1) const;
+
+  /// All objects (excluding `query`) within `radius` of object `query`,
+  /// sorted by ascending (distance, id) into `*out` (cleared first;
+  /// capacity reused across calls like the QueryKnn buffer variant).
+  virtual void QueryRadius(std::size_t query, double radius,
+                           std::vector<Neighbor>* out) const = 0;
+
+  /// Allocating convenience wrapper around the buffer variant.
+  std::vector<Neighbor> QueryRadius(std::size_t query, double radius) const {
+    std::vector<Neighbor> out;
+    QueryRadius(query, radius, &out);
+    return out;
+  }
 
   /// Number of objects (excluding `query`) within `radius`; avoids
   /// materializing the neighbor list (what DBSCAN core checks and RIS's
   /// quality aggregation actually need).
   virtual std::size_t CountRadius(std::size_t query, double radius) const {
-    return QueryRadius(query, radius).size();
+    std::vector<Neighbor> out;
+    QueryRadius(query, radius, &out);
+    return out.size();
   }
 
   virtual std::size_t num_objects() const = 0;
   virtual std::size_t dimensionality() const = 0;
+
+ protected:
+  /// The effective row size of a k-NN query: every object but the query
+  /// itself is a potential neighbor.
+  std::size_t CappedK(std::size_t k) const {
+    const std::size_t n = num_objects();
+    return n == 0 ? 0 : std::min(k, n - 1);
+  }
 };
 
-/// Exhaustive O(N*d) per query scan. Robust in any dimensionality; this is
-/// what a quadratic LOF (as in the paper's experiments) uses.
+/// Exhaustive scan backend. Per-query it is the classic O(N*d) loop with
+/// bound abandonment; batched (QueryAllKnn) it switches to a cache-blocked
+/// SoA kernel that computes each symmetric pair once — see DESIGN.md §5c.
 std::unique_ptr<NeighborSearcher> MakeBruteForceSearcher(
     const Dataset& dataset, const Subspace& subspace);
 
 /// Median-split KD-tree; faster for low-dimensional subspaces, degrades
 /// toward brute force as dimensionality grows (the classic curse; compared
-/// in bench_micro).
+/// in bench_knn_backends).
 std::unique_ptr<NeighborSearcher> MakeKdTreeSearcher(const Dataset& dataset,
                                                      const Subspace& subspace);
+
+/// Factory over a concrete backend choice. `backend` must not be kAuto —
+/// resolve policy first (ChooseKnnBackend) so the decision stays visible at
+/// the call site.
+std::unique_ptr<NeighborSearcher> MakeSearcher(const Dataset& dataset,
+                                               const Subspace& subspace,
+                                               KnnBackend backend);
 
 }  // namespace hics
 

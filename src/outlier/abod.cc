@@ -16,11 +16,15 @@ std::vector<double> AbodScorer::ScoreSubspace(const Dataset& dataset,
   const std::size_t k = std::min(params_.k, n - 1);
 
   const auto searcher = MakeBruteForceSearcher(dataset, subspace);
+  // One batched sweep replaces the n per-query scans; the angle statistics
+  // below consume the rows in place.
+  KnnResultTable table;
+  searcher->QueryAllKnn(k, &table);
 
   std::vector<double> p(dim), va(dim), vb(dim);
   for (std::size_t i = 0; i < n; ++i) {
     dataset.ProjectObject(i, subspace, &p);
-    const auto nbrs = searcher->QueryKnn(i, k);
+    const auto nbrs = table.Row(i);
 
     // Distance-weighted cosine statistics over neighbor pairs (a, b):
     // weight 1 / (|pa|^2 * |pb|^2) as in the original ABOF.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "common/parallel.h"
 #include "index/neighbor_searcher.h"
 
 namespace hics {
@@ -14,14 +13,12 @@ std::vector<double> KnnDistanceScorer::ScoreSubspace(
   if (n < 2) return scores;
   const std::size_t k = std::min(k_, n - 1);
   const auto searcher = MakeBruteForceSearcher(dataset, subspace);
-  std::vector<std::vector<Neighbor>> buffers(
-      ParallelWorkerCount(n, num_threads_));
-  ParallelForWorker(0, n, num_threads_,
-                    [&](std::size_t i, std::size_t worker) {
-                      std::vector<Neighbor>& buffer = buffers[worker];
-                      searcher->QueryKnn(i, k, &buffer);
-                      scores[i] = buffer.empty() ? 0.0 : buffer.back().distance;
-                    });
+  KnnResultTable table;
+  searcher->QueryAllKnn(k, &table, num_threads_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = table.Row(i);
+    scores[i] = row.empty() ? 0.0 : row.back().distance;
+  }
   return scores;
 }
 
@@ -32,17 +29,15 @@ std::vector<double> KnnAverageScorer::ScoreSubspace(
   if (n < 2) return scores;
   const std::size_t k = std::min(k_, n - 1);
   const auto searcher = MakeBruteForceSearcher(dataset, subspace);
-  std::vector<std::vector<Neighbor>> buffers(
-      ParallelWorkerCount(n, num_threads_));
-  ParallelForWorker(0, n, num_threads_,
-                    [&](std::size_t i, std::size_t worker) {
-                      std::vector<Neighbor>& buffer = buffers[worker];
-                      searcher->QueryKnn(i, k, &buffer);
-                      if (buffer.empty()) return;
-                      double sum = 0.0;
-                      for (const Neighbor& nb : buffer) sum += nb.distance;
-                      scores[i] = sum / static_cast<double>(buffer.size());
-                    });
+  KnnResultTable table;
+  searcher->QueryAllKnn(k, &table, num_threads_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = table.Row(i);
+    if (row.empty()) continue;
+    double sum = 0.0;
+    for (const Neighbor& nb : row) sum += nb.distance;
+    scores[i] = sum / static_cast<double>(row.size());
+  }
   return scores;
 }
 

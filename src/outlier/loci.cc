@@ -49,17 +49,20 @@ std::vector<double> LociScorer::ScoreSubspace(const Dataset& dataset,
     r *= growth;
   }
 
-  // Counting neighborhood sizes: one radius query per (object, radius).
-  // Exact LOCI is O(num_radii * N^2), like the quadratic LOF it is
+  // Counting neighborhood sizes: one radius query per (object, radius),
+  // through caller-kept buffers so the hot loop stops allocating per
+  // query. Exact LOCI is O(num_radii * N^2), like the quadratic LOF it is
   // benchmarked against.
   std::vector<std::size_t> half_count(n);
+  std::vector<Neighbor> nbrs;
   for (double radius : radii) {
     // n(p, r/2) for all p.
     for (std::size_t i = 0; i < n; ++i) {
-      half_count[i] = searcher->QueryRadius(i, radius / 2.0).size() + 1;
+      searcher->QueryRadius(i, radius / 2.0, &nbrs);
+      half_count[i] = nbrs.size() + 1;
     }
     for (std::size_t i = 0; i < n; ++i) {
-      const auto nbrs = searcher->QueryRadius(i, radius);
+      searcher->QueryRadius(i, radius, &nbrs);
       if (nbrs.size() + 1 < params_.min_neighbors) continue;
       // Mean and stddev of n(q, r/2) over the r-neighborhood (incl. self).
       double sum = static_cast<double>(half_count[i]);

@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "index/neighbor_searcher.h"
+#include "outlier/subspace_ranker.h"
 
 namespace hics {
 
@@ -16,35 +17,33 @@ std::vector<double> LofScorer::ScoreSubspace(const Dataset& dataset,
   if (n == 0) return scores;
   const std::size_t k = std::min(params_.min_pts, n > 1 ? n - 1 : 1);
 
-  const auto searcher = params_.use_kd_tree
-                            ? MakeKdTreeSearcher(dataset, subspace)
-                            : MakeBruteForceSearcher(dataset, subspace);
+  const KnnBackend backend =
+      params_.backend == KnnBackend::kAuto
+          ? ChooseKnnBackend(n, subspace.size())
+          : params_.backend;
+  const auto searcher = MakeSearcher(dataset, subspace, backend);
 
-  // Pass 1: k-nearest neighborhoods and k-distances (the quadratic part;
-  // parallel over query objects, read-only on the searcher). Neighborhoods
-  // live in one flat n*k slab filled through per-worker query buffers, so
-  // the pass allocates per worker, not per object.
+  // Pass 1: k-nearest neighborhoods and k-distances (the quadratic part)
+  // through the batched all-kNN engine — one blocked sweep instead of n
+  // independent scans; `use_batch_knn = false` keeps the per-query
+  // reference path for benchmarking. Either way neighborhoods land in one
+  // flat n*k table and the pass is worker-parallel and read-only on the
+  // searcher.
   const std::size_t num_threads = params_.num_threads == 0
                                       ? DefaultNumThreads()
                                       : params_.num_threads;
-  std::vector<Neighbor> flat(n * k);
-  std::vector<std::size_t> counts(n, 0);
-  std::vector<double> k_distance(n, 0.0);
-  {
-    std::vector<std::vector<Neighbor>> buffers(
-        ParallelWorkerCount(n, num_threads));
-    ParallelForWorker(
-        0, n, num_threads, [&](std::size_t i, std::size_t worker) {
-          std::vector<Neighbor>& buffer = buffers[worker];
-          searcher->QueryKnn(i, k, &buffer);
-          counts[i] = buffer.size();
-          std::copy(buffer.begin(), buffer.end(), flat.begin() + i * k);
-          k_distance[i] = buffer.empty() ? 0.0 : buffer.back().distance;
-        });
+  KnnResultTable table;
+  if (params_.use_batch_knn) {
+    searcher->QueryAllKnn(k, &table, num_threads);
+  } else {
+    searcher->QueryAllKnnPerQuery(k, &table, num_threads);
   }
-  const auto neighbors_of = [&](std::size_t i) {
-    return std::span<const Neighbor>(flat.data() + i * k, counts[i]);
-  };
+  std::vector<double> k_distance(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = table.Row(i);
+    k_distance[i] = row.empty() ? 0.0 : row.back().distance;
+  }
+  const auto neighbors_of = [&](std::size_t i) { return table.Row(i); };
 
   // Pass 2: local reachability densities. Reads only pass-1 output, so the
   // objects are independent and the pass parallelizes directly.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "index/neighbor_searcher.h"
 #include "outlier/outlier_scorer.h"
 
 namespace hics {
@@ -14,12 +15,18 @@ struct LofParams {
   /// 10-50; the experiments here use one shared value for all competitors,
   /// as the paper requires for comparability.
   std::size_t min_pts = 10;
-  /// Use the KD-tree backend for neighbor search instead of brute force.
-  /// Only pays off in low-dimensional subspaces.
-  bool use_kd_tree = false;
+  /// Neighbor-search backend. kAuto resolves per subspace through
+  /// ChooseKnnBackend(N, |S|); scores are identical for every choice
+  /// (backends agree bit for bit), only the wall clock differs.
+  KnnBackend backend = KnnBackend::kAuto;
   /// Worker threads for the kNN pass (the quadratic part). 1 = serial,
   /// 0 = hardware concurrency. Scores are identical for any value.
   std::size_t num_threads = 1;
+  /// Use the batched all-kNN engine for pass 1. Off = the pre-batching
+  /// per-query reference path; scores are byte-identical either way
+  /// (pinned by tests/knn_batch_test.cc), so this is a benchmarking and
+  /// bisection knob, not a semantic one.
+  bool use_batch_knn = true;
 };
 
 /// Local Outlier Factor (Breunig et al., SIGMOD 2000), restricted to an

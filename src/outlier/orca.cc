@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "index/distance.h"
 
 namespace hics {
 
@@ -87,14 +88,7 @@ std::vector<OrcaOutlier> OrcaTopOutliers(const Dataset& dataset,
   rng.Shuffle(&order);
 
   auto squared_distance = [&](std::size_t a, std::size_t b) {
-    const double* pa = &points[a * dim];
-    const double* pb = &points[b * dim];
-    double sum = 0.0;
-    for (std::size_t j = 0; j < dim; ++j) {
-      const double diff = pa[j] - pb[j];
-      sum += diff * diff;
-    }
-    return sum;
+    return SquaredDistance(&points[a * dim], &points[b * dim], dim);
   };
 
   // Top-n result heap ordered by ascending score: front = weakest outlier,

@@ -7,9 +7,22 @@
 #include "common/run_context.h"
 #include "common/status.h"
 #include "common/subspace.h"
+#include "index/neighbor_searcher.h"
 #include "outlier/outlier_scorer.h"
 
 namespace hics {
+
+/// Ranking-layer policy: which neighbor-search backend the density scorers
+/// should use for an (N objects, |S| dimensions) subspace workload. Both
+/// backends return bit-identical results, so this is purely a crossover
+/// decision: the KD-tree's pruning wins only where the tree stays
+/// selective (very low |S|, enough objects to amortize the build), while
+/// the blocked brute-force kernel's all-pairs batch is flat in |S| and
+/// wins everywhere else. Crossover constants are calibrated by
+/// `bench_knn_backends` (committed record: BENCH_knn_backends.json);
+/// re-run it when changing the kernels or the build flags.
+KnnBackend ChooseKnnBackend(std::size_t num_objects,
+                            std::size_t num_dimensions);
 
 /// How per-subspace scores are combined into the final score.
 enum class ScoreAggregation {

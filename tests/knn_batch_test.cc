@@ -1,0 +1,222 @@
+// Batched all-kNN engine guarantees:
+//  (1) QueryAllKnn is *element-identical* (ids, bit-exact distances, and
+//      ordering) to per-query QueryKnn on both backends, across random
+//      datasets, subspace sizes, duplicate-heavy data, thread counts, and
+//      the k edge cases {0, 1, N-1, N};
+//  (2) LOF scores are byte-identical before/after the batch migration and
+//      across num_threads;
+//  (3) the buffer-filling QueryRadius matches the allocating wrapper and
+//      its pre-abandonment semantics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "index/neighbor_searcher.h"
+#include "outlier/lof.h"
+#include "outlier/subspace_ranker.h"
+
+namespace hics {
+namespace {
+
+Dataset RandomDataset(std::size_t n, std::size_t d, std::uint64_t seed,
+                      bool with_duplicates = false) {
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) ds.Set(i, j, rng.UniformDouble());
+  }
+  if (with_duplicates) {
+    // Copy rows around so ties in distance (and zero distances) are
+    // plentiful; the deterministic (distance, id) order must still hold.
+    for (std::size_t i = 2; i + 1 < n; i += 3) {
+      for (std::size_t j = 0; j < d; ++j) ds.Set(i + 1, j, ds.Get(i, j));
+    }
+  }
+  return ds;
+}
+
+/// Element-identical comparison of one batch table against fresh per-query
+/// queries. EXPECT_EQ on `distance` is deliberate: bit-exact, not NEAR.
+void ExpectBatchMatchesPerQuery(const NeighborSearcher& searcher,
+                                std::size_t k, std::size_t num_threads) {
+  KnnResultTable table;
+  searcher.QueryAllKnn(k, &table, num_threads);
+  ASSERT_EQ(table.num_queries(), searcher.num_objects());
+  std::vector<Neighbor> expected;
+  for (std::size_t q = 0; q < searcher.num_objects(); ++q) {
+    searcher.QueryKnn(q, k, &expected);
+    const auto row = table.Row(q);
+    ASSERT_EQ(row.size(), expected.size())
+        << "query " << q << " k " << k << " threads " << num_threads;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(row[i].id, expected[i].id)
+          << "query " << q << " neighbor " << i << " k " << k;
+      EXPECT_EQ(row[i].distance, expected[i].distance)
+          << "query " << q << " neighbor " << i << " k " << k;
+    }
+  }
+}
+
+struct BatchCase {
+  std::size_t n;
+  std::size_t d;
+  std::uint64_t seed;
+  bool duplicates;
+};
+
+class KnnBatchParityTest : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(KnnBatchParityTest, BruteForceBatchMatchesPerQuery) {
+  const BatchCase& c = GetParam();
+  Dataset ds = RandomDataset(c.n, c.d, c.seed, c.duplicates);
+  // Random subspace of the dataset's attributes (always non-empty).
+  Rng rng(c.seed + 99);
+  std::vector<std::size_t> dims;
+  for (std::size_t j = 0; j < c.d; ++j) {
+    if (dims.empty() || rng.UniformDouble() < 0.7) dims.push_back(j);
+  }
+  const Subspace subspace(dims);
+  const auto searcher = MakeBruteForceSearcher(ds, subspace);
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                        c.n - 1, c.n}) {
+    for (std::size_t num_threads : {std::size_t{1}, std::size_t{3}}) {
+      ExpectBatchMatchesPerQuery(*searcher, k, num_threads);
+    }
+  }
+}
+
+TEST_P(KnnBatchParityTest, KdTreeBatchMatchesPerQuery) {
+  const BatchCase& c = GetParam();
+  Dataset ds = RandomDataset(c.n, c.d, c.seed + 7, c.duplicates);
+  const auto searcher = MakeKdTreeSearcher(ds, ds.FullSpace());
+  for (std::size_t k : {std::size_t{1}, std::size_t{8}, c.n - 1}) {
+    ExpectBatchMatchesPerQuery(*searcher, k, 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, KnnBatchParityTest,
+    ::testing::Values(BatchCase{20, 1, 1, false},
+                      BatchCase{60, 2, 2, false},
+                      BatchCase{130, 3, 3, true},
+                      BatchCase{200, 5, 4, false},
+                      BatchCase{300, 4, 5, true},
+                      // More objects than one kTile=128 block in both
+                      // directions, so interior/edge tiles all occur.
+                      BatchCase{400, 2, 6, false}));
+
+TEST(KnnBatchTest, CrossBackendBatchesAgree) {
+  Dataset ds = RandomDataset(220, 3, 11, /*with_duplicates=*/true);
+  const auto brute = MakeBruteForceSearcher(ds, ds.FullSpace());
+  const auto kd = MakeKdTreeSearcher(ds, ds.FullSpace());
+  KnnResultTable bt, kt;
+  brute->QueryAllKnn(10, &bt, 1);
+  kd->QueryAllKnn(10, &kt, 1);
+  for (std::size_t q = 0; q < 220; ++q) {
+    const auto a = bt.Row(q);
+    const auto b = kt.Row(q);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "query " << q;
+      EXPECT_EQ(a[i].distance, b[i].distance) << "query " << q;
+    }
+  }
+}
+
+TEST(KnnBatchTest, TableReuseAcrossShapes) {
+  Dataset big = RandomDataset(150, 2, 21);
+  Dataset small = RandomDataset(40, 2, 22);
+  const auto s1 = MakeBruteForceSearcher(big, big.FullSpace());
+  const auto s2 = MakeBruteForceSearcher(small, small.FullSpace());
+  KnnResultTable table;
+  s1->QueryAllKnn(12, &table);
+  ASSERT_EQ(table.num_queries(), 150u);
+  s2->QueryAllKnn(5, &table);  // shrinking reuse must fully re-shape
+  ASSERT_EQ(table.num_queries(), 40u);
+  ASSERT_EQ(table.k(), 5u);
+  std::vector<Neighbor> expected;
+  for (std::size_t q = 0; q < 40; ++q) {
+    s2->QueryKnn(q, 5, &expected);
+    const auto row = table.Row(q);
+    ASSERT_EQ(row.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(row[i].id, expected[i].id);
+      EXPECT_EQ(row[i].distance, expected[i].distance);
+    }
+  }
+}
+
+TEST(KnnBatchTest, LofScoresByteIdenticalAcrossMigrationAndThreads) {
+  Dataset ds = RandomDataset(350, 6, 31, /*with_duplicates=*/true);
+  const Subspace subspace({0, 2, 3});
+  // Reference: the pre-batching configuration (per-query brute force,
+  // serial).
+  const LofScorer reference({.min_pts = 10,
+                             .backend = KnnBackend::kBruteForce,
+                             .num_threads = 1,
+                             .use_batch_knn = false});
+  const auto expected = reference.ScoreSubspace(ds, subspace);
+  for (bool batch : {false, true}) {
+    for (std::size_t num_threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+      const LofScorer lof({.min_pts = 10,
+                           .backend = KnnBackend::kBruteForce,
+                           .num_threads = num_threads,
+                           .use_batch_knn = batch});
+      const auto scores = lof.ScoreSubspace(ds, subspace);
+      ASSERT_EQ(scores.size(), expected.size());
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        EXPECT_EQ(scores[i], expected[i])
+            << "object " << i << " batch " << batch << " threads "
+            << num_threads;
+      }
+    }
+  }
+  // The auto-selected backend must not change scores either.
+  const LofScorer auto_backend({.min_pts = 10});
+  EXPECT_EQ(auto_backend.ScoreSubspace(ds, subspace), expected);
+}
+
+TEST(KnnBatchTest, BufferRadiusMatchesAllocatingWrapper) {
+  Dataset ds = RandomDataset(180, 3, 41, /*with_duplicates=*/true);
+  const auto brute = MakeBruteForceSearcher(ds, ds.FullSpace());
+  const auto kd = MakeKdTreeSearcher(ds, ds.FullSpace());
+  std::vector<Neighbor> buffer;
+  for (const auto* searcher : {brute.get(), kd.get()}) {
+    for (std::size_t q = 0; q < 30; ++q) {
+      for (double radius : {0.0, 0.1, 0.4, 2.0}) {
+        const auto expected = searcher->QueryRadius(q, radius);
+        searcher->QueryRadius(q, radius, &buffer);
+        ASSERT_EQ(buffer.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(buffer[i].id, expected[i].id);
+          EXPECT_EQ(buffer[i].distance, expected[i].distance);
+        }
+      }
+    }
+  }
+}
+
+TEST(KnnBatchTest, ChooseKnnBackendShape) {
+  // Exact constants are calibration-dependent; the invariants are that the
+  // KD-tree is only ever chosen for low-dimensional or large-N workloads
+  // and that kAuto never leaks out.
+  for (std::size_t n : {10u, 100u, 1000u, 10000u}) {
+    for (std::size_t d : {1u, 2u, 4u, 8u, 16u}) {
+      const KnnBackend choice = ChooseKnnBackend(n, d);
+      EXPECT_NE(choice, KnnBackend::kAuto);
+      if (d > 8 || n < 64) {
+        EXPECT_EQ(choice, KnnBackend::kBruteForce)
+            << "n " << n << " d " << d;
+      }
+      if (d <= 2 && n >= 1000) {
+        EXPECT_EQ(choice, KnnBackend::kKdTree) << "n " << n << " d " << d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hics

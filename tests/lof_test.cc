@@ -53,8 +53,8 @@ TEST(LofTest, IsolatedPointGetsTopScore) {
 
 TEST(LofTest, KdTreeBackendMatchesBruteForce) {
   Dataset ds = BlobWithOutlier(300, 3);
-  LofScorer brute({.min_pts = 12, .use_kd_tree = false});
-  LofScorer kd({.min_pts = 12, .use_kd_tree = true});
+  LofScorer brute({.min_pts = 12, .backend = KnnBackend::kBruteForce});
+  LofScorer kd({.min_pts = 12, .backend = KnnBackend::kKdTree});
   const auto s1 = brute.ScoreFullSpace(ds);
   const auto s2 = kd.ScoreFullSpace(ds);
   ASSERT_EQ(s1.size(), s2.size());
