@@ -150,14 +150,18 @@ BENCHMARK(BM_LofScore)->Arg(500)->Arg(1000)->Arg(2000);
 }  // namespace
 
 /// Times search + ranking on one synthetic dataset and writes
-/// BENCH_micro.json. The ranking phase runs three times over the same
-/// top-100 subspaces: once on the pre-batching per-query serial path
-/// (rank_serial_per_query, the reference), once on the batched all-kNN
-/// serial path (rank_serial), and once batched on the thread pool (>= 4
-/// workers, rank_parallel). The JSON records all three wall-clocks, the
-/// batch and parallel speedups, and ranking_identical = whether the
-/// batched serial and parallel scores matched the per-query reference
-/// byte for byte.
+/// BENCH_micro.json. The search phase runs three times: the rank-space
+/// kernel at hardware concurrency (search, the tracked number), the same
+/// kernel on >= 4 pool workers (search_parallel), and the materializing
+/// oracle kernel (search_oracle); search_identical records whether the
+/// three runs returned byte-identical subspace lists. The ranking phase
+/// runs three times over the same top-100 subspaces: once on the
+/// pre-batching per-query serial path (rank_serial_per_query, the
+/// reference), once on the batched all-kNN serial path (rank_serial), and
+/// once batched on the thread pool (>= 4 workers, rank_parallel). The
+/// JSON records all wall-clocks, the kernel/batch/parallel speedups, and
+/// ranking_identical = whether the batched serial and parallel scores
+/// matched the per-query reference byte for byte.
 void WritePipelineStageReport() {
   SyntheticParams gen;
   gen.num_objects = 1000;
@@ -184,6 +188,34 @@ void WritePipelineStageReport() {
                  subspaces.status().ToString().c_str());
     return;
   }
+
+  // Same search on >= 4 pool workers and through the materializing oracle
+  // kernel: both must reproduce the tracked run byte for byte.
+  const std::size_t search_parallel_threads = std::max<std::size_t>(
+      4, DefaultNumThreads());
+  HicsParams parallel_params = params;
+  parallel_params.num_threads = search_parallel_threads;
+  Timer search_parallel_timer;
+  const auto parallel_subspaces = RunHicsSearch(data, parallel_params);
+  const double search_parallel_seconds =
+      search_parallel_timer.ElapsedSeconds();
+  HicsParams oracle_params = params;
+  oracle_params.use_rank_space_kernel = false;
+  Timer search_oracle_timer;
+  const auto oracle_subspaces = RunHicsSearch(data, oracle_params);
+  const double search_oracle_seconds = search_oracle_timer.ElapsedSeconds();
+  auto same_subspaces = [&](const Result<std::vector<ScoredSubspace>>& got) {
+    if (!got.ok() || got->size() != subspaces->size()) return false;
+    for (std::size_t i = 0; i < subspaces->size(); ++i) {
+      if ((*got)[i].subspace != (*subspaces)[i].subspace ||
+          (*got)[i].score != (*subspaces)[i].score) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool search_identical =
+      same_subspaces(parallel_subspaces) && same_subspaces(oracle_subspaces);
 
   const LofScorer lof({.min_pts = 10});
   const LofScorer lof_per_query({.min_pts = 10,
@@ -233,6 +265,15 @@ void WritePipelineStageReport() {
       .Field("subspaces_found",
              static_cast<std::uint64_t>(subspaces->size()))
       .EndObject()
+      .BeginObject("search_parallel")
+      .Field("seconds", search_parallel_seconds)
+      .Field("num_threads",
+             static_cast<std::uint64_t>(search_parallel_threads))
+      .EndObject()
+      .BeginObject("search_oracle")
+      .Field("seconds", search_oracle_seconds)
+      .Field("num_threads", static_cast<std::uint64_t>(DefaultNumThreads()))
+      .EndObject()
       .BeginObject("rank_serial_per_query")
       .Field("seconds", rank_per_query_seconds)
       .Field("num_threads", static_cast<std::uint64_t>(1))
@@ -252,14 +293,21 @@ void WritePipelineStageReport() {
       .Field("ranking_speedup", rank_serial_seconds / rank_parallel_seconds)
       .Field("batch_knn_speedup",
              rank_per_query_seconds / rank_serial_seconds)
+      .Field("contrast_kernel_speedup",
+             search_oracle_seconds / search_seconds)
+      .Field("search_identical", search_identical)
       .Field("ranking_identical", identical)
       .EndObject();
   if (bench::WriteJsonFile("BENCH_micro.json", json)) {
     std::printf(
-        "pipeline stages: search %.3fs, rank serial/per-query %.3fs, rank "
-        "serial/batched %.3fs (%.2fx), rank parallel (%zu threads) %.3fs "
-        "(%.2fx), identical=%s -> BENCH_micro.json\n\n",
-        search_seconds, rank_per_query_seconds, rank_serial_seconds,
+        "pipeline stages: search %.3fs (oracle kernel %.3fs, %.2fx; "
+        "parallel %zu threads %.3fs, identical=%s), rank serial/per-query "
+        "%.3fs, rank serial/batched %.3fs (%.2fx), rank parallel (%zu "
+        "threads) %.3fs (%.2fx), identical=%s -> BENCH_micro.json\n\n",
+        search_seconds, search_oracle_seconds,
+        search_oracle_seconds / search_seconds, search_parallel_threads,
+        search_parallel_seconds, search_identical ? "yes" : "NO (BUG)",
+        rank_per_query_seconds, rank_serial_seconds,
         rank_per_query_seconds / rank_serial_seconds, parallel_threads,
         rank_parallel_seconds, rank_serial_seconds / rank_parallel_seconds,
         identical ? "yes" : "NO (BUG)");

@@ -1,5 +1,7 @@
 #include "core/contrast.h"
 
+#include "stats/descriptive.h"
+
 namespace hics {
 
 Status ContrastParams::Validate() const {
@@ -14,21 +16,52 @@ Status ContrastParams::Validate() const {
 
 ContrastEstimator::ContrastEstimator(const Dataset& dataset,
                                      const stats::TwoSampleTest& test,
-                                     ContrastParams params)
+                                     ContrastParams params,
+                                     std::size_t index_build_threads)
     : dataset_(dataset),
       test_(test),
       params_(params),
-      index_(dataset),
+      index_(dataset, index_build_threads),
       sampler_(dataset, index_) {
   HICS_CHECK(params_.Validate().ok()) << params_.Validate().ToString();
   sorted_columns_.reserve(dataset.num_attributes());
+  marginal_means_.reserve(dataset.num_attributes());
+  marginal_variances_.reserve(dataset.num_attributes());
   for (std::size_t a = 0; a < dataset.num_attributes(); ++a) {
     const std::vector<double>& column = dataset.Column(a);
     std::vector<double> sorted;
     sorted.reserve(column.size());
     for (std::size_t id : index_.SortedOrder(a)) sorted.push_back(column[id]);
+    marginal_means_.push_back(stats::Mean(sorted));
+    marginal_variances_.push_back(stats::SampleVariance(sorted));
     sorted_columns_.push_back(std::move(sorted));
   }
+}
+
+double ContrastEstimator::IterationDeviation(const Subspace& subspace,
+                                             Rng* rng,
+                                             ContrastScratch* scratch) const {
+  // Degenerate slices (empty conditional sample) contribute deviation 0;
+  // the test implementations handle small samples the same way.
+  if (params_.use_rank_space_kernel) {
+    sampler_.DrawSelection(subspace, params_.alpha, rng, &scratch->slice,
+                           &scratch->selection);
+    const std::size_t attribute = scratch->selection.test_attribute;
+    stats::SelectionView view;
+    view.marginal_sorted = sorted_columns_[attribute];
+    view.marginal_mean = marginal_means_[attribute];
+    view.marginal_variance = marginal_variances_[attribute];
+    view.column = dataset_.Column(attribute);
+    view.sorted_order = index_.SortedOrder(attribute);
+    view.stamps = scratch->slice.stamps;
+    view.selected_stamp = scratch->selection.selected_stamp;
+    return test_.DeviationFromSelection(view, &scratch->sorted_conditional);
+  }
+  sampler_.Draw(subspace, params_.alpha, rng, &scratch->slice,
+                &scratch->draw);
+  return test_.DeviationPresortedMarginal(
+      sorted_columns_[scratch->draw.test_attribute],
+      scratch->draw.conditional_sample, &scratch->sorted_conditional);
 }
 
 double ContrastEstimator::Contrast(const Subspace& subspace, Rng* rng) const {
@@ -44,13 +77,7 @@ double ContrastEstimator::Contrast(const Subspace& subspace, Rng* rng,
   double deviation_sum = 0.0;
   for (std::size_t iteration = 0; iteration < params_.num_iterations;
        ++iteration) {
-    sampler_.Draw(subspace, params_.alpha, rng, &scratch->slice,
-                  &scratch->draw);
-    // Degenerate slices (empty conditional sample) contribute deviation 0;
-    // the test implementations handle small samples the same way.
-    deviation_sum += test_.DeviationPresortedMarginal(
-        sorted_columns_[scratch->draw.test_attribute],
-        scratch->draw.conditional_sample, &scratch->sorted_conditional);
+    deviation_sum += IterationDeviation(subspace, rng, scratch);
   }
   return deviation_sum / static_cast<double>(params_.num_iterations);
 }
@@ -71,11 +98,7 @@ Result<double> ContrastEstimator::Contrast(const Subspace& subspace, Rng* rng,
             ? 0
             : (fault_ordinal - 1) * params_.num_iterations + iteration + 1;
     HICS_RETURN_NOT_OK(ctx.InjectFault("contrast.slice", slice_ordinal));
-    sampler_.Draw(subspace, params_.alpha, rng, &scratch->slice,
-                  &scratch->draw);
-    deviation_sum += test_.DeviationPresortedMarginal(
-        sorted_columns_[scratch->draw.test_attribute],
-        scratch->draw.conditional_sample, &scratch->sorted_conditional);
+    deviation_sum += IterationDeviation(subspace, rng, scratch);
   }
   return deviation_sum / static_cast<double>(params_.num_iterations);
 }

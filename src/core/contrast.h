@@ -26,6 +26,12 @@ struct ContrastParams {
   /// Target selection ratio alpha in (0, 1); the expected test-statistic
   /// size scales with N * alpha. Paper default 0.1.
   double alpha = 0.1;
+  /// Evaluate deviations through the rank-space kernel (epoch-stamped
+  /// selection + TwoSampleTest::DeviationFromSelection; DESIGN.md §5d).
+  /// false = the materializing gather(+sort) path, kept as the reference
+  /// oracle; both produce bit-identical contrast scores
+  /// (tests/contrast_kernel_test.cc) — the flag only trades speed.
+  bool use_rank_space_kernel = true;
 
   /// Returns InvalidArgument when a field is out of its domain.
   Status Validate() const;
@@ -38,6 +44,7 @@ struct ContrastParams {
 struct ContrastScratch {
   SliceScratch slice;
   SliceDraw draw;
+  SliceSelection selection;
   std::vector<double> sorted_conditional;
 };
 
@@ -52,9 +59,13 @@ class ContrastEstimator {
  public:
   /// `test` implements the deviation function; the estimator shares it
   /// across iterations and does not take ownership. All references must
-  /// outlive the estimator.
+  /// outlive the estimator. `index_build_threads` parallelizes the
+  /// construction-time sorted-index build (one task per attribute; 0 =
+  /// hardware concurrency) — the index content is identical for any
+  /// value, queries afterwards are unaffected.
   ContrastEstimator(const Dataset& dataset, const stats::TwoSampleTest& test,
-                    ContrastParams params);
+                    ContrastParams params,
+                    std::size_t index_build_threads = 1);
 
   /// Contrast of `subspace` in [0, 1]; higher = stronger conditional
   /// dependence among its attributes. Requires |subspace| >= 2.
@@ -88,6 +99,11 @@ class ContrastEstimator {
   const SortedAttributeIndex& index() const { return index_; }
 
  private:
+  // Deviation of one Monte Carlo draw through the configured kernel
+  // (rank-space or materializing oracle); shared by all Contrast overloads.
+  double IterationDeviation(const Subspace& subspace, Rng* rng,
+                            ContrastScratch* scratch) const;
+
   const Dataset& dataset_;
   const stats::TwoSampleTest& test_;
   ContrastParams params_;
@@ -97,6 +113,12 @@ class ContrastEstimator {
   // functions (KS) skip re-sorting the marginal sample on each of the
   // M iterations.
   std::vector<std::vector<double>> sorted_columns_;
+  // Per-attribute Mean / SampleVariance of the sorted column, precomputed
+  // once so the fused Welch path never re-scans the marginal. Summation
+  // order matches what the oracle computes per iteration, keeping the
+  // moments bit-identical.
+  std::vector<double> marginal_means_;
+  std::vector<double> marginal_variances_;
 };
 
 }  // namespace hics

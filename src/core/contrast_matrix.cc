@@ -23,9 +23,10 @@ Result<Matrix> ComputeContrastMatrix(const Dataset& dataset,
     return Status::InvalidArgument("need at least 2 objects");
   }
 
-  const ContrastEstimator estimator(dataset, *test, params.contrast);
   const std::size_t num_threads =
       params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
+  const ContrastEstimator estimator(dataset, *test, params.contrast,
+                                    num_threads);
 
   // Flatten the upper triangle into a task list.
   std::vector<std::pair<std::size_t, std::size_t>> pairs;

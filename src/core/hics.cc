@@ -22,7 +22,7 @@ Status HicsParams::Validate() const {
       statistical_test != "wt" && statistical_test != "cvm") {
     return Status::InvalidArgument(
         "unknown statistical_test '" + statistical_test +
-        "' (expected 'welch', 'ks', or 'cvm')");
+        "' (expected 'welch' (alias 'wt'), 'ks', or 'cvm')");
   }
   if (max_dimensionality == 1) {
     return Status::InvalidArgument(
@@ -76,12 +76,25 @@ std::vector<Subspace> GenerateCandidates(const std::vector<Subspace>& level) {
 
 std::size_t PruneRedundant(std::vector<ScoredSubspace>* subspaces) {
   HICS_CHECK(subspaces != nullptr);
+  // Bucket indices by subspace dimensionality: only (d+1)-dimensional
+  // entries can make a d-dimensional one redundant, so each subspace is
+  // compared against one adjacent bucket instead of the whole pool.
+  // Within a bucket the original index order is preserved, keeping the
+  // scan (and hence the result) identical to the all-pairs formulation.
+  std::size_t max_dims = 0;
+  for (const ScoredSubspace& s : *subspaces) {
+    max_dims = std::max(max_dims, s.subspace.size());
+  }
+  std::vector<std::vector<std::size_t>> by_dims(max_dims + 1);
+  for (std::size_t i = 0; i < subspaces->size(); ++i) {
+    by_dims[(*subspaces)[i].subspace.size()].push_back(i);
+  }
   std::vector<bool> redundant(subspaces->size(), false);
   for (std::size_t t = 0; t < subspaces->size(); ++t) {
     const ScoredSubspace& lower = (*subspaces)[t];
-    for (std::size_t s = 0; s < subspaces->size(); ++s) {
+    if (lower.subspace.size() + 1 > max_dims) continue;
+    for (std::size_t s : by_dims[lower.subspace.size() + 1]) {
       const ScoredSubspace& upper = (*subspaces)[s];
-      if (upper.subspace.size() != lower.subspace.size() + 1) continue;
       if (upper.score > lower.score &&
           upper.subspace.ContainsAll(lower.subspace)) {
         redundant[t] = true;
@@ -128,10 +141,12 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
 
   const auto test = stats::MakeTwoSampleTest(params.statistical_test);
   HICS_CHECK(test != nullptr);
-  const ContrastParams contrast_params{params.num_iterations, params.alpha};
-  const ContrastEstimator estimator(dataset, *test, contrast_params);
   const std::size_t num_threads =
       params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
+  const ContrastParams contrast_params{params.num_iterations, params.alpha,
+                                       params.use_rank_space_kernel};
+  const ContrastEstimator estimator(dataset, *test, contrast_params,
+                                    num_threads);
   HicsRunStats local_stats;
 
   // Every subspace gets its own Monte Carlo stream derived from

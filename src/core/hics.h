@@ -38,11 +38,17 @@ struct HicsParams {
   /// Monte Carlo stream is derived from (seed, subspace), so results are
   /// also independent of evaluation order and thread count.
   std::uint64_t seed = 42;
-  /// Worker threads for the per-level contrast evaluations and, when the
-  /// pipeline runs the ranking phase, for the per-subspace outlier scoring.
-  /// 1 = serial (default), 0 = hardware concurrency. Results are identical
-  /// for every value — see DESIGN.md "Threading model".
+  /// Worker threads for the per-level contrast evaluations, the
+  /// sorted-index build, and, when the pipeline runs the ranking phase,
+  /// the per-subspace outlier scoring. 1 = serial (default), 0 = hardware
+  /// concurrency. Results are identical for every value — see DESIGN.md
+  /// "Threading model".
   std::size_t num_threads = 1;
+  /// Evaluate deviations through the rank-space contrast kernel (default)
+  /// or, when false, the materializing gather+sort oracle. Scores are
+  /// bit-identical either way (DESIGN.md §5d); the flag exists for
+  /// cross-checking and benchmarking.
+  bool use_rank_space_kernel = true;
 
   Status Validate() const;
 };
@@ -115,7 +121,9 @@ std::vector<Subspace> GenerateCandidates(const std::vector<Subspace>& level);
 
 /// Redundancy pruning (paper §IV-B): removes a subspace T when the list
 /// contains a superset S with |S| = |T|+1 and strictly higher score.
-/// Returns the number of removed subspaces.
+/// Returns the number of removed subspaces. Candidate supersets are
+/// bucketed by dimensionality, so each subspace is only compared against
+/// the adjacent-size bucket instead of the whole pool.
 std::size_t PruneRedundant(std::vector<ScoredSubspace>* subspaces);
 
 }  // namespace internal

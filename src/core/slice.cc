@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/slice_epoch.h"
+
 namespace hics {
 
 SliceSampler::SliceSampler(const Dataset& dataset,
@@ -76,6 +78,44 @@ void SliceSampler::Draw(const Subspace& subspace, double alpha, Rng* rng,
     }
   }
   out->selected_count = out->conditional_sample.size();
+}
+
+void SliceSampler::DrawSelection(const Subspace& subspace, double alpha,
+                                 Rng* rng, SliceScratch* scratch,
+                                 SliceSelection* out) const {
+  HICS_CHECK(rng != nullptr);
+  HICS_CHECK(scratch != nullptr);
+  HICS_CHECK(out != nullptr);
+  HICS_CHECK_GE(subspace.size(), 2u)
+      << "a one-dimensional subspace has no notion of contrast";
+  const std::size_t n = dataset_.num_objects();
+  out->test_attribute = 0;
+  out->selected_stamp = 0;
+  out->num_conditions = 0;
+  if (n == 0) return;
+
+  // Identical RNG consumption to Draw: one shuffle, then one block-start
+  // draw per condition. A shared rng therefore produces the same slice
+  // through either entry point.
+  std::vector<std::size_t>& attrs = scratch->attrs;
+  attrs.assign(subspace.begin(), subspace.end());
+  rng->Shuffle(&attrs);
+  out->test_attribute = attrs.back();
+
+  const std::size_t block = BlockSize(subspace.size(), alpha);
+  const std::size_t num_conditions = attrs.size() - 1;
+  out->num_conditions = num_conditions;
+  const std::uint32_t base = internal::BeginSelectionEpoch(
+      &scratch->stamps, &scratch->epoch, n, num_conditions);
+  for (std::size_t c = 0; c < num_conditions; ++c) {
+    const std::size_t attribute = attrs[c];
+    const std::size_t max_start = n - block;
+    const std::size_t start =
+        max_start == 0 ? 0 : rng->UniformIndex(max_start + 1);
+    internal::StampCondition(&scratch->stamps, base, c,
+                             index_.Block(attribute, start, block));
+  }
+  out->selected_stamp = scratch->epoch;
 }
 
 }  // namespace hics

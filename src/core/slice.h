@@ -24,15 +24,37 @@ struct SliceDraw {
   std::size_t selected_count = 0;
 };
 
-/// Reusable working storage for SliceSampler::Draw. One instance per
-/// worker thread; capacity persists across draws so the steady-state hot
-/// loop performs no allocations.
+/// Reusable working storage for SliceSampler::Draw / DrawSelection. One
+/// instance per worker thread; capacity persists across draws so the
+/// steady-state hot loop performs no allocations.
 struct SliceScratch {
   /// Per-object condition counter; an object is selected when its counter
-  /// reaches the number of conditions.
+  /// reaches the number of conditions. Used by the materializing Draw.
   std::vector<std::uint16_t> selected;
   /// Attribute permutation of the subspace under test.
   std::vector<std::size_t> attrs;
+  /// Generation stamps of the epoch-based DrawSelection (slice_epoch.h):
+  /// an object is selected by the most recent draw iff its stamp equals
+  /// that draw's SliceSelection::selected_stamp. Reset only when `epoch`
+  /// would overflow, so a draw costs O(conditions * block) instead of the
+  /// O(N) counter clear of the materializing path.
+  std::vector<std::uint32_t> stamps;
+  /// Last stamp value issued; monotonically increasing between resets.
+  std::uint32_t epoch = 0;
+};
+
+/// Output of SliceSampler::DrawSelection: the rank-space description of one
+/// slice. The selected objects are not materialized; they are exactly the
+/// ids with scratch->stamps[id] == selected_stamp, which downstream
+/// consumers sweep in whatever order suits their statistic (object-id
+/// order for moment accumulation, sorted-attribute order for rank tests).
+struct SliceSelection {
+  /// The attribute whose marginal vs conditional distribution is tested.
+  std::size_t test_attribute = 0;
+  /// Stamp value identifying this draw's selected objects.
+  std::uint32_t selected_stamp = 0;
+  /// Number of conditioning attributes (|S| - 1).
+  std::size_t num_conditions = 0;
 };
 
 /// Generates random adaptive subspace slices over pre-sorted attribute
@@ -73,6 +95,16 @@ class SliceSampler {
   /// `out` must be distinct objects per concurrent caller.
   void Draw(const Subspace& subspace, double alpha, Rng* rng,
             SliceScratch* scratch, SliceDraw* out) const;
+
+  /// Rank-space variant: performs the same random slice construction as
+  /// Draw — identical RNG consumption, so a shared rng state yields the
+  /// same slice through either entry point — but records the selection as
+  /// epoch stamps in `scratch->stamps` instead of gathering the test
+  /// attribute's values. O(conditions * block) per call; no O(N) reset
+  /// and no materialization. The selection stays valid until the next
+  /// DrawSelection call on the same scratch.
+  void DrawSelection(const Subspace& subspace, double alpha, Rng* rng,
+                     SliceScratch* scratch, SliceSelection* out) const;
 
   /// Block size used for one condition of a |dims|-dimensional subspace:
   /// ceil(N * alpha^(1/dims)), clamped to [1, N].

@@ -1,0 +1,84 @@
+#ifndef HICS_CORE_SLICE_EPOCH_H_
+#define HICS_CORE_SLICE_EPOCH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hics::internal {
+
+/// Generation-stamped slice selection (DESIGN.md §5d). Instead of zeroing a
+/// per-object counter array before every Monte Carlo draw (an O(N) write
+/// sweep), each draw claims a fresh range of `num_conditions` stamp values
+/// [base+1, base+num_conditions] from a monotonically increasing epoch
+/// counter. Condition c promotes an object from stamp base+c to base+c+1;
+/// an object is selected by the draw iff it survived every condition, i.e.
+/// its stamp equals base+num_conditions. Stale stamps from earlier draws
+/// are at most `base`, so they can never alias a value the current draw
+/// tests for (condition 0 stamps unconditionally) — the array is cleared
+/// only when the epoch counter would overflow.
+///
+/// The mechanics are templated on the epoch integer type purely as a test
+/// seam: production uses std::uint32_t (wraparound every ~4e9 condition
+/// evaluations), tests instantiate std::uint8_t to force wraparound within
+/// a handful of draws.
+
+/// Reserves `num_conditions` stamp values for one draw and returns the
+/// draw's base value. Handles (re)sizing of the stamp array to
+/// `num_objects` and the clear-on-wraparound: both reset every stamp to 0
+/// and restart the epoch counter. Requires 1 <= num_conditions <= max(Epoch).
+template <typename Epoch>
+Epoch BeginSelectionEpoch(std::vector<Epoch>* stamps, Epoch* epoch,
+                          std::size_t num_objects,
+                          std::size_t num_conditions) {
+  HICS_DCHECK(stamps != nullptr);
+  HICS_DCHECK(epoch != nullptr);
+  HICS_CHECK_GE(num_conditions, 1u);
+  constexpr Epoch kMax = std::numeric_limits<Epoch>::max();
+  HICS_CHECK_LE(num_conditions, static_cast<std::size_t>(kMax));
+  if (stamps->size() != num_objects) {
+    stamps->assign(num_objects, Epoch{0});
+    *epoch = Epoch{0};
+  } else if (num_conditions > static_cast<std::size_t>(kMax - *epoch)) {
+    std::fill(stamps->begin(), stamps->end(), Epoch{0});
+    *epoch = Epoch{0};
+  }
+  const Epoch base = *epoch;
+  *epoch = static_cast<Epoch>(base + static_cast<Epoch>(num_conditions));
+  return base;
+}
+
+/// Applies condition `condition` (0-based) of the draw that claimed `base`:
+/// every object id in `block` holding the previous condition's stamp is
+/// promoted to base+condition+1. Condition 0 stamps unconditionally —
+/// whatever value an object carries is from an older draw and therefore
+/// <= base, never equal to any base+c with c >= 1.
+template <typename Epoch>
+void StampCondition(std::vector<Epoch>* stamps, Epoch base,
+                    std::size_t condition,
+                    std::span<const std::size_t> block) {
+  HICS_DCHECK(stamps != nullptr);
+  Epoch* s = stamps->data();
+  const Epoch next =
+      static_cast<Epoch>(base + static_cast<Epoch>(condition) + 1);
+  if (condition == 0) {
+    for (std::size_t id : block) s[id] = next;
+  } else {
+    // Whether an object survived the previous conditions is a coin flip
+    // the branch predictor cannot learn (the hit rate is the running
+    // intersection density), so promote arithmetically: += (match) is an
+    // unconditional read-modify-write with no branch to mispredict.
+    const Epoch match = static_cast<Epoch>(next - 1);
+    for (std::size_t id : block) {
+      s[id] = static_cast<Epoch>(s[id] + static_cast<Epoch>(s[id] == match));
+    }
+  }
+}
+
+}  // namespace hics::internal
+
+#endif  // HICS_CORE_SLICE_EPOCH_H_

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/parallel.h"
+
 namespace hics {
 
-SortedAttributeIndex::SortedAttributeIndex(const Dataset& dataset)
+SortedAttributeIndex::SortedAttributeIndex(const Dataset& dataset,
+                                           std::size_t num_threads)
     : num_objects_(dataset.num_objects()),
       order_(dataset.num_attributes()),
       rank_(dataset.num_attributes()) {
-  for (std::size_t a = 0; a < dataset.num_attributes(); ++a) {
+  ParallelFor(0, dataset.num_attributes(), num_threads, [&](std::size_t a) {
     const std::vector<double>& column = dataset.Column(a);
     auto& order = order_[a];
     order.resize(num_objects_);
@@ -23,7 +26,7 @@ SortedAttributeIndex::SortedAttributeIndex(const Dataset& dataset)
     for (std::size_t pos = 0; pos < num_objects_; ++pos) {
       rank[order[pos]] = pos;
     }
-  }
+  });
 }
 
 std::span<const std::size_t> SortedAttributeIndex::Block(

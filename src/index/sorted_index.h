@@ -16,8 +16,12 @@ namespace hics {
 /// regardless of dimensionality.
 class SortedAttributeIndex {
  public:
-  /// Builds the index for all attributes of `dataset`. O(D * N log N).
-  explicit SortedAttributeIndex(const Dataset& dataset);
+  /// Builds the index for all attributes of `dataset`. O(D * N log N)
+  /// total work; `num_threads` spreads the per-attribute sorts over the
+  /// thread pool (1 = serial, 0 = hardware concurrency). Attributes are
+  /// independent, so the built index is identical for any thread count.
+  explicit SortedAttributeIndex(const Dataset& dataset,
+                                std::size_t num_threads = 1);
 
   std::size_t num_objects() const { return num_objects_; }
   std::size_t num_attributes() const { return order_.size(); }

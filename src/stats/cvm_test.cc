@@ -85,4 +85,24 @@ double CvmDeviation::DeviationPresortedMarginal(
   return r.valid ? r.statistic : 0.0;
 }
 
+double CvmDeviation::DeviationFromSelection(
+    const SelectionView& view, std::vector<double>* gather_scratch) const {
+  // Sorted-order emission with branchless compaction; see
+  // KsDeviation::DeviationFromSelection for the reasoning.
+  const std::uint32_t target = view.selected_stamp;
+  const std::size_t n = view.sorted_order.size();
+  if (gather_scratch->size() < n) gather_scratch->resize(n);
+  double* out = gather_scratch->data();
+  std::size_t k = 0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    out[k] = view.marginal_sorted[pos];
+    k += static_cast<std::size_t>(view.stamps[view.sorted_order[pos]] ==
+                                  target);
+  }
+  if (view.marginal_sorted.empty() || k == 0) return 0.0;
+  const CvmResult r =
+      CvmSorted(view.marginal_sorted, std::span<const double>(out, k));
+  return r.valid ? r.statistic : 0.0;
+}
+
 }  // namespace hics::stats

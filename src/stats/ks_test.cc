@@ -78,4 +78,30 @@ double KsDeviation::DeviationPresortedMarginal(
   return r.valid ? r.statistic : 0.0;
 }
 
+double KsDeviation::DeviationFromSelection(
+    const SelectionView& view, std::vector<double>* gather_scratch) const {
+  // Walking the sorted order and filtering on the stamp yields the
+  // selected values ascending: the same value sequence sort-after-gather
+  // produces (ties carry equal values), with the sort itself gone.
+  // marginal_sorted[pos] == column[sorted_order[pos]], so the emitted
+  // value needs no second indirection. Branchless compaction: every
+  // position writes, only hits advance the cursor — no unpredictable
+  // branch at the ~alpha selection density. The scratch vector stays at
+  // size n between calls; only the first k slots are meaningful.
+  const std::uint32_t target = view.selected_stamp;
+  const std::size_t n = view.sorted_order.size();
+  if (gather_scratch->size() < n) gather_scratch->resize(n);
+  double* out = gather_scratch->data();
+  std::size_t k = 0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    out[k] = view.marginal_sorted[pos];
+    k += static_cast<std::size_t>(view.stamps[view.sorted_order[pos]] ==
+                                  target);
+  }
+  if (view.marginal_sorted.empty() || k == 0) return 0.0;
+  const KsResult r =
+      KsTestSorted(view.marginal_sorted, std::span<const double>(out, k));
+  return r.valid ? r.statistic : 0.0;
+}
+
 }  // namespace hics::stats

@@ -6,6 +6,20 @@
 
 namespace hics::stats {
 
+double TwoSampleTest::DeviationFromSelection(
+    const SelectionView& view, std::vector<double>* gather_scratch) const {
+  // Reference semantics: gather the selected values in object-id order,
+  // then evaluate as if the caller had materialized the conditional.
+  gather_scratch->clear();
+  const std::size_t n = view.column.size();
+  for (std::size_t id = 0; id < n; ++id) {
+    if (view.stamps[id] == view.selected_stamp) {
+      gather_scratch->push_back(view.column[id]);
+    }
+  }
+  return DeviationPresortedMarginal(view.marginal_sorted, *gather_scratch);
+}
+
 std::unique_ptr<TwoSampleTest> MakeTwoSampleTest(const std::string& name) {
   if (name == "welch" || name == "wt") {
     return std::make_unique<WelchTDeviation>();

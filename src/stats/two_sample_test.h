@@ -1,12 +1,46 @@
 #ifndef HICS_STATS_TWO_SAMPLE_TEST_H_
 #define HICS_STATS_TWO_SAMPLE_TEST_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace hics::stats {
+
+/// Rank-space view of one slice selection, handed to
+/// TwoSampleTest::DeviationFromSelection by the contrast estimator. The
+/// conditional sample is *not* materialized; it is the subset of `column`
+/// whose object id carries the selection stamp:
+///
+///   id selected  <=>  stamps[id] == selected_stamp
+///
+/// Invariants the producer guarantees:
+///  * `marginal_sorted` is `column` sorted ascending, and element `pos`
+///    equals `column[sorted_order[pos]]` bit for bit (same permutation).
+///  * `marginal_mean` / `marginal_variance` equal Mean(marginal_sorted) /
+///    SampleVariance(marginal_sorted) exactly (same summation order), so
+///    moment-based tests reproduce the materializing path bitwise.
+///  * `stamps.size() == column.size() == sorted_order.size()`.
+struct SelectionView {
+  /// Test attribute's values sorted ascending (the marginal sample).
+  std::span<const double> marginal_sorted;
+  /// Precomputed Mean(marginal_sorted).
+  double marginal_mean = 0.0;
+  /// Precomputed SampleVariance(marginal_sorted).
+  double marginal_variance = 0.0;
+  /// Test attribute's values in object-id order.
+  std::span<const double> column;
+  /// Object ids ascending by test-attribute value; walking it and
+  /// filtering on the stamp emits the conditional sample already sorted.
+  std::span<const std::size_t> sorted_order;
+  /// Per-object selection stamps (SliceScratch::stamps).
+  std::span<const std::uint32_t> stamps;
+  /// Stamp value identifying the selected objects.
+  std::uint32_t selected_stamp = 0;
+};
 
 /// Interface for the paper's deviation(p̂_A, p̂_B) function (§III-E): a
 /// two-sample statistical test that maps a marginal sample A and a
@@ -49,6 +83,24 @@ class TwoSampleTest {
     (void)sort_scratch;
     return DeviationPresortedMarginal(marginal_sorted, conditional);
   }
+
+  /// Deviation computed directly from a rank-space slice selection,
+  /// without the caller gathering (or sorting) the conditional sample.
+  /// Must return the same value — bit for bit — as gathering the selected
+  /// values of `view.column` in id order and passing them to
+  /// DeviationPresortedMarginal(view.marginal_sorted, gathered, scratch);
+  /// the contrast estimator's oracle mode verifies exactly that.
+  ///
+  /// The shipped tests override it: Welch accumulates count/sum/M2 during
+  /// two id-order sweeps and never materializes the conditional; KS and
+  /// CvM emit the conditional already sorted by walking `sorted_order`
+  /// filtered on the stamp, eliminating the per-draw O(m log m) sort. The
+  /// base implementation gathers into `gather_scratch` (reusing its
+  /// capacity) and defers to DeviationPresortedMarginal, so third-party
+  /// tests stay correct without opting in.
+  virtual double DeviationFromSelection(const SelectionView& view,
+                                        std::vector<double>* gather_scratch)
+      const;
 
   /// Short identifier for reports, e.g. "welch" or "ks".
   virtual std::string name() const = 0;

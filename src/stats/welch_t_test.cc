@@ -1,6 +1,8 @@
 #include "stats/welch_t_test.h"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
@@ -8,15 +10,19 @@
 namespace hics::stats {
 
 WelchResult WelchTTest(std::span<const double> a, std::span<const double> b) {
-  WelchResult result;
-  if (a.size() < 2 || b.size() < 2) return result;
+  if (a.size() < 2 || b.size() < 2) return WelchResult{};
+  return WelchTTestFromMoments(a.size(), Mean(a), SampleVariance(a),
+                               b.size(), Mean(b), SampleVariance(b));
+}
 
-  const double mean_a = Mean(a);
-  const double mean_b = Mean(b);
-  const double var_a = SampleVariance(a);
-  const double var_b = SampleVariance(b);
-  const double n_a = static_cast<double>(a.size());
-  const double n_b = static_cast<double>(b.size());
+WelchResult WelchTTestFromMoments(std::size_t size_a, double mean_a,
+                                  double var_a, std::size_t size_b,
+                                  double mean_b, double var_b) {
+  WelchResult result;
+  if (size_a < 2 || size_b < 2) return result;
+
+  const double n_a = static_cast<double>(size_a);
+  const double n_b = static_cast<double>(size_b);
 
   const double se_a = var_a / n_a;
   const double se_b = var_b / n_b;
@@ -48,6 +54,55 @@ WelchResult WelchTTest(std::span<const double> a, std::span<const double> b) {
 double WelchTDeviation::Deviation(std::span<const double> marginal,
                                   std::span<const double> conditional) const {
   const WelchResult r = WelchTTest(marginal, conditional);
+  if (!r.valid) return 0.0;
+  return 1.0 - r.p_value;
+}
+
+double WelchTDeviation::DeviationFromSelection(
+    const SelectionView& view, std::vector<double>* gather_scratch) const {
+  (void)gather_scratch;
+  const double* column = view.column.data();
+  const std::uint32_t* stamps = view.stamps.data();
+  const std::uint32_t target = view.selected_stamp;
+  const std::size_t n = view.column.size();
+
+  // Pass 1: count and sum of the selected values, in object-id order —
+  // the order std::accumulate sees when the gather path runs Mean on the
+  // materialized conditional. The selection density (~alpha^((|S|-1)/|S|))
+  // makes `stamps[id] == target` an unlearnable branch, so the filter is a
+  // bit mask instead: masked-out elements contribute +0.0, which is
+  // summation-neutral bit for bit — the running sum starts at +0.0 and can
+  // never become -0.0 (x + y is -0.0 in round-to-nearest only when both
+  // operands are), and s + 0.0 == s for every other s.
+  std::size_t count = 0;
+  double sum = 0.0;
+  for (std::size_t id = 0; id < n; ++id) {
+    const bool hit = stamps[id] == target;
+    const std::uint64_t keep = -static_cast<std::uint64_t>(hit);
+    sum += std::bit_cast<double>(std::bit_cast<std::uint64_t>(column[id]) &
+                                 keep);
+    count += static_cast<std::size_t>(hit);
+  }
+  if (view.marginal_sorted.size() < 2 || count < 2) return 0.0;
+  const double mean = sum / static_cast<double>(count);
+
+  // Pass 2: sum of squared deviations about the pass-1 mean, again in id
+  // order — the two-pass scheme SampleVariance applies, reproduced so the
+  // fused variance matches the gather path bit for bit. Same mask trick;
+  // the masked term (v-mean)^2 is never -0.0, so neutrality holds as above.
+  double sum_sq = 0.0;
+  for (std::size_t id = 0; id < n; ++id) {
+    const std::uint64_t keep =
+        -static_cast<std::uint64_t>(stamps[id] == target);
+    const double d = column[id] - mean;
+    sum_sq +=
+        std::bit_cast<double>(std::bit_cast<std::uint64_t>(d * d) & keep);
+  }
+  const double var = sum_sq / static_cast<double>(count - 1);
+
+  const WelchResult r = WelchTTestFromMoments(
+      view.marginal_sorted.size(), view.marginal_mean, view.marginal_variance,
+      count, mean, var);
   if (!r.valid) return 0.0;
   return 1.0 - r.p_value;
 }

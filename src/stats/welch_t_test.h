@@ -19,6 +19,17 @@ struct WelchResult {
 /// Runs Welch's unequal-variance t-test on two samples.
 WelchResult WelchTTest(std::span<const double> a, std::span<const double> b);
 
+/// Welch's t-test from sufficient statistics (size, mean, unbiased sample
+/// variance of each sample). WelchTTest is exactly this after computing
+/// the moments with Mean/SampleVariance, so callers that already hold the
+/// moments (the fused contrast kernel precomputes the marginal's and
+/// accumulates the conditional's during the selection sweep) get bitwise
+/// the same result without touching the samples again. Returns invalid
+/// when either size is < 2.
+WelchResult WelchTTestFromMoments(std::size_t n_a, double mean_a,
+                                  double var_a, std::size_t n_b,
+                                  double mean_b, double var_b);
+
 /// HiCS_WT deviation function: 1 - p_t where p_t is the two-tailed p-value
 /// of Welch's t statistic under the Student-t distribution with
 /// Welch-Satterthwaite degrees of freedom (paper §III-E).
@@ -26,6 +37,13 @@ class WelchTDeviation : public TwoSampleTest {
  public:
   double Deviation(std::span<const double> marginal,
                    std::span<const double> conditional) const override;
+  /// Fused path: accumulates the conditional's count/sum/M2 in two
+  /// object-id-order sweeps (the same summation order Mean/SampleVariance
+  /// apply to the gathered vector) and reuses the view's precomputed
+  /// marginal moments — no materialization, no O(N) marginal re-scan.
+  double DeviationFromSelection(const SelectionView& view,
+                                std::vector<double>* gather_scratch)
+      const override;
   std::string name() const override { return "welch"; }
 };
 

@@ -1,0 +1,174 @@
+// Rank-space contrast kernel guarantees (DESIGN.md §5d):
+//  (1) contrast scores are *bit-identical* between the rank-space kernel
+//      (epoch-stamped selection + DeviationFromSelection) and the
+//      materializing gather+sort oracle, for every deviation function
+//      (welch/ks/cvm), across random datasets, subspace sizes, and
+//      duplicate-heavy data;
+//  (2) RunHicsSearch output (subspaces, scores, order) is unchanged by the
+//      kernel flag and by the thread count;
+//  (3) the generic base-class DeviationFromSelection (used by third-party
+//      tests without a fused override) reproduces the gather semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/contrast.h"
+#include "core/hics.h"
+#include "stats/two_sample_test.h"
+
+namespace hics {
+namespace {
+
+Dataset RandomDataset(std::size_t n, std::size_t d, std::uint64_t seed,
+                      bool quantized = false) {
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double v = rng.UniformDouble();
+      // Quantized columns are duplicate-heavy: ties exercise the
+      // sorted-order emission and the rank tests' tie handling.
+      if (quantized) v = std::floor(v * 6.0);
+      ds.Set(i, j, v);
+    }
+  }
+  return ds;
+}
+
+struct KernelCase {
+  std::string test_name;
+  std::uint64_t seed;
+  bool quantized;
+};
+
+class ContrastKernelParityTest
+    : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(ContrastKernelParityTest, RankKernelMatchesOracleBitForBit) {
+  const KernelCase& c = GetParam();
+  Dataset ds = RandomDataset(300, 6, c.seed, c.quantized);
+  const auto test = stats::MakeTwoSampleTest(c.test_name);
+  ASSERT_NE(test, nullptr);
+  ContrastParams rank_params{40, 0.15, true};
+  ContrastParams oracle_params{40, 0.15, false};
+  const ContrastEstimator rank(ds, *test, rank_params);
+  const ContrastEstimator oracle(ds, *test, oracle_params);
+  const std::vector<Subspace> subspaces = {
+      Subspace({0, 1}), Subspace({2, 5}), Subspace({0, 1, 2}),
+      Subspace({1, 3, 4, 5}), Subspace({0, 1, 2, 3, 4, 5})};
+  for (const Subspace& sub : subspaces) {
+    Rng ra(c.seed ^ 0xabc), rb(c.seed ^ 0xabc);
+    const double a = rank.Contrast(sub, &ra);
+    const double b = oracle.Contrast(sub, &rb);
+    // Deliberately EXPECT_EQ, not NEAR: the kernels must agree bit for
+    // bit, which is what lets the flag flip without changing any result.
+    EXPECT_EQ(a, b) << c.test_name << " " << sub.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTests, ContrastKernelParityTest,
+    ::testing::Values(KernelCase{"welch", 1, false},
+                      KernelCase{"welch", 2, true},
+                      KernelCase{"ks", 3, false},
+                      KernelCase{"ks", 4, true},
+                      KernelCase{"cvm", 5, false},
+                      KernelCase{"cvm", 6, true}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return info.param.test_name +
+             (info.param.quantized ? "Quantized" : "Continuous") +
+             std::to_string(info.param.seed);
+    });
+
+TEST(ContrastKernelTest, SearchOutputUnchangedByKernelAndThreads) {
+  Dataset ds = RandomDataset(250, 8, 77);
+  HicsParams base;
+  base.num_iterations = 30;
+  base.candidate_cutoff = 40;
+  base.output_top_k = 30;
+  base.seed = 13;
+
+  auto run = [&ds](HicsParams p) {
+    auto result = RunHicsSearch(ds, p);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *std::move(result);
+  };
+
+  HicsParams oracle = base;
+  oracle.use_rank_space_kernel = false;
+  const std::vector<ScoredSubspace> reference = run(oracle);
+  ASSERT_FALSE(reference.empty());
+
+  for (const std::string& test_name : {"welch", "ks", "cvm"}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      HicsParams o = base;
+      o.statistical_test = test_name;
+      o.use_rank_space_kernel = false;
+      o.num_threads = threads;
+      HicsParams r = o;
+      r.use_rank_space_kernel = true;
+      const std::vector<ScoredSubspace> want = run(o);
+      const std::vector<ScoredSubspace> got = run(r);
+      ASSERT_EQ(got.size(), want.size()) << test_name;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].subspace, want[i].subspace)
+            << test_name << " threads " << threads << " rank " << i;
+        EXPECT_EQ(got[i].score, want[i].score)
+            << test_name << " threads " << threads << " rank " << i;
+      }
+    }
+  }
+
+  // The welch single-thread rank run must also equal the cross-kernel
+  // reference computed above (same seed, same dataset).
+  HicsParams r1 = base;
+  r1.use_rank_space_kernel = true;
+  const std::vector<ScoredSubspace> got = run(r1);
+  ASSERT_EQ(got.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(got[i].subspace, reference[i].subspace);
+    EXPECT_EQ(got[i].score, reference[i].score);
+  }
+}
+
+// A deviation function without a fused override goes through the base
+// class's gather-from-selection fallback; its scores must match the
+// oracle path too (the fallback reproduces gather semantics exactly).
+class MeanGapDeviation : public stats::TwoSampleTest {
+ public:
+  std::string name() const override { return "mean-gap"; }
+  double Deviation(std::span<const double> marginal,
+                   std::span<const double> conditional) const override {
+    if (marginal.empty() || conditional.empty()) return 0.0;
+    double ma = 0.0, mb = 0.0;
+    for (double v : marginal) ma += v;
+    for (double v : conditional) mb += v;
+    ma /= static_cast<double>(marginal.size());
+    mb /= static_cast<double>(conditional.size());
+    const double gap = std::fabs(ma - mb);
+    return gap / (1.0 + gap);
+  }
+};
+
+TEST(ContrastKernelTest, BaseClassFallbackMatchesOracle) {
+  Dataset ds = RandomDataset(200, 4, 91);
+  const MeanGapDeviation test;
+  ContrastParams rank_params{25, 0.2, true};
+  ContrastParams oracle_params{25, 0.2, false};
+  const ContrastEstimator rank(ds, test, rank_params);
+  const ContrastEstimator oracle(ds, test, oracle_params);
+  for (const Subspace& sub :
+       {Subspace({0, 1}), Subspace({0, 2, 3}), Subspace({0, 1, 2, 3})}) {
+    Rng ra(5), rb(5);
+    EXPECT_EQ(rank.Contrast(sub, &ra), oracle.Contrast(sub, &rb))
+        << sub.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hics

@@ -1,0 +1,222 @@
+#include "core/slice_epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "core/contrast.h"
+#include "core/slice.h"
+#include "stats/ks_test.h"
+
+namespace hics {
+namespace {
+
+Dataset UniformDataset(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) ds.Set(i, j, rng.UniformDouble());
+  }
+  return ds;
+}
+
+using internal::BeginSelectionEpoch;
+using internal::StampCondition;
+
+TEST(SliceEpochTest, FirstUseSizesAndZeroesStamps) {
+  std::vector<std::uint8_t> stamps;
+  std::uint8_t epoch = 0;
+  const std::uint8_t base = BeginSelectionEpoch(&stamps, &epoch,
+                                                std::size_t{6},
+                                                std::size_t{2});
+  EXPECT_EQ(base, 0);
+  EXPECT_EQ(epoch, 2);
+  ASSERT_EQ(stamps.size(), 6u);
+  for (std::uint8_t s : stamps) EXPECT_EQ(s, 0);
+}
+
+TEST(SliceEpochTest, ConditionsIntersectViaStampPromotion) {
+  std::vector<std::uint8_t> stamps;
+  std::uint8_t epoch = 0;
+  const std::uint8_t base = BeginSelectionEpoch(&stamps, &epoch,
+                                                std::size_t{6},
+                                                std::size_t{2});
+  const std::vector<std::size_t> block0{0, 2, 4};
+  const std::vector<std::size_t> block1{2, 3, 4};
+  StampCondition(&stamps, base, std::size_t{0},
+                 std::span<const std::size_t>(block0));
+  StampCondition(&stamps, base, std::size_t{1},
+                 std::span<const std::size_t>(block1));
+  // Selected = {0,2,4} ∩ {2,3,4} = {2,4}: stamp == epoch.
+  EXPECT_EQ(stamps[2], epoch);
+  EXPECT_EQ(stamps[4], epoch);
+  // Survived only condition 0.
+  EXPECT_EQ(stamps[0], base + 1);
+  // In condition 1's block but not condition 0's: not promoted.
+  EXPECT_EQ(stamps[3], 0);
+  EXPECT_EQ(stamps[1], 0);
+  EXPECT_EQ(stamps[5], 0);
+}
+
+TEST(SliceEpochTest, Uint8WraparoundClearsAndRestarts) {
+  // The epoch type is a template parameter exactly so this test can force
+  // wraparound in a few draws instead of ~4e9 (production is uint32_t).
+  std::vector<std::uint8_t> stamps;
+  std::uint8_t epoch = 0;
+  const std::size_t n = 8;
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // 84 draws x 3 conditions drive the epoch to 252.
+  for (int draw = 0; draw < 84; ++draw) {
+    const std::uint8_t base = BeginSelectionEpoch(&stamps, &epoch, n,
+                                                  std::size_t{3});
+    for (std::size_t c = 0; c < 3; ++c) {
+      StampCondition(&stamps, base, c, std::span<const std::size_t>(all));
+    }
+  }
+  EXPECT_EQ(epoch, 252);
+  EXPECT_EQ(stamps[0], 252);
+  // The next 4-condition draw does not fit in [253, 255]: the mechanism
+  // must clear every stale stamp and restart at 0, otherwise an old 252
+  // could alias a value the new draw tests for.
+  const std::uint8_t base = BeginSelectionEpoch(&stamps, &epoch, n,
+                                                std::size_t{4});
+  EXPECT_EQ(base, 0);
+  EXPECT_EQ(epoch, 4);
+  for (std::uint8_t s : stamps) EXPECT_EQ(s, 0);
+}
+
+TEST(SliceEpochTest, WraparoundStressMatchesBruteForceCounters) {
+  // Hundreds of random draws on a uint8_t epoch wrap around many times;
+  // after each draw the stamp-selected set must equal the set computed by
+  // per-draw brute-force counters (the semantics of the materializing
+  // path).
+  Rng rng(7);
+  std::vector<std::uint8_t> stamps;
+  std::uint8_t epoch = 0;
+  const std::size_t n = 40;
+  for (int draw = 0; draw < 500; ++draw) {
+    const std::size_t conditions = 1 + rng.UniformIndex(4);  // 1..4
+    const std::uint8_t base = BeginSelectionEpoch(&stamps, &epoch, n,
+                                                  conditions);
+    std::vector<int> count(n, 0);
+    for (std::size_t c = 0; c < conditions; ++c) {
+      std::vector<std::size_t> block;
+      for (std::size_t id = 0; id < n; ++id) {
+        if (rng.Bernoulli(0.5)) block.push_back(id);
+      }
+      StampCondition(&stamps, base, c, std::span<const std::size_t>(block));
+      for (std::size_t id : block) ++count[id];
+    }
+    for (std::size_t id = 0; id < n; ++id) {
+      EXPECT_EQ(stamps[id] == epoch,
+                count[id] == static_cast<int>(conditions))
+          << "draw " << draw << " id " << id;
+    }
+  }
+}
+
+TEST(SliceEpochTest, DrawSelectionMatchesMaterializingDraw) {
+  // Same RNG state through either entry point -> same slice: the stamped
+  // selection must contain exactly the objects whose test-attribute values
+  // Draw materializes.
+  Dataset ds = UniformDataset(400, 5, 21);
+  SortedAttributeIndex index(ds);
+  SliceSampler sampler(ds, index);
+  Rng r1(77), r2(77);
+  SliceScratch s1, s2;
+  SliceDraw draw;
+  SliceSelection sel;
+  const Subspace sub({0, 2, 3, 4});
+  for (int i = 0; i < 50; ++i) {
+    sampler.Draw(sub, 0.15, &r1, &s1, &draw);
+    sampler.DrawSelection(sub, 0.15, &r2, &s2, &sel);
+    EXPECT_EQ(sel.test_attribute, draw.test_attribute);
+    EXPECT_EQ(sel.num_conditions, sub.size() - 1);
+    std::vector<double> stamped;
+    const auto& col = ds.Column(sel.test_attribute);
+    for (std::size_t id = 0; id < 400; ++id) {
+      if (s2.stamps[id] == sel.selected_stamp) stamped.push_back(col[id]);
+    }
+    ASSERT_EQ(stamped.size(), draw.selected_count);
+    std::vector<double> materialized = draw.conditional_sample;
+    std::sort(materialized.begin(), materialized.end());
+    std::sort(stamped.begin(), stamped.end());
+    EXPECT_EQ(stamped, materialized);
+  }
+}
+
+TEST(SliceEpochTest, SelectionSizeConcentratesAcrossDimensionalities) {
+  // Property: on independent data the conditional-sample size concentrates
+  // near N * alpha^((|S|-1)/|S|) — the block-size rule of Algorithm 1 —
+  // which approaches N * alpha from above as |S| grows. Checked for
+  // |S| in {2..5}.
+  const std::size_t n = 2000;
+  const double alpha = 0.1;
+  for (std::size_t dims = 2; dims <= 5; ++dims) {
+    Dataset ds = UniformDataset(n, dims, 30 + dims);
+    SortedAttributeIndex index(ds);
+    SliceSampler sampler(ds, index);
+    Rng rng(100 + dims);
+    SliceScratch scratch;
+    SliceSelection sel;
+    std::vector<std::size_t> attrs(dims);
+    std::iota(attrs.begin(), attrs.end(), std::size_t{0});
+    const Subspace sub(attrs);
+    double sum = 0.0;
+    const int reps = 200;
+    for (int rep = 0; rep < reps; ++rep) {
+      sampler.DrawSelection(sub, alpha, &rng, &scratch, &sel);
+      std::size_t count = 0;
+      for (std::size_t id = 0; id < n; ++id) {
+        count += scratch.stamps[id] == sel.selected_stamp;
+      }
+      sum += static_cast<double>(count);
+    }
+    const double mean = sum / reps;
+    const double expected =
+        static_cast<double>(n) *
+        std::pow(alpha, (static_cast<double>(dims) - 1.0) /
+                            static_cast<double>(dims));
+    EXPECT_NEAR(mean, expected, 0.15 * expected) << "|S| = " << dims;
+    // Never drifts below the target selection fraction N * alpha.
+    EXPECT_GT(mean, static_cast<double>(n) * alpha * 0.85)
+        << "|S| = " << dims;
+  }
+}
+
+TEST(SliceEpochTest, DuplicateHeavyColumnsKeepKsBitIdentical) {
+  // Columns quantized to 8 distinct values produce massive ties; the
+  // sorted-order emission must still hand KsTestSorted the exact value
+  // sequence the gather+sort oracle produces (equal values are
+  // interchangeable), keeping contrast scores bit-identical.
+  Rng rng(55);
+  const std::size_t n = 500, d = 4;
+  Dataset ds(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      ds.Set(i, j, std::floor(rng.UniformDouble() * 8.0));
+    }
+  }
+  const stats::KsDeviation ks;
+  ContrastParams rank_params{30, 0.2, true};
+  ContrastParams oracle_params{30, 0.2, false};
+  const ContrastEstimator rank(ds, ks, rank_params);
+  const ContrastEstimator oracle(ds, ks, oracle_params);
+  for (const Subspace& sub :
+       {Subspace({0, 1}), Subspace({0, 1, 2}), Subspace({0, 1, 2, 3})}) {
+    Rng ra(9), rb(9);
+    const double a = rank.Contrast(sub, &ra);
+    const double b = oracle.Contrast(sub, &rb);
+    EXPECT_EQ(a, b) << sub.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hics
