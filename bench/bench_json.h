@@ -132,10 +132,12 @@ inline std::string CompilerId() {
 #endif
 }
 
-/// Appends a "build" object (compiler id, optimization flags, build type)
-/// to the record under construction. The flag strings come from the bench
-/// CMakeLists (HICS_BENCH_* definitions); absolute timings are only
-/// comparable between records whose build objects match.
+/// Appends a "build" object (compiler id, optimization flags, build type,
+/// git commit) to the record under construction. The strings come from
+/// the bench CMakeLists (HICS_BENCH_* definitions, resolved at configure
+/// time); absolute timings are only comparable between records whose
+/// build objects match, and the commit hash ties a committed BENCH_*.json
+/// to the sources that produced it.
 inline JsonWriter& WriteBuildInfo(JsonWriter& json) {
 #ifdef HICS_BENCH_CXX_FLAGS
   const char* flags = HICS_BENCH_CXX_FLAGS;
@@ -147,10 +149,16 @@ inline JsonWriter& WriteBuildInfo(JsonWriter& json) {
 #else
   const char* build_type = "unknown";
 #endif
+#ifdef HICS_BENCH_GIT_COMMIT
+  const char* git_commit = HICS_BENCH_GIT_COMMIT;
+#else
+  const char* git_commit = "unknown";
+#endif
   return json.BeginObject("build")
       .Field("compiler", CompilerId())
       .Field("cxx_flags", flags)
       .Field("build_type", build_type)
+      .Field("git_commit", git_commit)
       .EndObject();
 }
 

@@ -25,6 +25,7 @@
 #include "core/contrast_matrix.h"
 #include "core/pipeline.h"
 #include "data/synthetic.h"
+#include "engine/prepared_dataset.h"
 #include "eval/roc.h"
 #include "outlier/lof.h"
 
@@ -134,13 +135,17 @@ int main(int argc, char** argv) {
               data.num_objects(), data.num_attributes(),
               data.has_labels() ? " (labeled)" : "");
 
+  // One prepared artifact for the whole session: the contrast matrix and
+  // the pipeline share its sorted index instead of each rebuilding it.
+  const hics::PreparedDataset prepared(data);
+
   if (options.print_matrix) {
     hics::ContrastMatrixParams matrix_params;
     matrix_params.statistical_test = options.test;
     matrix_params.contrast = {options.iterations, options.alpha};
     matrix_params.seed = options.seed;
     matrix_params.num_threads = 0;  // use all cores
-    auto matrix = hics::ComputeContrastMatrix(data, matrix_params);
+    auto matrix = hics::ComputeContrastMatrix(prepared, matrix_params);
     if (!matrix.ok()) {
       std::fprintf(stderr, "contrast matrix failed: %s\n",
                    matrix.status().ToString().c_str());
@@ -167,7 +172,7 @@ int main(int argc, char** argv) {
   params.seed = options.seed;
 
   const hics::LofScorer lof({/*min_pts=*/10});
-  auto result = hics::RunHicsPipeline(data, params, lof);
+  auto result = hics::RunHicsPipeline(prepared, params, lof);
   if (!result.ok()) {
     std::fprintf(stderr, "HiCS failed: %s\n",
                  result.status().ToString().c_str());

@@ -14,28 +14,26 @@ Status ContrastParams::Validate() const {
   return Status::OK();
 }
 
+ContrastEstimator::ContrastEstimator(const PreparedDataset& prepared,
+                                     const stats::TwoSampleTest& test,
+                                     ContrastParams params)
+    : prepared_(&prepared),
+      test_(test),
+      params_(params),
+      sampler_(prepared.dataset(), prepared.sorted_index()) {
+  HICS_CHECK(params_.Validate().ok()) << params_.Validate().ToString();
+}
+
 ContrastEstimator::ContrastEstimator(const Dataset& dataset,
                                      const stats::TwoSampleTest& test,
                                      ContrastParams params,
                                      std::size_t index_build_threads)
-    : dataset_(dataset),
+    : owned_prepared_(PreparedDataset::Build(dataset, index_build_threads)),
+      prepared_(owned_prepared_.get()),
       test_(test),
       params_(params),
-      index_(dataset, index_build_threads),
-      sampler_(dataset, index_) {
+      sampler_(dataset, owned_prepared_->sorted_index()) {
   HICS_CHECK(params_.Validate().ok()) << params_.Validate().ToString();
-  sorted_columns_.reserve(dataset.num_attributes());
-  marginal_means_.reserve(dataset.num_attributes());
-  marginal_variances_.reserve(dataset.num_attributes());
-  for (std::size_t a = 0; a < dataset.num_attributes(); ++a) {
-    const std::vector<double>& column = dataset.Column(a);
-    std::vector<double> sorted;
-    sorted.reserve(column.size());
-    for (std::size_t id : index_.SortedOrder(a)) sorted.push_back(column[id]);
-    marginal_means_.push_back(stats::Mean(sorted));
-    marginal_variances_.push_back(stats::SampleVariance(sorted));
-    sorted_columns_.push_back(std::move(sorted));
-  }
 }
 
 double ContrastEstimator::IterationDeviation(const Subspace& subspace,
@@ -48,11 +46,11 @@ double ContrastEstimator::IterationDeviation(const Subspace& subspace,
                            &scratch->selection);
     const std::size_t attribute = scratch->selection.test_attribute;
     stats::SelectionView view;
-    view.marginal_sorted = sorted_columns_[attribute];
-    view.marginal_mean = marginal_means_[attribute];
-    view.marginal_variance = marginal_variances_[attribute];
-    view.column = dataset_.Column(attribute);
-    view.sorted_order = index_.SortedOrder(attribute);
+    view.marginal_sorted = prepared_->SortedColumn(attribute);
+    view.marginal_mean = prepared_->MarginalMean(attribute);
+    view.marginal_variance = prepared_->MarginalVariance(attribute);
+    view.column = prepared_->dataset().Column(attribute);
+    view.sorted_order = prepared_->sorted_index().SortedOrder(attribute);
     view.stamps = scratch->slice.stamps;
     view.selected_stamp = scratch->selection.selected_stamp;
     return test_.DeviationFromSelection(view, &scratch->sorted_conditional);
@@ -60,7 +58,7 @@ double ContrastEstimator::IterationDeviation(const Subspace& subspace,
   sampler_.Draw(subspace, params_.alpha, rng, &scratch->slice,
                 &scratch->draw);
   return test_.DeviationPresortedMarginal(
-      sorted_columns_[scratch->draw.test_attribute],
+      prepared_->SortedColumn(scratch->draw.test_attribute),
       scratch->draw.conditional_sample, &scratch->sorted_conditional);
 }
 

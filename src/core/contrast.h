@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/subspace.h"
 #include "core/slice.h"
+#include "engine/prepared_dataset.h"
 #include "index/sorted_index.h"
 #include "stats/two_sample_test.h"
 
@@ -53,16 +54,25 @@ struct ContrastScratch {
 /// chosen attribute and its distribution conditioned on a random subspace
 /// slice, over M iterations.
 ///
-/// Building one estimator per dataset amortizes the O(D N log N) sorted
-/// index across all contrast queries of a subspace search run.
+/// The estimator draws its rank artifacts (sorted index, pre-sorted
+/// columns, marginal moments) from a PreparedDataset, so every contrast
+/// consumer of one dataset — search, contrast matrix, pipeline — shares
+/// one O(D N log N) build instead of each constructing its own.
 class ContrastEstimator {
  public:
+  /// Prepared-path constructor: borrows `prepared`'s rank artifacts
+  /// (forcing their lazy build if this is the first rank consumer).
   /// `test` implements the deviation function; the estimator shares it
-  /// across iterations and does not take ownership. All references must
-  /// outlive the estimator. `index_build_threads` parallelizes the
-  /// construction-time sorted-index build (one task per attribute; 0 =
-  /// hardware concurrency) — the index content is identical for any
-  /// value, queries afterwards are unaffected.
+  /// across iterations and does not take ownership. Both references must
+  /// outlive the estimator.
+  ContrastEstimator(const PreparedDataset& prepared,
+                    const stats::TwoSampleTest& test, ContrastParams params);
+
+  /// Self-contained adapter: prepares `dataset` privately and delegates to
+  /// the constructor above. `index_build_threads` parallelizes the
+  /// sorted-index build (one task per attribute; 0 = hardware
+  /// concurrency) — the index content is identical for any value, queries
+  /// afterwards are unaffected.
   ContrastEstimator(const Dataset& dataset, const stats::TwoSampleTest& test,
                     ContrastParams params,
                     std::size_t index_build_threads = 1);
@@ -96,7 +106,10 @@ class ContrastEstimator {
                           std::uint64_t fault_ordinal = 0) const;
 
   const ContrastParams& params() const { return params_; }
-  const SortedAttributeIndex& index() const { return index_; }
+  const SortedAttributeIndex& index() const {
+    return prepared_->sorted_index();
+  }
+  const PreparedDataset& prepared() const { return *prepared_; }
 
  private:
   // Deviation of one Monte Carlo draw through the configured kernel
@@ -104,21 +117,13 @@ class ContrastEstimator {
   double IterationDeviation(const Subspace& subspace, Rng* rng,
                             ContrastScratch* scratch) const;
 
-  const Dataset& dataset_;
+  // Set only by the self-contained Dataset constructor; keeps the private
+  // PreparedDataset alive for `prepared_`.
+  std::shared_ptr<const PreparedDataset> owned_prepared_;
+  const PreparedDataset* prepared_;
   const stats::TwoSampleTest& test_;
   ContrastParams params_;
-  SortedAttributeIndex index_;
   SliceSampler sampler_;
-  // Pre-sorted copy of every attribute column; lets rank-based deviation
-  // functions (KS) skip re-sorting the marginal sample on each of the
-  // M iterations.
-  std::vector<std::vector<double>> sorted_columns_;
-  // Per-attribute Mean / SampleVariance of the sorted column, precomputed
-  // once so the fused Welch path never re-scans the marginal. Summation
-  // order matches what the oracle computes per iteration, keeping the
-  // moments bit-identical.
-  std::vector<double> marginal_means_;
-  std::vector<double> marginal_variances_;
 };
 
 }  // namespace hics

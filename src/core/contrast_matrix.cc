@@ -11,6 +11,15 @@ namespace hics {
 
 Result<Matrix> ComputeContrastMatrix(const Dataset& dataset,
                                      const ContrastMatrixParams& params) {
+  const std::size_t build_threads =
+      params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
+  const PreparedDataset prepared(dataset, build_threads);
+  return ComputeContrastMatrix(prepared, params);
+}
+
+Result<Matrix> ComputeContrastMatrix(const PreparedDataset& prepared,
+                                     const ContrastMatrixParams& params) {
+  const Dataset& dataset = prepared.dataset();
   HICS_RETURN_NOT_OK(params.contrast.Validate());
   const auto test = stats::MakeTwoSampleTest(params.statistical_test);
   if (test == nullptr) {
@@ -25,8 +34,7 @@ Result<Matrix> ComputeContrastMatrix(const Dataset& dataset,
 
   const std::size_t num_threads =
       params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
-  const ContrastEstimator estimator(dataset, *test, params.contrast,
-                                    num_threads);
+  const ContrastEstimator estimator(prepared, *test, params.contrast);
 
   // Flatten the upper triangle into a task list.
   std::vector<std::pair<std::size_t, std::size_t>> pairs;

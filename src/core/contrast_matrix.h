@@ -27,8 +27,16 @@ struct ContrastMatrixParams {
 };
 
 /// Computes the full D x D matrix. Fails on invalid params or fewer than
-/// two attributes / objects.
+/// two attributes / objects. Thin adapter: prepares `dataset` privately
+/// and delegates to the PreparedDataset overload.
 Result<Matrix> ComputeContrastMatrix(const Dataset& dataset,
+                                     const ContrastMatrixParams& params = {});
+
+/// Prepared-path variant: reuses `prepared`'s sorted-attribute index and
+/// rank artifacts (shared with RunHicsSearch and the ranking stage)
+/// instead of rebuilding them — the second index build the matrix used to
+/// pay is gone. Bit-identical to the Dataset overload.
+Result<Matrix> ComputeContrastMatrix(const PreparedDataset& prepared,
                                      const ContrastMatrixParams& params = {});
 
 }  // namespace hics

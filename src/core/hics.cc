@@ -128,6 +128,24 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
                                                   const HicsParams& params,
                                                   const RunContext& ctx,
                                                   HicsRunStats* stats) {
+  // Thin adapter: prepare privately with the run's thread budget (the
+  // index content is identical for any build parallelism) and delegate.
+  const std::size_t build_threads =
+      params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
+  const PreparedDataset prepared(dataset, build_threads);
+  return RunHicsSearch(prepared, params, ctx, stats);
+}
+
+Result<std::vector<ScoredSubspace>> RunHicsSearch(
+    const PreparedDataset& prepared, const HicsParams& params,
+    HicsRunStats* stats) {
+  return RunHicsSearch(prepared, params, RunContext(), stats);
+}
+
+Result<std::vector<ScoredSubspace>> RunHicsSearch(
+    const PreparedDataset& prepared, const HicsParams& params,
+    const RunContext& ctx, HicsRunStats* stats) {
+  const Dataset& dataset = prepared.dataset();
   HICS_RETURN_NOT_OK(params.Validate());
   if (dataset.num_attributes() < 2) {
     return Status::InvalidArgument(
@@ -145,8 +163,7 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
       params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
   const ContrastParams contrast_params{params.num_iterations, params.alpha,
                                        params.use_rank_space_kernel};
-  const ContrastEstimator estimator(dataset, *test, contrast_params,
-                                    num_threads);
+  const ContrastEstimator estimator(prepared, *test, contrast_params);
   HicsRunStats local_stats;
 
   // Every subspace gets its own Monte Carlo stream derived from

@@ -107,6 +107,22 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(const Dataset& dataset,
                                                   HicsRunStats* stats =
                                                       nullptr);
 
+/// Prepared-path search: identical semantics and bit-identical output to
+/// the Dataset overloads, but the sorted-attribute index (and the other
+/// rank artifacts the contrast kernels consume) come from `prepared`
+/// instead of being rebuilt per call — so search, contrast matrix, and
+/// ranking over one dataset share a single O(D N log N) build. The
+/// Dataset overloads above are thin adapters that prepare privately.
+Result<std::vector<ScoredSubspace>> RunHicsSearch(
+    const PreparedDataset& prepared, const HicsParams& params,
+    HicsRunStats* stats = nullptr);
+
+/// Context-aware prepared-path search; see the RunContext overload above
+/// for the interruption/fault contract.
+Result<std::vector<ScoredSubspace>> RunHicsSearch(
+    const PreparedDataset& prepared, const HicsParams& params,
+    const RunContext& ctx, HicsRunStats* stats = nullptr);
+
 /// Exposed lattice utilities (used internally and unit-tested directly).
 namespace internal {
 

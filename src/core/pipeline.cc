@@ -4,6 +4,8 @@
 #include <numeric>
 #include <utility>
 
+#include "common/parallel.h"
+
 namespace hics {
 
 Result<PipelineResult> RunHicsPipeline(const Dataset& dataset,
@@ -18,10 +20,30 @@ Result<PipelineResult> RunHicsPipeline(const Dataset& dataset,
                                        const OutlierScorer& scorer,
                                        const RunContext& ctx,
                                        ScoreAggregation aggregation) {
+  // Thin adapter: one private PreparedDataset already pays off within a
+  // single run — search and ranking share the sorted-index build.
+  const std::size_t build_threads =
+      params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
+  const PreparedDataset prepared(dataset, build_threads);
+  return RunHicsPipeline(prepared, params, scorer, ctx, aggregation);
+}
+
+Result<PipelineResult> RunHicsPipeline(const PreparedDataset& prepared,
+                                       const HicsParams& params,
+                                       const OutlierScorer& scorer,
+                                       ScoreAggregation aggregation) {
+  return RunHicsPipeline(prepared, params, scorer, RunContext(), aggregation);
+}
+
+Result<PipelineResult> RunHicsPipeline(const PreparedDataset& prepared,
+                                       const HicsParams& params,
+                                       const OutlierScorer& scorer,
+                                       const RunContext& ctx,
+                                       ScoreAggregation aggregation) {
   PipelineResult result;
   HICS_ASSIGN_OR_RETURN(
       result.subspaces,
-      RunHicsSearch(dataset, params, ctx, &result.search_stats));
+      RunHicsSearch(prepared, params, ctx, &result.search_stats));
 
   PipelineDiagnostics& diag = result.diagnostics;
   diag.deadline_exceeded = result.search_stats.deadline_exceeded;
@@ -39,7 +61,7 @@ Result<PipelineResult> RunHicsPipeline(const Dataset& dataset,
   diag.requested_subspaces = plain.size();
 
   DegradedRankingResult ranked = RankWithSubspacesDegraded(
-      dataset, plain, scorer, aggregation, ctx, params.num_threads);
+      prepared, plain, scorer, aggregation, ctx, params.num_threads);
   diag.scored_subspaces = ranked.succeeded;
   diag.skipped_subspaces = ranked.failures.size();
   diag.deadline_exceeded |= ranked.deadline_exceeded;
@@ -59,8 +81,8 @@ Result<PipelineResult> RunHicsPipeline(const Dataset& dataset,
   // (degenerate data, the historical full-space path) or every member of
   // the ensemble failed. Fall back to scoring the full space; surface an
   // error only when that fails too.
-  Result<std::vector<double>> full =
-      scorer.ScoreSubspaceChecked(dataset, dataset.FullSpace(), ctx);
+  Result<std::vector<double>> full = scorer.ScoreSubspacePreparedChecked(
+      prepared, prepared.dataset().FullSpace(), ctx);
   if (full.ok()) {
     diag.used_fullspace_fallback = true;
     result.scores = std::move(full).ValueOrDie();

@@ -88,6 +88,23 @@ Result<PipelineResult> RunHicsPipeline(
     const OutlierScorer& scorer, const RunContext& ctx,
     ScoreAggregation aggregation = ScoreAggregation::kAverage);
 
+/// Prepared-path pipeline: search and ranking share `prepared`'s sorted
+/// index and artifact cache end-to-end — one rank-artifact build per
+/// dataset, and repeated runs (the serving pattern) reuse cached
+/// searchers, kNN tables, and score vectors. Bit-identical to the Dataset
+/// overloads for every cache state; the Dataset overloads are thin
+/// adapters that prepare privately.
+Result<PipelineResult> RunHicsPipeline(
+    const PreparedDataset& prepared, const HicsParams& params,
+    const OutlierScorer& scorer,
+    ScoreAggregation aggregation = ScoreAggregation::kAverage);
+
+/// Context-aware prepared-path pipeline; degradation contract as above.
+Result<PipelineResult> RunHicsPipeline(
+    const PreparedDataset& prepared, const HicsParams& params,
+    const OutlierScorer& scorer, const RunContext& ctx,
+    ScoreAggregation aggregation = ScoreAggregation::kAverage);
+
 /// Returns object indices sorted by descending score — the outlier ranking.
 std::vector<std::size_t> RankingFromScores(const std::vector<double>& scores);
 

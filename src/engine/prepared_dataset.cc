@@ -1,0 +1,158 @@
+#include "engine/prepared_dataset.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace hics {
+
+std::shared_ptr<const NeighborSearcher> ArtifactCache::GetSearcher(
+    const Subspace& subspace, KnnBackend backend) {
+  HICS_CHECK(backend != KnnBackend::kAuto);
+  const SearcherKey key{static_cast<int>(backend), subspace};
+  {
+    std::lock_guard<std::mutex> lock(searcher_mutex_);
+    auto it = searchers_.find(key);
+    if (it != searchers_.end()) {
+      searcher_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  searcher_misses_.fetch_add(1, std::memory_order_relaxed);
+  // Build outside the lock: index construction is the expensive part and
+  // must not serialize unrelated subspaces. A racing builder loses to the
+  // first insert; both products are equivalent (identical query answers).
+  std::shared_ptr<const NeighborSearcher> built =
+      MakeSearcher(dataset_, subspace, backend);
+  std::lock_guard<std::mutex> lock(searcher_mutex_);
+  auto [it, inserted] = searchers_.emplace(key, std::move(built));
+  return it->second;
+}
+
+std::shared_ptr<const KnnResultTable> ArtifactCache::GetKnnTable(
+    const Subspace& subspace, KnnBackend backend, std::size_t k,
+    std::size_t num_threads, bool use_batch_kernel) {
+  const KnnKey key{k, subspace};
+  {
+    std::lock_guard<std::mutex> lock(knn_mutex_);
+    auto it = knn_tables_.find(key);
+    if (it != knn_tables_.end()) {
+      knn_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  knn_misses_.fetch_add(1, std::memory_order_relaxed);
+  const std::shared_ptr<const NeighborSearcher> searcher =
+      GetSearcher(subspace, backend);
+  auto table = std::make_shared<KnnResultTable>();
+  if (use_batch_kernel) {
+    searcher->QueryAllKnn(k, table.get(), num_threads);
+  } else {
+    searcher->QueryAllKnnPerQuery(k, table.get(), num_threads);
+  }
+  std::lock_guard<std::mutex> lock(knn_mutex_);
+  auto [it, inserted] =
+      knn_tables_.emplace(key, std::shared_ptr<const KnnResultTable>(table));
+  return it->second;
+}
+
+std::shared_ptr<const std::vector<double>> ArtifactCache::FindScores(
+    const std::string& scorer_key, const Subspace& subspace) {
+  HICS_DCHECK(!scorer_key.empty());
+  std::lock_guard<std::mutex> lock(score_mutex_);
+  auto it = scores_.find(ScoreKey{scorer_key, subspace});
+  if (it == scores_.end()) {
+    score_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  score_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::shared_ptr<const std::vector<double>> ArtifactCache::InsertScores(
+    const std::string& scorer_key, const Subspace& subspace,
+    std::vector<double> scores) {
+  HICS_DCHECK(!scorer_key.empty());
+  auto entry =
+      std::make_shared<const std::vector<double>>(std::move(scores));
+  std::lock_guard<std::mutex> lock(score_mutex_);
+  auto [it, inserted] =
+      scores_.emplace(ScoreKey{scorer_key, subspace}, std::move(entry));
+  return it->second;
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  ArtifactCacheStats s;
+  s.searcher_hits = searcher_hits_.load(std::memory_order_relaxed);
+  s.searcher_misses = searcher_misses_.load(std::memory_order_relaxed);
+  s.knn_table_hits = knn_hits_.load(std::memory_order_relaxed);
+  s.knn_table_misses = knn_misses_.load(std::memory_order_relaxed);
+  s.score_hits = score_hits_.load(std::memory_order_relaxed);
+  s.score_misses = score_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t ArtifactCache::num_searchers() const {
+  std::lock_guard<std::mutex> lock(searcher_mutex_);
+  return searchers_.size();
+}
+
+std::size_t ArtifactCache::num_knn_tables() const {
+  std::lock_guard<std::mutex> lock(knn_mutex_);
+  return knn_tables_.size();
+}
+
+std::size_t ArtifactCache::num_score_vectors() const {
+  std::lock_guard<std::mutex> lock(score_mutex_);
+  return scores_.size();
+}
+
+void PreparedDataset::EnsureRankArtifacts() const {
+  std::call_once(rank_artifacts_once_, [this] {
+    index_ = std::make_unique<SortedAttributeIndex>(dataset_, build_threads_);
+    const std::size_t d = dataset_.num_attributes();
+    sorted_columns_.reserve(d);
+    marginal_means_.reserve(d);
+    marginal_variances_.reserve(d);
+    for (std::size_t a = 0; a < d; ++a) {
+      const std::vector<double>& column = dataset_.Column(a);
+      std::vector<double> sorted;
+      sorted.reserve(column.size());
+      for (std::size_t id : index_->SortedOrder(a)) {
+        sorted.push_back(column[id]);
+      }
+      // Moments over the *sorted* column, matching the summation order the
+      // materializing oracle kernel uses per iteration (DESIGN.md §5d).
+      marginal_means_.push_back(stats::Mean(sorted));
+      marginal_variances_.push_back(stats::SampleVariance(sorted));
+      sorted_columns_.push_back(std::move(sorted));
+    }
+  });
+}
+
+const SortedAttributeIndex& PreparedDataset::sorted_index() const {
+  EnsureRankArtifacts();
+  return *index_;
+}
+
+std::span<const double> PreparedDataset::SortedColumn(
+    std::size_t attribute) const {
+  EnsureRankArtifacts();
+  HICS_DCHECK(attribute < sorted_columns_.size());
+  return sorted_columns_[attribute];
+}
+
+double PreparedDataset::MarginalMean(std::size_t attribute) const {
+  EnsureRankArtifacts();
+  HICS_DCHECK(attribute < marginal_means_.size());
+  return marginal_means_[attribute];
+}
+
+double PreparedDataset::MarginalVariance(std::size_t attribute) const {
+  EnsureRankArtifacts();
+  HICS_DCHECK(attribute < marginal_variances_.size());
+  return marginal_variances_[attribute];
+}
+
+}  // namespace hics

@@ -1,0 +1,225 @@
+#ifndef HICS_ENGINE_PREPARED_DATASET_H_
+#define HICS_ENGINE_PREPARED_DATASET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/subspace.h"
+#include "index/neighbor_searcher.h"
+#include "index/sorted_index.h"
+
+namespace hics {
+
+/// Hit/miss tallies of one ArtifactCache, per artifact kind. Snapshot
+/// semantics: stats() copies the atomic counters, so the numbers are
+/// consistent enough for reports but not a synchronization point.
+struct ArtifactCacheStats {
+  std::uint64_t searcher_hits = 0;
+  std::uint64_t searcher_misses = 0;
+  std::uint64_t knn_table_hits = 0;
+  std::uint64_t knn_table_misses = 0;
+  std::uint64_t score_hits = 0;
+  std::uint64_t score_misses = 0;
+
+  std::uint64_t hits() const {
+    return searcher_hits + knn_table_hits + score_hits;
+  }
+  std::uint64_t misses() const {
+    return searcher_misses + knn_table_misses + score_misses;
+  }
+  /// Overall hit fraction in [0, 1]; 0 when the cache was never queried.
+  double hit_rate() const {
+    const std::uint64_t total = hits() + misses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits()) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Thread-safe, subspace-keyed memoization of the derived artifacts the
+/// ranking stage rebuilds per call today: projected NeighborSearchers
+/// (SoA conversion + KD-tree build), batched all-kNN tables, and whole
+/// per-subspace score vectors.
+///
+/// Correctness rests on the repo-wide bit-identity discipline (DESIGN.md
+/// §5b-§5d): every producer of a cached artifact is deterministic in its
+/// key — backends return bit-identical neighbor tables for any thread
+/// count, scorers return bit-identical score vectors for any backend /
+/// batching / threading choice — so a cache hit is byte-for-byte the
+/// value a cold computation would have produced. Keys therefore exclude
+/// performance knobs (threads, batching) and include only what selects
+/// the value: the subspace, the backend (searchers are distinct objects
+/// per backend even though their answers agree), the row capacity k, and
+/// the scorer's semantic cache key.
+///
+/// Concurrency: lookups and inserts are mutex-protected per artifact
+/// kind; builds run *outside* the lock, so two workers missing the same
+/// key may both build — the first insert wins and both callers observe
+/// the same canonical entry (identical bits either way). A failed or
+/// partial computation must never be inserted; see
+/// OutlierScorer::ScoreSubspacePreparedChecked for the enforcement on
+/// the scoring path.
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(const Dataset& dataset) : dataset_(dataset) {}
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// The memoized searcher for (subspace, backend), built through
+  /// MakeSearcher on first use. `backend` must not be kAuto — resolve
+  /// policy first (ChooseKnnBackend) so the key is concrete.
+  std::shared_ptr<const NeighborSearcher> GetSearcher(const Subspace& subspace,
+                                                      KnnBackend backend);
+
+  /// The memoized all-kNN table for (subspace, k): row q holds the k
+  /// nearest neighbors of object q. Built on first use from the
+  /// (subspace, backend) searcher; keyed without the backend because all
+  /// backends return element-identical tables. `num_threads` and
+  /// `use_batch_kernel` only shape how a miss is computed, never the
+  /// result.
+  std::shared_ptr<const KnnResultTable> GetKnnTable(const Subspace& subspace,
+                                                    KnnBackend backend,
+                                                    std::size_t k,
+                                                    std::size_t num_threads,
+                                                    bool use_batch_kernel);
+
+  /// The cached score vector for (scorer_key, subspace), or nullptr on a
+  /// miss. `scorer_key` must encode every score-affecting parameter of
+  /// the scorer (OutlierScorer::cache_key); an empty key is invalid.
+  std::shared_ptr<const std::vector<double>> FindScores(
+      const std::string& scorer_key, const Subspace& subspace);
+
+  /// Publishes a successfully computed, validated score vector. First
+  /// insert wins; returns the canonical entry (the racing duplicate is
+  /// bit-identical by the determinism discipline, so either is correct).
+  std::shared_ptr<const std::vector<double>> InsertScores(
+      const std::string& scorer_key, const Subspace& subspace,
+      std::vector<double> scores);
+
+  ArtifactCacheStats stats() const;
+
+  std::size_t num_searchers() const;
+  std::size_t num_knn_tables() const;
+  std::size_t num_score_vectors() const;
+
+ private:
+  using SearcherKey = std::pair<int, Subspace>;
+  using KnnKey = std::pair<std::size_t, Subspace>;
+  using ScoreKey = std::pair<std::string, Subspace>;
+
+  const Dataset& dataset_;
+
+  mutable std::mutex searcher_mutex_;
+  std::map<SearcherKey, std::shared_ptr<const NeighborSearcher>> searchers_;
+
+  mutable std::mutex knn_mutex_;
+  std::map<KnnKey, std::shared_ptr<const KnnResultTable>> knn_tables_;
+
+  mutable std::mutex score_mutex_;
+  std::map<ScoreKey, std::shared_ptr<const std::vector<double>>> scores_;
+
+  mutable std::atomic<std::uint64_t> searcher_hits_{0};
+  mutable std::atomic<std::uint64_t> searcher_misses_{0};
+  mutable std::atomic<std::uint64_t> knn_hits_{0};
+  mutable std::atomic<std::uint64_t> knn_misses_{0};
+  mutable std::atomic<std::uint64_t> score_hits_{0};
+  mutable std::atomic<std::uint64_t> score_misses_{0};
+};
+
+/// One immutable prepared artifact per dataset: the shared derived state
+/// that the decoupled pipeline's layers used to re-derive independently
+/// per call — the per-attribute sorted order + ranks (the
+/// SortedAttributeIndex that RunHicsSearch and ComputeContrastMatrix each
+/// rebuilt), the pre-sorted columns and marginal moments the contrast
+/// kernels consume, and the subspace-keyed ArtifactCache the ranking
+/// stage draws searchers / kNN tables / score vectors from.
+///
+/// The dataset itself is the dimension-major SoA point store (Dataset is
+/// column-major; ColumnSpan exposes the contiguous per-attribute arrays
+/// the kNN kernels project from), so PreparedDataset references it
+/// instead of copying: `dataset` must outlive the PreparedDataset and
+/// must not be mutated while prepared state exists — the sorted order,
+/// moments, and every cached artifact describe the values at build time,
+/// and the only invalidation rule is "new data, new PreparedDataset".
+///
+/// The rank-space artifacts (index, sorted columns, moments) are built
+/// lazily on first use under std::call_once, so ranking-only consumers
+/// pay nothing for them; `build_threads` caps the parallelism of that
+/// one-time build (the built index is identical for any value). All
+/// accessors are const and thread-safe; the embedded cache is logically
+/// part of the immutable artifact (memoization, not mutation), hence
+/// reachable through const access.
+class PreparedDataset {
+ public:
+  explicit PreparedDataset(const Dataset& dataset,
+                           std::size_t build_threads = 1)
+      : dataset_(dataset), build_threads_(build_threads), cache_(dataset) {}
+
+  PreparedDataset(const PreparedDataset&) = delete;
+  PreparedDataset& operator=(const PreparedDataset&) = delete;
+
+  /// Shared-ownership convenience for serving contexts that hand one
+  /// prepared artifact to many concurrent request handlers.
+  static std::shared_ptr<const PreparedDataset> Build(
+      const Dataset& dataset, std::size_t build_threads = 1) {
+    return std::make_shared<const PreparedDataset>(dataset, build_threads);
+  }
+
+  const Dataset& dataset() const { return dataset_; }
+  std::size_t num_objects() const { return dataset_.num_objects(); }
+  std::size_t num_attributes() const { return dataset_.num_attributes(); }
+
+  /// The contiguous per-attribute value array (the SoA store the kNN
+  /// kernels project subspaces out of).
+  std::span<const double> ColumnSpan(std::size_t attribute) const {
+    return dataset_.Column(attribute);
+  }
+
+  /// Per-attribute sorted order + ranks (paper §IV-A). Built once on
+  /// first call; subsumes the SortedAttributeIndex that search and
+  /// contrast-matrix used to construct independently.
+  const SortedAttributeIndex& sorted_index() const;
+
+  /// Attribute `a`'s values sorted ascending — the marginal sample the
+  /// deviation functions compare against. Element `pos` equals
+  /// Column(a)[sorted_index().SortedOrder(a)[pos]] bit for bit.
+  std::span<const double> SortedColumn(std::size_t attribute) const;
+
+  /// Mean / SampleVariance of SortedColumn(attribute), accumulated in the
+  /// exact summation order the materializing oracle uses, so the fused
+  /// Welch kernel reproduces it bitwise.
+  double MarginalMean(std::size_t attribute) const;
+  double MarginalVariance(std::size_t attribute) const;
+
+  /// The subspace-keyed artifact cache. Const-accessible by design: the
+  /// cache memoizes pure derivations of the immutable dataset.
+  ArtifactCache& cache() const { return cache_; }
+
+ private:
+  void EnsureRankArtifacts() const;
+
+  const Dataset& dataset_;
+  std::size_t build_threads_;
+
+  mutable std::once_flag rank_artifacts_once_;
+  mutable std::unique_ptr<SortedAttributeIndex> index_;
+  mutable std::vector<std::vector<double>> sorted_columns_;
+  mutable std::vector<double> marginal_means_;
+  mutable std::vector<double> marginal_variances_;
+
+  mutable ArtifactCache cache_;
+};
+
+}  // namespace hics
+
+#endif  // HICS_ENGINE_PREPARED_DATASET_H_

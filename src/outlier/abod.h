@@ -32,6 +32,11 @@ class AbodScorer : public OutlierScorer {
 
   std::string name() const override { return "abod"; }
 
+  /// k is the only score-affecting parameter.
+  std::string cache_key() const override {
+    return "abod:k=" + std::to_string(params_.k);
+  }
+
  private:
   AbodParams params_;
 };

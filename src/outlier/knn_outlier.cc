@@ -1,20 +1,17 @@
 #include "outlier/knn_outlier.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "index/neighbor_searcher.h"
 
 namespace hics {
 
-std::vector<double> KnnDistanceScorer::ScoreSubspace(
-    const Dataset& dataset, const Subspace& subspace) const {
-  const std::size_t n = dataset.num_objects();
+namespace {
+
+std::vector<double> KthDistanceFromTable(const KnnResultTable& table,
+                                         std::size_t n) {
   std::vector<double> scores(n, 0.0);
-  if (n < 2) return scores;
-  const std::size_t k = std::min(k_, n - 1);
-  const auto searcher = MakeBruteForceSearcher(dataset, subspace);
-  KnnResultTable table;
-  searcher->QueryAllKnn(k, &table, num_threads_);
   for (std::size_t i = 0; i < n; ++i) {
     const auto row = table.Row(i);
     scores[i] = row.empty() ? 0.0 : row.back().distance;
@@ -22,15 +19,9 @@ std::vector<double> KnnDistanceScorer::ScoreSubspace(
   return scores;
 }
 
-std::vector<double> KnnAverageScorer::ScoreSubspace(
-    const Dataset& dataset, const Subspace& subspace) const {
-  const std::size_t n = dataset.num_objects();
+std::vector<double> MeanDistanceFromTable(const KnnResultTable& table,
+                                          std::size_t n) {
   std::vector<double> scores(n, 0.0);
-  if (n < 2) return scores;
-  const std::size_t k = std::min(k_, n - 1);
-  const auto searcher = MakeBruteForceSearcher(dataset, subspace);
-  KnnResultTable table;
-  searcher->QueryAllKnn(k, &table, num_threads_);
   for (std::size_t i = 0; i < n; ++i) {
     const auto row = table.Row(i);
     if (row.empty()) continue;
@@ -39,6 +30,52 @@ std::vector<double> KnnAverageScorer::ScoreSubspace(
     scores[i] = sum / static_cast<double>(row.size());
   }
   return scores;
+}
+
+}  // namespace
+
+std::vector<double> KnnDistanceScorer::ScoreSubspace(
+    const Dataset& dataset, const Subspace& subspace) const {
+  const std::size_t n = dataset.num_objects();
+  if (n < 2) return std::vector<double>(n, 0.0);
+  const std::size_t k = std::min(k_, n - 1);
+  const auto searcher = MakeBruteForceSearcher(dataset, subspace);
+  KnnResultTable table;
+  searcher->QueryAllKnn(k, &table, num_threads_);
+  return KthDistanceFromTable(table, n);
+}
+
+std::vector<double> KnnDistanceScorer::ScoreSubspacePrepared(
+    const PreparedDataset& prepared, const Subspace& subspace) const {
+  const std::size_t n = prepared.num_objects();
+  if (n < 2) return std::vector<double>(n, 0.0);
+  const std::size_t k = std::min(k_, n - 1);
+  const std::shared_ptr<const KnnResultTable> table =
+      prepared.cache().GetKnnTable(subspace, KnnBackend::kBruteForce, k,
+                                   num_threads_, /*use_batch_kernel=*/true);
+  return KthDistanceFromTable(*table, n);
+}
+
+std::vector<double> KnnAverageScorer::ScoreSubspace(
+    const Dataset& dataset, const Subspace& subspace) const {
+  const std::size_t n = dataset.num_objects();
+  if (n < 2) return std::vector<double>(n, 0.0);
+  const std::size_t k = std::min(k_, n - 1);
+  const auto searcher = MakeBruteForceSearcher(dataset, subspace);
+  KnnResultTable table;
+  searcher->QueryAllKnn(k, &table, num_threads_);
+  return MeanDistanceFromTable(table, n);
+}
+
+std::vector<double> KnnAverageScorer::ScoreSubspacePrepared(
+    const PreparedDataset& prepared, const Subspace& subspace) const {
+  const std::size_t n = prepared.num_objects();
+  if (n < 2) return std::vector<double>(n, 0.0);
+  const std::size_t k = std::min(k_, n - 1);
+  const std::shared_ptr<const KnnResultTable> table =
+      prepared.cache().GetKnnTable(subspace, KnnBackend::kBruteForce, k,
+                                   num_threads_, /*use_batch_kernel=*/true);
+  return MeanDistanceFromTable(*table, n);
 }
 
 }  // namespace hics

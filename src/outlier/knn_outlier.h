@@ -23,7 +23,17 @@ class KnnDistanceScorer : public OutlierScorer {
   std::vector<double> ScoreSubspace(const Dataset& dataset,
                                     const Subspace& subspace) const override;
 
+  /// Prepared path: the n*k neighborhood table comes from the artifact
+  /// cache (shared with LOF when both use the same k in one subspace).
+  std::vector<double> ScoreSubspacePrepared(
+      const PreparedDataset& prepared, const Subspace& subspace) const override;
+
   std::string name() const override { return "knn-dist"; }
+
+  /// k is the only score-affecting parameter.
+  std::string cache_key() const override {
+    return "knn-dist:k=" + std::to_string(k_);
+  }
 
  private:
   std::size_t k_;
@@ -41,7 +51,16 @@ class KnnAverageScorer : public OutlierScorer {
   std::vector<double> ScoreSubspace(const Dataset& dataset,
                                     const Subspace& subspace) const override;
 
+  /// Prepared path: neighborhood table from the artifact cache.
+  std::vector<double> ScoreSubspacePrepared(
+      const PreparedDataset& prepared, const Subspace& subspace) const override;
+
   std::string name() const override { return "knn-avg"; }
+
+  /// k is the only score-affecting parameter.
+  std::string cache_key() const override {
+    return "knn-avg:k=" + std::to_string(k_);
+  }
 
  private:
   std::size_t k_;

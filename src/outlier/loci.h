@@ -38,6 +38,13 @@ class LociScorer : public OutlierScorer {
 
   std::string name() const override { return "loci"; }
 
+  /// Both parameters shape the radius schedule / MDEF gating, so both are
+  /// part of the score identity.
+  std::string cache_key() const override {
+    return "loci:radii=" + std::to_string(params_.num_radii) +
+           ":minnbrs=" + std::to_string(params_.min_neighbors);
+  }
+
  private:
   LociParams params_;
 };

@@ -13,8 +13,7 @@ namespace hics {
 std::vector<double> LofScorer::ScoreSubspace(const Dataset& dataset,
                                              const Subspace& subspace) const {
   const std::size_t n = dataset.num_objects();
-  std::vector<double> scores(n, 1.0);
-  if (n == 0) return scores;
+  if (n == 0) return {};
   const std::size_t k = std::min(params_.min_pts, n > 1 ? n - 1 : 1);
 
   const KnnBackend backend =
@@ -38,6 +37,34 @@ std::vector<double> LofScorer::ScoreSubspace(const Dataset& dataset,
   } else {
     searcher->QueryAllKnnPerQuery(k, &table, num_threads);
   }
+  return ScoreFromTable(table, n, num_threads);
+}
+
+std::vector<double> LofScorer::ScoreSubspacePrepared(
+    const PreparedDataset& prepared, const Subspace& subspace) const {
+  const std::size_t n = prepared.num_objects();
+  if (n == 0) return {};
+  const std::size_t k = std::min(params_.min_pts, n > 1 ? n - 1 : 1);
+  const KnnBackend backend =
+      params_.backend == KnnBackend::kAuto
+          ? ChooseKnnBackend(n, subspace.size())
+          : params_.backend;
+  const std::size_t num_threads = params_.num_threads == 0
+                                      ? DefaultNumThreads()
+                                      : params_.num_threads;
+  // Pass 1 comes from the artifact cache: the projected searcher and the
+  // n*k table are built once per (k, subspace) and shared with every other
+  // consumer of this PreparedDataset.
+  const std::shared_ptr<const KnnResultTable> table =
+      prepared.cache().GetKnnTable(subspace, backend, k, num_threads,
+                                   params_.use_batch_knn);
+  return ScoreFromTable(*table, n, num_threads);
+}
+
+std::vector<double> LofScorer::ScoreFromTable(const KnnResultTable& table,
+                                              std::size_t n,
+                                              std::size_t num_threads) const {
+  std::vector<double> scores(n, 1.0);
   std::vector<double> k_distance(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto row = table.Row(i);

@@ -44,11 +44,31 @@ class LofScorer : public OutlierScorer {
   std::vector<double> ScoreSubspace(const Dataset& dataset,
                                     const Subspace& subspace) const override;
 
+  /// Prepared path: draws the projected searcher and the n*k neighborhood
+  /// table from `prepared`'s artifact cache (building and publishing them
+  /// on first use), then runs the same pass-2/3 density math as the cold
+  /// path. Bit-identical to ScoreSubspace for every backend/thread count.
+  std::vector<double> ScoreSubspacePrepared(
+      const PreparedDataset& prepared, const Subspace& subspace) const override;
+
   std::string name() const override { return "lof"; }
+
+  /// MinPts is the only score-affecting parameter; backend, threads and
+  /// batching are perf knobs pinned bit-identical by the kNN engine tests.
+  std::string cache_key() const override {
+    return "lof:minpts=" + std::to_string(params_.min_pts);
+  }
 
   const LofParams& params() const { return params_; }
 
  private:
+  /// Passes 2-3 (lrd + LOF ratio) over an already-computed neighborhood
+  /// table; shared verbatim by the cold and prepared paths so they cannot
+  /// drift.
+  std::vector<double> ScoreFromTable(const KnnResultTable& table,
+                                     std::size_t n,
+                                     std::size_t num_threads) const;
+
   LofParams params_;
 };
 

@@ -1,0 +1,111 @@
+#include "outlier/outlier_scorer.h"
+
+#include <cmath>
+#include <utility>
+
+namespace hics {
+
+namespace {
+
+/// Validates one scorer output: right size, every value finite. Reports
+/// *all* non-finite indices (capped) instead of only the first, so one
+/// degraded-run diagnostic names the whole blast radius of a bad
+/// subspace.
+Status ValidateScoreVector(const std::string& scorer_name,
+                           const std::vector<double>& scores,
+                           std::size_t num_objects,
+                           const Subspace& subspace) {
+  if (scores.size() != num_objects) {
+    return Status::Internal(
+        "scorer '" + scorer_name + "' returned " +
+        std::to_string(scores.size()) + " scores for " +
+        std::to_string(num_objects) + " objects in subspace " +
+        subspace.ToString());
+  }
+  // Cap the listed indices: diagnostics must name the blast radius, not
+  // serialize a million-object vector into one error string.
+  constexpr std::size_t kMaxReportedIndices = 8;
+  std::size_t bad_count = 0;
+  std::string indices;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (std::isfinite(scores[i])) continue;
+    ++bad_count;
+    if (bad_count <= kMaxReportedIndices) {
+      if (!indices.empty()) indices += ", ";
+      indices += std::to_string(i);
+    }
+  }
+  if (bad_count == 0) return Status::OK();
+  std::string message = "scorer '" + scorer_name + "' produced " +
+                        std::to_string(bad_count) +
+                        " non-finite score(s) out of " +
+                        std::to_string(scores.size()) + " for object(s) " +
+                        indices;
+  if (bad_count > kMaxReportedIndices) {
+    message += ", ... (+" +
+               std::to_string(bad_count - kMaxReportedIndices) + " more)";
+  }
+  message += " in subspace " + subspace.ToString();
+  return Status::DataLoss(message);
+}
+
+bool AllFinite(const std::vector<double>& scores) {
+  for (double v : scores) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<double>> OutlierScorer::ScoreSubspaceChecked(
+    const Dataset& dataset, const Subspace& subspace, const RunContext& ctx,
+    std::uint64_t fault_ordinal) const {
+  HICS_RETURN_NOT_OK(ctx.CheckProgress());
+  HICS_RETURN_NOT_OK(ctx.InjectFault("scorer." + name(), fault_ordinal));
+  std::vector<double> scores = ScoreSubspace(dataset, subspace);
+  HICS_RETURN_NOT_OK(ValidateScoreVector(name(), scores,
+                                         dataset.num_objects(), subspace));
+  return scores;
+}
+
+Result<std::vector<double>> OutlierScorer::ScoreSubspacePreparedChecked(
+    const PreparedDataset& prepared, const Subspace& subspace,
+    const RunContext& ctx, std::uint64_t fault_ordinal) const {
+  // Checkpoint and fault probe BEFORE the cache: a warm run must observe
+  // the exact fault placement of a cold run, and a fault-skipped subspace
+  // must not be served from (or admitted to) the cache.
+  HICS_RETURN_NOT_OK(ctx.CheckProgress());
+  HICS_RETURN_NOT_OK(ctx.InjectFault("scorer." + name(), fault_ordinal));
+  const std::string key = cache_key();
+  if (!key.empty()) {
+    if (auto hit = prepared.cache().FindScores(key, subspace)) {
+      return std::vector<double>(*hit);
+    }
+  }
+  std::vector<double> scores = ScoreSubspacePrepared(prepared, subspace);
+  HICS_RETURN_NOT_OK(ValidateScoreVector(name(), scores,
+                                         prepared.num_objects(), subspace));
+  if (!key.empty()) {
+    prepared.cache().InsertScores(key, subspace, scores);
+  }
+  return scores;
+}
+
+std::vector<double> OutlierScorer::ScoreSubspaceCached(
+    const PreparedDataset& prepared, const Subspace& subspace) const {
+  const std::string key = cache_key();
+  if (key.empty()) return ScoreSubspacePrepared(prepared, subspace);
+  if (auto hit = prepared.cache().FindScores(key, subspace)) {
+    return std::vector<double>(*hit);
+  }
+  std::vector<double> scores = ScoreSubspacePrepared(prepared, subspace);
+  // Same admission rule as the checked path: only finite, right-sized
+  // vectors enter the cache, so a later degraded run can trust any hit.
+  if (scores.size() == prepared.num_objects() && AllFinite(scores)) {
+    prepared.cache().InsertScores(key, subspace, scores);
+  }
+  return scores;
+}
+
+}  // namespace hics

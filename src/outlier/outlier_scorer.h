@@ -1,7 +1,6 @@
 #ifndef HICS_OUTLIER_OUTLIER_SCORER_H_
 #define HICS_OUTLIER_OUTLIER_SCORER_H_
 
-#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "common/run_context.h"
 #include "common/status.h"
 #include "common/subspace.h"
+#include "engine/prepared_dataset.h"
 
 namespace hics {
 
@@ -21,6 +21,14 @@ namespace hics {
 /// interface ranks objects within them. The paper instantiates it with LOF
 /// and names ORCA/OUTRES as future alternatives; this library ships LOF plus
 /// two kNN-based scores to demonstrate the pluggability.
+///
+/// Two entry-point families:
+///  - the (Dataset, Subspace) pair is the self-contained cold path;
+///  - the (PreparedDataset, Subspace) pair draws shared derived state
+///    (projected searchers, kNN tables, memoized score vectors) from the
+///    prepared artifact, amortizing repeated scoring of one dataset. Both
+///    families return bit-identical scores; the prepared path only trades
+///    wall clock.
 class OutlierScorer {
  public:
   virtual ~OutlierScorer() = default;
@@ -29,6 +37,16 @@ class OutlierScorer {
   /// `subspace`. Returns a vector of size dataset.num_objects().
   virtual std::vector<double> ScoreSubspace(const Dataset& dataset,
                                             const Subspace& subspace) const = 0;
+
+  /// Prepared-path scoring: same contract and bit-identical result as
+  /// ScoreSubspace, but derived state may come from `prepared`'s artifact
+  /// cache instead of being rebuilt. The default adapter simply scores the
+  /// prepared dataset's column store; searcher-based scorers override it
+  /// to reuse cached searchers / kNN tables.
+  virtual std::vector<double> ScoreSubspacePrepared(
+      const PreparedDataset& prepared, const Subspace& subspace) const {
+    return ScoreSubspace(prepared.dataset(), subspace);
+  }
 
   /// Scores in the full data space.
   std::vector<double> ScoreFullSpace(const Dataset& dataset) const {
@@ -39,7 +57,7 @@ class OutlierScorer {
   /// the context (cancellation/deadline checked up front), exposes the
   /// fault-injection site "scorer.<name>", and validates the output — a
   /// wrong-sized or non-finite score vector becomes a Status error naming
-  /// the offending object instead of silently poisoning the aggregate.
+  /// the offending objects instead of silently poisoning the aggregate.
   /// Scorer implementations may override to add internal checkpoints.
   ///
   /// `fault_ordinal`, when non-zero, is this call's 1-based position in
@@ -48,26 +66,40 @@ class OutlierScorer {
   /// is deterministic under parallel ranking. 0 counts by arrival order.
   virtual Result<std::vector<double>> ScoreSubspaceChecked(
       const Dataset& dataset, const Subspace& subspace, const RunContext& ctx,
-      std::uint64_t fault_ordinal = 0) const {
-    HICS_RETURN_NOT_OK(ctx.CheckProgress());
-    HICS_RETURN_NOT_OK(ctx.InjectFault("scorer." + name(), fault_ordinal));
-    std::vector<double> scores = ScoreSubspace(dataset, subspace);
-    if (scores.size() != dataset.num_objects()) {
-      return Status::Internal(
-          "scorer '" + name() + "' returned " +
-          std::to_string(scores.size()) + " scores for " +
-          std::to_string(dataset.num_objects()) + " objects in subspace " +
-          subspace.ToString());
-    }
-    for (std::size_t i = 0; i < scores.size(); ++i) {
-      if (!std::isfinite(scores[i])) {
-        return Status::DataLoss(
-            "scorer '" + name() + "' produced a non-finite score for object " +
-            std::to_string(i) + " in subspace " + subspace.ToString());
-      }
-    }
-    return scores;
-  }
+      std::uint64_t fault_ordinal = 0) const;
+
+  /// Prepared, fallible, *memoizing* entry point — what the prepared
+  /// ranking paths call per subspace. Order of operations is part of the
+  /// bit-identity contract with the cold path:
+  ///  1. context checkpoint, then the "scorer.<name>" fault probe — both
+  ///     happen *before* any cache access, so an injected fault fires on
+  ///     the same ordinal whether the cache is cold or warm;
+  ///  2. cache lookup under cache_key() (skipped for scorers that opt out
+  ///     with an empty key); a hit returns the memoized vector;
+  ///  3. on a miss, ScoreSubspacePrepared computes, the result is
+  ///     validated, and only a *valid* result is published to the cache —
+  ///     a failed or skipped subspace never populates (or poisons) it.
+  Result<std::vector<double>> ScoreSubspacePreparedChecked(
+      const PreparedDataset& prepared, const Subspace& subspace,
+      const RunContext& ctx, std::uint64_t fault_ordinal = 0) const;
+
+  /// Infallible memoizing variant for the non-degraded prepared ranking
+  /// path: cache lookup, compute on miss, publish only finite
+  /// right-sized results (the same validity rule the checked path
+  /// enforces, so the two paths can never observe different cache
+  /// contents for one key).
+  std::vector<double> ScoreSubspaceCached(const PreparedDataset& prepared,
+                                          const Subspace& subspace) const;
+
+  /// Semantic identity of this scorer for the per-subspace score cache:
+  /// two scorer instances with equal cache_key() must produce bit-identical
+  /// ScoreSubspace output on every (dataset, subspace). The key must
+  /// therefore encode every score-affecting parameter (k, bandwidths, ...)
+  /// and must exclude pure performance knobs (threads, backend, batching),
+  /// which by the library's determinism discipline never change scores.
+  /// Returning "" (the default) opts the scorer out of score caching —
+  /// the safe choice for scorers whose parameters are not represented.
+  virtual std::string cache_key() const { return ""; }
 
   /// Short identifier, e.g. "lof".
   virtual std::string name() const = 0;

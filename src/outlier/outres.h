@@ -42,6 +42,13 @@ class OutresScorer : public OutlierScorer {
 
   std::string name() const override { return "outres"; }
 
+  /// Both real-valued parameters affect scores; std::to_string's fixed
+  /// six-decimal rendering is enough to tell configured values apart.
+  std::string cache_key() const override {
+    return "outres:h=" + std::to_string(params_.base_bandwidth) +
+           ":dev=" + std::to_string(params_.deviation_factor);
+  }
+
   /// Dimensionality-adaptive bandwidth: h(d) = base * d^(1/2) scaled by
   /// the optimal-rate factor OUTRES derives from Silverman's rule
   /// (exposed for testing).

@@ -91,15 +91,45 @@ std::vector<double> RankWithSubspaces(
   return RankWithSubspaces(dataset, plain, scorer, aggregation, num_threads);
 }
 
+std::vector<double> RankWithSubspaces(const PreparedDataset& prepared,
+                                      const std::vector<Subspace>& subspaces,
+                                      const OutlierScorer& scorer,
+                                      ScoreAggregation aggregation,
+                                      std::size_t num_threads) {
+  if (subspaces.empty()) {
+    return scorer.ScoreSubspaceCached(prepared,
+                                      prepared.dataset().FullSpace());
+  }
+  std::vector<std::vector<double>> per_subspace(subspaces.size());
+  ParallelFor(0, subspaces.size(), num_threads, [&](std::size_t i) {
+    per_subspace[i] = scorer.ScoreSubspaceCached(prepared, subspaces[i]);
+  });
+  return AggregateScores(per_subspace, aggregation);
+}
+
+std::vector<double> RankWithSubspaces(
+    const PreparedDataset& prepared,
+    const std::vector<ScoredSubspace>& subspaces, const OutlierScorer& scorer,
+    ScoreAggregation aggregation, std::size_t num_threads) {
+  std::vector<Subspace> plain;
+  plain.reserve(subspaces.size());
+  for (const ScoredSubspace& s : subspaces) plain.push_back(s.subspace);
+  return RankWithSubspaces(prepared, plain, scorer, aggregation, num_threads);
+}
+
 namespace {
 
-/// Serial degraded ranking: subspaces are attempted strictly in order and
-/// an interruption stops before the next one starts.
-DegradedRankingResult RankDegradedSerial(const Dataset& dataset,
-                                         const std::vector<Subspace>& subspaces,
-                                         const OutlierScorer& scorer,
+/// Serial degraded ranking over any per-subspace scoring callable
+/// `score(subspace, ordinal) -> Result<vector<double>>`: subspaces are
+/// attempted strictly in order and an interruption stops before the next
+/// one starts. The Dataset and PreparedDataset entry points share this
+/// (and the parallel twin below) so their degraded semantics cannot
+/// drift.
+template <typename ScoreFn>
+DegradedRankingResult RankDegradedSerial(const std::vector<Subspace>& subspaces,
                                          ScoreAggregation aggregation,
-                                         const RunContext& ctx) {
+                                         const RunContext& ctx,
+                                         const ScoreFn& score) {
   DegradedRankingResult result;
   std::vector<std::vector<double>> per_subspace;
   per_subspace.reserve(subspaces.size());
@@ -113,8 +143,7 @@ DegradedRankingResult RankDegradedSerial(const Dataset& dataset,
       break;
     }
     ++result.attempted;
-    Result<std::vector<double>> scores =
-        scorer.ScoreSubspaceChecked(dataset, subspace, ctx, i + 1);
+    Result<std::vector<double>> scores = score(subspace, i + 1);
     if (scores.ok()) {
       ++result.succeeded;
       per_subspace.push_back(std::move(scores).ValueOrDie());
@@ -139,10 +168,10 @@ DegradedRankingResult RankDegradedSerial(const Dataset& dataset,
 /// slots and are assembled in subspace order, so healthy runs match the
 /// serial path bit for bit (each scorer call carries its subspace index as
 /// the fault ordinal, pinning injected faults to the same subspaces).
+template <typename ScoreFn>
 DegradedRankingResult RankDegradedParallel(
-    const Dataset& dataset, const std::vector<Subspace>& subspaces,
-    const OutlierScorer& scorer, ScoreAggregation aggregation,
-    const RunContext& ctx, std::size_t num_threads) {
+    const std::vector<Subspace>& subspaces, ScoreAggregation aggregation,
+    const RunContext& ctx, std::size_t num_threads, const ScoreFn& score) {
   enum class SlotState : char { kPending, kOk, kFailed };
   DegradedRankingResult result;
   std::vector<SlotState> state(subspaces.size(), SlotState::kPending);
@@ -155,8 +184,7 @@ DegradedRankingResult RankDegradedParallel(
       [&](std::size_t i) -> Status {
         HICS_RETURN_NOT_OK(ctx.CheckProgress());
         attempted.fetch_add(1, std::memory_order_relaxed);
-        Result<std::vector<double>> scores =
-            scorer.ScoreSubspaceChecked(dataset, subspaces[i], ctx, i + 1);
+        Result<std::vector<double>> scores = score(subspaces[i], i + 1);
         if (scores.ok()) {
           slot_scores[i] = std::move(scores).ValueOrDie();
           state[i] = SlotState::kOk;
@@ -208,17 +236,41 @@ DegradedRankingResult RankDegradedParallel(
   return result;
 }
 
+template <typename ScoreFn>
+DegradedRankingResult RankDegraded(const std::vector<Subspace>& subspaces,
+                                   ScoreAggregation aggregation,
+                                   const RunContext& ctx,
+                                   std::size_t num_threads,
+                                   const ScoreFn& score) {
+  if (ParallelWorkerCount(subspaces.size(), num_threads) <= 1) {
+    return RankDegradedSerial(subspaces, aggregation, ctx, score);
+  }
+  return RankDegradedParallel(subspaces, aggregation, ctx, num_threads, score);
+}
+
 }  // namespace
 
 DegradedRankingResult RankWithSubspacesDegraded(
     const Dataset& dataset, const std::vector<Subspace>& subspaces,
     const OutlierScorer& scorer, ScoreAggregation aggregation,
     const RunContext& ctx, std::size_t num_threads) {
-  if (ParallelWorkerCount(subspaces.size(), num_threads) <= 1) {
-    return RankDegradedSerial(dataset, subspaces, scorer, aggregation, ctx);
-  }
-  return RankDegradedParallel(dataset, subspaces, scorer, aggregation, ctx,
-                              num_threads);
+  return RankDegraded(
+      subspaces, aggregation, ctx, num_threads,
+      [&](const Subspace& subspace, std::size_t ordinal) {
+        return scorer.ScoreSubspaceChecked(dataset, subspace, ctx, ordinal);
+      });
+}
+
+DegradedRankingResult RankWithSubspacesDegraded(
+    const PreparedDataset& prepared, const std::vector<Subspace>& subspaces,
+    const OutlierScorer& scorer, ScoreAggregation aggregation,
+    const RunContext& ctx, std::size_t num_threads) {
+  return RankDegraded(
+      subspaces, aggregation, ctx, num_threads,
+      [&](const Subspace& subspace, std::size_t ordinal) {
+        return scorer.ScoreSubspacePreparedChecked(prepared, subspace, ctx,
+                                                   ordinal);
+      });
 }
 
 }  // namespace hics

@@ -7,6 +7,7 @@
 #include "common/run_context.h"
 #include "common/status.h"
 #include "common/subspace.h"
+#include "engine/prepared_dataset.h"
 #include "index/neighbor_searcher.h"
 #include "outlier/outlier_scorer.h"
 
@@ -66,6 +67,27 @@ std::vector<double> RankWithSubspaces(
     ScoreAggregation aggregation = ScoreAggregation::kAverage,
     std::size_t num_threads = 1);
 
+/// Prepared-path ranking: scores each subspace through
+/// OutlierScorer::ScoreSubspaceCached, so projected searchers, kNN tables
+/// and whole score vectors are drawn from (and published to) `prepared`'s
+/// artifact cache. A warm cache turns repeated rankings of one dataset —
+/// the serving pattern — into cache lookups plus one aggregation pass.
+/// Byte-identical to the Dataset overload for every cache state and
+/// thread count.
+std::vector<double> RankWithSubspaces(const PreparedDataset& prepared,
+                                      const std::vector<Subspace>& subspaces,
+                                      const OutlierScorer& scorer,
+                                      ScoreAggregation aggregation =
+                                          ScoreAggregation::kAverage,
+                                      std::size_t num_threads = 1);
+
+/// Prepared-path convenience overload for scored subspaces.
+std::vector<double> RankWithSubspaces(
+    const PreparedDataset& prepared,
+    const std::vector<ScoredSubspace>& subspaces, const OutlierScorer& scorer,
+    ScoreAggregation aggregation = ScoreAggregation::kAverage,
+    std::size_t num_threads = 1);
+
 /// One isolated per-subspace failure observed during degraded ranking.
 struct SubspaceFailure {
   Subspace subspace;
@@ -111,6 +133,17 @@ struct DegradedRankingResult {
 /// way.
 DegradedRankingResult RankWithSubspacesDegraded(
     const Dataset& dataset, const std::vector<Subspace>& subspaces,
+    const OutlierScorer& scorer, ScoreAggregation aggregation,
+    const RunContext& ctx, std::size_t num_threads = 1);
+
+/// Prepared-path degraded ranking: same fault-isolation contract as the
+/// Dataset overload, scored through ScoreSubspacePreparedChecked so
+/// healthy subspaces hit the artifact cache. The checkpoint and fault
+/// probe run before any cache access, so injected fault placement — and
+/// the surviving ensemble — is byte-identical between cold and warm runs,
+/// and a failed or skipped subspace never populates the cache.
+DegradedRankingResult RankWithSubspacesDegraded(
+    const PreparedDataset& prepared, const std::vector<Subspace>& subspaces,
     const OutlierScorer& scorer, ScoreAggregation aggregation,
     const RunContext& ctx, std::size_t num_threads = 1);
 

@@ -46,6 +46,10 @@ class UnivariateScorer : public OutlierScorer {
 
   std::string name() const override;
 
+  /// The method is the only parameter and name() already encodes it
+  /// ("uni-zscore" / "uni-robust" / "uni-iqr").
+  std::string cache_key() const override { return name(); }
+
  private:
   UnivariateMethod method_;
 };

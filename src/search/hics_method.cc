@@ -13,6 +13,11 @@ class HicsMethod : public SubspaceSearchMethod {
     return RunHicsSearch(dataset, params_);
   }
 
+  Result<std::vector<ScoredSubspace>> SearchPrepared(
+      const PreparedDataset& prepared) const override {
+    return RunHicsSearch(prepared, params_);
+  }
+
   std::string name() const override {
     return params_.statistical_test == "ks" ? "HiCS_KS" : "HiCS";
   }

@@ -36,6 +36,28 @@ class RisMethod : public SubspaceSearchMethod {
 
   Result<std::vector<ScoredSubspace>> Search(
       const Dataset& dataset) const override {
+    return SearchImpl(dataset, [&](const Subspace& subspace) {
+      return MakeBruteForceSearcher(dataset, subspace);
+    });
+  }
+
+  Result<std::vector<ScoredSubspace>> SearchPrepared(
+      const PreparedDataset& prepared) const override {
+    // Same lattice walk; per-subspace searchers come from (and are
+    // published to) the shared artifact cache, so a later ranking pass
+    // over the winning subspaces reuses them.
+    return SearchImpl(prepared.dataset(), [&](const Subspace& subspace) {
+      return prepared.cache().GetSearcher(subspace,
+                                          KnnBackend::kBruteForce);
+    });
+  }
+
+  std::string name() const override { return "RIS"; }
+
+ private:
+  template <typename SearcherProvider>
+  Result<std::vector<ScoredSubspace>> SearchImpl(
+      const Dataset& dataset, const SearcherProvider& searcher_for) const {
     HICS_RETURN_NOT_OK(params_.Validate());
     if (dataset.num_attributes() < 2) {
       return Status::InvalidArgument("RIS requires at least 2 attributes");
@@ -58,7 +80,8 @@ class RisMethod : public SubspaceSearchMethod {
       scored.reserve(level.size());
       for (Subspace& s : level) {
         scored.push_back({std::move(s), 0.0});
-        scored.back().score = Quality(dataset, scored.back().subspace);
+        scored.back().score =
+            Quality(dataset, scored.back().subspace, searcher_for);
       }
       // Only subspaces denser than the uniform expectation qualify.
       std::erase_if(scored,
@@ -79,15 +102,14 @@ class RisMethod : public SubspaceSearchMethod {
     return pool;
   }
 
-  std::string name() const override { return "RIS"; }
-
- private:
   /// count[S] / expectation: aggregated eps-neighborhood size over core
   /// objects, divided by the neighborhood mass a uniform distribution over
   /// the subspace's bounding box would yield.
-  double Quality(const Dataset& dataset, const Subspace& subspace) const {
+  template <typename SearcherProvider>
+  double Quality(const Dataset& dataset, const Subspace& subspace,
+                 const SearcherProvider& searcher_for) const {
     const std::size_t n = dataset.num_objects();
-    const auto searcher = MakeBruteForceSearcher(dataset, subspace);
+    const auto searcher = searcher_for(subspace);
     std::size_t aggregated = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t neighbors =

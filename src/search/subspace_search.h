@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/subspace.h"
 #include "core/hics.h"
+#include "engine/prepared_dataset.h"
 
 namespace hics {
 
@@ -25,6 +26,18 @@ class SubspaceSearchMethod {
   /// configured output size (the experiments use the best 100 everywhere).
   virtual Result<std::vector<ScoredSubspace>> Search(
       const Dataset& dataset) const = 0;
+
+  /// Prepared-path search: same contract and bit-identical output as
+  /// Search, drawing shared derived state (sorted index, projected
+  /// searchers) from `prepared` so several methods — or a search followed
+  /// by ranking — run against one prepared artifact instead of each
+  /// rebuilding. The default adapter ignores the prepared state; methods
+  /// with reusable artifacts (HiCS: the sorted index; RIS: per-subspace
+  /// searchers) override it.
+  virtual Result<std::vector<ScoredSubspace>> SearchPrepared(
+      const PreparedDataset& prepared) const {
+    return Search(prepared.dataset());
+  }
 
   /// Identifier used in benchmark tables, e.g. "HiCS", "ENCLUS".
   virtual std::string name() const = 0;

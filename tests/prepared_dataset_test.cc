@@ -1,0 +1,429 @@
+#include "engine/prepared_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "core/contrast_matrix.h"
+#include "core/hics.h"
+#include "core/pipeline.h"
+#include "outlier/knn_outlier.h"
+#include "outlier/lof.h"
+#include "outlier/subspace_ranker.h"
+#include "search/subspace_search.h"
+
+namespace hics {
+namespace {
+
+Dataset ClusteredDataset(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = rng.Bernoulli(0.5) ? 0.3 : 0.7;
+    for (std::size_t a = 0; a < d; ++a) {
+      const double v = a < 2 ? c + rng.Gaussian(0.0, 0.03)
+                             : rng.UniformDouble();
+      ds.Set(i, a, v);
+    }
+  }
+  return ds;
+}
+
+std::vector<Subspace> SomeSubspaces() {
+  return {Subspace{0, 1}, Subspace{2, 3}, Subspace{0, 2},
+          Subspace{1, 3}, Subspace{0, 1, 2}};
+}
+
+// ---------------------------------------------------------------------------
+// Rank artifacts
+
+TEST(PreparedDatasetTest, RankArtifactsMatchFreshIndex) {
+  const Dataset ds = ClusteredDataset(150, 4, 7);
+  const PreparedDataset prepared(ds);
+  const SortedAttributeIndex fresh(ds);
+  for (std::size_t a = 0; a < ds.num_attributes(); ++a) {
+    const auto order = prepared.sorted_index().SortedOrder(a);
+    const auto fresh_order = fresh.SortedOrder(a);
+    ASSERT_EQ(order.size(), fresh_order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      EXPECT_EQ(order[i], fresh_order[i]);
+    }
+    const auto sorted = prepared.SortedColumn(a);
+    ASSERT_EQ(sorted.size(), ds.num_objects());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      EXPECT_EQ(sorted[i], ds.Column(a)[order[i]]);
+      if (i > 0) EXPECT_LE(sorted[i - 1], sorted[i]);
+    }
+    EXPECT_TRUE(std::isfinite(prepared.MarginalMean(a)));
+    EXPECT_GT(prepared.MarginalVariance(a), 0.0);
+  }
+}
+
+TEST(PreparedDatasetTest, ColumnSpanIsTheDatasetColumn) {
+  const Dataset ds = ClusteredDataset(40, 3, 8);
+  const PreparedDataset prepared(ds);
+  for (std::size_t a = 0; a < ds.num_attributes(); ++a) {
+    const auto span = prepared.ColumnSpan(a);
+    ASSERT_EQ(span.size(), ds.num_objects());
+    EXPECT_EQ(span.data(), ds.Column(a).data());
+  }
+}
+
+TEST(PreparedDatasetTest, BuildThreadsDoNotChangeArtifacts) {
+  const Dataset ds = ClusteredDataset(200, 5, 9);
+  const PreparedDataset serial(ds, 1);
+  const PreparedDataset parallel(ds, 4);
+  for (std::size_t a = 0; a < ds.num_attributes(); ++a) {
+    EXPECT_EQ(serial.MarginalMean(a), parallel.MarginalMean(a));
+    EXPECT_EQ(serial.MarginalVariance(a), parallel.MarginalVariance(a));
+    const auto s = serial.SortedColumn(a);
+    const auto p = parallel.SortedColumn(a);
+    ASSERT_EQ(s.size(), p.size());
+    for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], p[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Search / contrast matrix / pipeline equivalence
+
+TEST(PreparedDatasetTest, PreparedSearchMatchesLegacySearch) {
+  const Dataset ds = ClusteredDataset(180, 5, 11);
+  HicsParams params;
+  params.num_iterations = 20;
+  params.output_top_k = 12;
+  const auto legacy = RunHicsSearch(ds, params);
+  ASSERT_TRUE(legacy.ok());
+
+  const PreparedDataset prepared(ds);
+  const auto warm1 = RunHicsSearch(prepared, params);
+  const auto warm2 = RunHicsSearch(prepared, params);  // reuses the index
+  ASSERT_TRUE(warm1.ok());
+  ASSERT_TRUE(warm2.ok());
+  ASSERT_EQ(legacy->size(), warm1->size());
+  for (std::size_t i = 0; i < legacy->size(); ++i) {
+    EXPECT_EQ((*legacy)[i].subspace, (*warm1)[i].subspace);
+    EXPECT_EQ((*legacy)[i].score, (*warm1)[i].score);
+    EXPECT_EQ((*warm1)[i].subspace, (*warm2)[i].subspace);
+    EXPECT_EQ((*warm1)[i].score, (*warm2)[i].score);
+  }
+}
+
+TEST(PreparedDatasetTest, PreparedContrastMatrixMatchesLegacy) {
+  const Dataset ds = ClusteredDataset(120, 4, 13);
+  ContrastMatrixParams params;
+  params.contrast.num_iterations = 15;
+  const auto legacy = ComputeContrastMatrix(ds, params);
+  ASSERT_TRUE(legacy.ok());
+  const PreparedDataset prepared(ds);
+  const auto prepared_matrix = ComputeContrastMatrix(prepared, params);
+  ASSERT_TRUE(prepared_matrix.ok());
+  for (std::size_t i = 0; i < ds.num_attributes(); ++i) {
+    for (std::size_t j = 0; j < ds.num_attributes(); ++j) {
+      EXPECT_EQ((*legacy)(i, j), (*prepared_matrix)(i, j));
+    }
+  }
+}
+
+TEST(PreparedDatasetTest, SearchMethodSearchPreparedMatchesSearch) {
+  const Dataset ds = ClusteredDataset(150, 4, 15);
+  const PreparedDataset prepared(ds);
+  HicsParams params;
+  params.num_iterations = 15;
+  const auto method = MakeHicsMethod(params);
+  const auto cold = method->Search(ds);
+  const auto warm = method->SearchPrepared(prepared);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(cold->size(), warm->size());
+  for (std::size_t i = 0; i < cold->size(); ++i) {
+    EXPECT_EQ((*cold)[i].subspace, (*warm)[i].subspace);
+    EXPECT_EQ((*cold)[i].score, (*warm)[i].score);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ranking: cold vs warm, across thread counts
+
+TEST(PreparedDatasetTest, ColdAndWarmRankingIdenticalAcrossThreadCounts) {
+  const Dataset ds = ClusteredDataset(160, 4, 17);
+  const auto subspaces = SomeSubspaces();
+  const LofScorer scorer({.min_pts = 8});
+  const std::vector<double> reference =
+      RankWithSubspaces(ds, subspaces, scorer);
+
+  const PreparedDataset prepared(ds);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}}) {
+    // First pass fills the cache (cold), second is fully warm; both must
+    // equal the plain Dataset path byte for byte.
+    const auto cold = RankWithSubspaces(prepared, subspaces, scorer,
+                                        ScoreAggregation::kAverage, threads);
+    const auto warm = RankWithSubspaces(prepared, subspaces, scorer,
+                                        ScoreAggregation::kAverage, threads);
+    EXPECT_EQ(cold, reference) << "threads=" << threads;
+    EXPECT_EQ(warm, reference) << "threads=" << threads;
+  }
+  const ArtifactCacheStats stats = prepared.cache().stats();
+  EXPECT_GT(stats.score_hits, 0u);
+  EXPECT_EQ(prepared.cache().num_score_vectors(), subspaces.size());
+}
+
+TEST(PreparedDatasetTest, WarmRankingServesFromCacheWithoutRecompute) {
+  const Dataset ds = ClusteredDataset(100, 4, 19);
+  const auto subspaces = SomeSubspaces();
+  const LofScorer scorer({.min_pts = 10});
+  const PreparedDataset prepared(ds);
+
+  RankWithSubspaces(prepared, subspaces, scorer);
+  const ArtifactCacheStats after_cold = prepared.cache().stats();
+  EXPECT_EQ(after_cold.score_misses, subspaces.size());
+
+  RankWithSubspaces(prepared, subspaces, scorer);
+  const ArtifactCacheStats after_warm = prepared.cache().stats();
+  // Warm pass: every subspace is a score hit, no new misses of any kind.
+  EXPECT_EQ(after_warm.score_hits, after_cold.score_hits + subspaces.size());
+  EXPECT_EQ(after_warm.score_misses, after_cold.score_misses);
+  EXPECT_EQ(after_warm.knn_table_misses, after_cold.knn_table_misses);
+  EXPECT_EQ(after_warm.searcher_misses, after_cold.searcher_misses);
+}
+
+TEST(PreparedDatasetTest, DistinctScorerParamsDoNotShareScoreEntries) {
+  const Dataset ds = ClusteredDataset(90, 4, 21);
+  const Subspace s{0, 1};
+  const PreparedDataset prepared(ds);
+  const LofScorer lof8({.min_pts = 8});
+  const LofScorer lof12({.min_pts = 12});
+  const auto scores8 = lof8.ScoreSubspaceCached(prepared, s);
+  const auto scores12 = lof12.ScoreSubspaceCached(prepared, s);
+  EXPECT_EQ(prepared.cache().num_score_vectors(), 2u);
+  EXPECT_EQ(scores8, lof8.ScoreSubspace(ds, s));
+  EXPECT_EQ(scores12, lof12.ScoreSubspace(ds, s));
+  // Same k => the kNN table is shared between knn-dist and knn-avg.
+  const KnnDistanceScorer dist(9);
+  const KnnAverageScorer avg(9);
+  dist.ScoreSubspaceCached(prepared, s);
+  const ArtifactCacheStats before = prepared.cache().stats();
+  avg.ScoreSubspaceCached(prepared, s);
+  const ArtifactCacheStats after = prepared.cache().stats();
+  EXPECT_EQ(after.knn_table_misses, before.knn_table_misses);
+  EXPECT_GT(after.knn_table_hits, before.knn_table_hits);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline equivalence, warm runs
+
+TEST(PreparedDatasetTest, PreparedPipelineMatchesLegacyAndWarmRepeat) {
+  const Dataset ds = ClusteredDataset(140, 4, 23);
+  HicsParams params;
+  params.num_iterations = 15;
+  params.output_top_k = 8;
+  const LofScorer scorer({.min_pts = 8});
+
+  const auto legacy = RunHicsPipeline(ds, params, scorer);
+  ASSERT_TRUE(legacy.ok());
+
+  const PreparedDataset prepared(ds);
+  const auto cold = RunHicsPipeline(prepared, params, scorer);
+  const auto warm = RunHicsPipeline(prepared, params, scorer);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cold->scores, legacy->scores);
+  EXPECT_EQ(warm->scores, legacy->scores);
+  EXPECT_GT(prepared.cache().stats().score_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: failed subspaces never enter the cache
+
+TEST(PreparedDatasetTest, FailedSubspaceIsNeverCached) {
+  const Dataset ds = ClusteredDataset(110, 4, 25);
+  const auto subspaces = SomeSubspaces();
+  const LofScorer scorer({.min_pts = 8});
+  const PreparedDataset prepared(ds);
+
+  FaultInjector injector;
+  injector.FailNthCall("scorer.lof", 2, Status::Internal("injected"));
+  RunContext ctx;
+  ctx.SetFaultInjector(&injector);
+
+  const DegradedRankingResult degraded =
+      RankWithSubspacesDegraded(prepared, subspaces, scorer,
+                                ScoreAggregation::kAverage, ctx);
+  EXPECT_EQ(degraded.succeeded, subspaces.size() - 1);
+  ASSERT_EQ(degraded.failures.size(), 1u);
+  EXPECT_EQ(degraded.failures.front().subspace, subspaces[1]);
+  // The faulted subspace (ordinal 2) must not have populated the cache.
+  EXPECT_EQ(prepared.cache().num_score_vectors(), subspaces.size() - 1);
+  EXPECT_EQ(prepared.cache().FindScores(scorer.cache_key(), subspaces[1]),
+            nullptr);
+
+  // A later healthy run scores it fresh and only then caches it, matching
+  // the plain cold path byte for byte.
+  const std::vector<double> healthy =
+      RankWithSubspaces(prepared, subspaces, scorer);
+  EXPECT_EQ(healthy, RankWithSubspaces(ds, subspaces, scorer));
+  EXPECT_EQ(prepared.cache().num_score_vectors(), subspaces.size());
+}
+
+TEST(PreparedDatasetTest, WarmCacheDoesNotMaskInjectedFaults) {
+  const Dataset ds = ClusteredDataset(110, 4, 27);
+  const auto subspaces = SomeSubspaces();
+  const LofScorer scorer({.min_pts = 8});
+  const PreparedDataset prepared(ds);
+  // Fully warm cache first.
+  RankWithSubspaces(prepared, subspaces, scorer);
+
+  FaultInjector injector;
+  injector.FailNthCall("scorer.lof", 3, Status::Internal("injected"));
+  RunContext ctx;
+  ctx.SetFaultInjector(&injector);
+
+  // The fault probe runs before the cache lookup, so the armed subspace
+  // fails even though its scores are sitting in the cache.
+  const DegradedRankingResult warm_degraded =
+      RankWithSubspacesDegraded(prepared, subspaces, scorer,
+                                ScoreAggregation::kAverage, ctx);
+  ASSERT_EQ(warm_degraded.failures.size(), 1u);
+  EXPECT_EQ(warm_degraded.failures.front().subspace, subspaces[2]);
+
+  // Cold run under the same fault plan: identical surviving ensemble and
+  // identical aggregate.
+  FaultInjector cold_injector;
+  cold_injector.FailNthCall("scorer.lof", 3, Status::Internal("injected"));
+  RunContext cold_ctx;
+  cold_ctx.SetFaultInjector(&cold_injector);
+  const DegradedRankingResult cold_degraded =
+      RankWithSubspacesDegraded(ds, subspaces, scorer,
+                                ScoreAggregation::kAverage, cold_ctx);
+  EXPECT_EQ(warm_degraded.scores, cold_degraded.scores);
+  EXPECT_EQ(warm_degraded.succeeded, cold_degraded.succeeded);
+}
+
+TEST(PreparedDatasetTest, DegradedPreparedIdenticalAcrossThreadCounts) {
+  const Dataset ds = ClusteredDataset(120, 4, 29);
+  const auto subspaces = SomeSubspaces();
+  const LofScorer scorer({.min_pts = 8});
+
+  std::vector<std::vector<double>> results;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const PreparedDataset prepared(ds);
+    FaultInjector injector;
+    injector.FailNthCall("scorer.lof", 2, Status::Internal("injected"));
+    RunContext ctx;
+    ctx.SetFaultInjector(&injector);
+    const DegradedRankingResult degraded = RankWithSubspacesDegraded(
+        prepared, subspaces, scorer, ScoreAggregation::kAverage, ctx,
+        threads);
+    EXPECT_EQ(degraded.failures.size(), 1u);
+    EXPECT_EQ(prepared.cache().num_score_vectors(), subspaces.size() - 1);
+    results.push_back(degraded.scores);
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent mixed-subspace stress
+
+TEST(PreparedDatasetTest, ConcurrentMixedSubspaceHitsStayConsistent) {
+  const Dataset ds = ClusteredDataset(130, 4, 31);
+  const auto subspaces = SomeSubspaces();
+  const LofScorer scorer({.min_pts = 8});
+  const PreparedDataset prepared(ds);
+
+  // Reference vectors from the plain cold path.
+  std::vector<std::vector<double>> reference;
+  reference.reserve(subspaces.size());
+  for (const Subspace& s : subspaces) {
+    reference.push_back(scorer.ScoreSubspace(ds, s));
+  }
+
+  // Many workers hammer overlapping subspaces: every call must return the
+  // reference bits whether it computed, raced a builder, or hit.
+  constexpr std::size_t kCalls = 64;
+  std::vector<char> ok(kCalls, 0);
+  ParallelFor(0, kCalls, 8, [&](std::size_t c) {
+    const std::size_t s = c % subspaces.size();
+    const std::vector<double> scores =
+        scorer.ScoreSubspaceCached(prepared, subspaces[s]);
+    ok[c] = scores == reference[s] ? 1 : 0;
+  });
+  for (std::size_t c = 0; c < kCalls; ++c) {
+    EXPECT_EQ(ok[c], 1) << "call " << c;
+  }
+  // One canonical entry per subspace, regardless of racing builders.
+  EXPECT_EQ(prepared.cache().num_score_vectors(), subspaces.size());
+  const ArtifactCacheStats stats = prepared.cache().stats();
+  EXPECT_GT(stats.score_hits, 0u);
+  EXPECT_GT(stats.hit_rate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: multi-index non-finite diagnostics
+
+class PoisonScorer : public OutlierScorer {
+ public:
+  explicit PoisonScorer(std::vector<std::size_t> bad) : bad_(std::move(bad)) {}
+
+  std::vector<double> ScoreSubspace(const Dataset& dataset,
+                                    const Subspace&) const override {
+    std::vector<double> scores(dataset.num_objects(), 1.0);
+    for (std::size_t i : bad_) {
+      scores[i] = std::numeric_limits<double>::quiet_NaN();
+    }
+    return scores;
+  }
+
+  std::string name() const override { return "poison"; }
+
+  // Opt in to score caching so the never-cache-invalid-results rule is
+  // actually exercised.
+  std::string cache_key() const override { return "poison"; }
+
+ private:
+  std::vector<std::size_t> bad_;
+};
+
+TEST(ScoreValidationTest, ReportsAllNonFiniteIndices) {
+  const Dataset ds = ClusteredDataset(50, 3, 33);
+  const PoisonScorer scorer({3, 17, 41});
+  const auto result =
+      scorer.ScoreSubspaceChecked(ds, ds.FullSpace(), RunContext());
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().message();
+  EXPECT_NE(message.find("3 non-finite"), std::string::npos) << message;
+  EXPECT_NE(message.find("3, 17, 41"), std::string::npos) << message;
+}
+
+TEST(ScoreValidationTest, CapsReportedIndicesAndCountsTheRest) {
+  const Dataset ds = ClusteredDataset(60, 3, 35);
+  std::vector<std::size_t> bad;
+  for (std::size_t i = 0; i < 12; ++i) bad.push_back(i * 5);
+  const PoisonScorer scorer(bad);
+  const auto result =
+      scorer.ScoreSubspaceChecked(ds, ds.FullSpace(), RunContext());
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().message();
+  EXPECT_NE(message.find("12 non-finite"), std::string::npos) << message;
+  // First 8 listed, the remaining 4 summarized.
+  EXPECT_NE(message.find("0, 5, 10, 15, 20, 25, 30, 35"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("(+4 more)"), std::string::npos) << message;
+  EXPECT_EQ(message.find("40,"), std::string::npos) << message;
+}
+
+TEST(ScoreValidationTest, PoisonScorerNeverEntersCache) {
+  const Dataset ds = ClusteredDataset(40, 3, 37);
+  const PoisonScorer scorer({5});
+  const PreparedDataset prepared(ds);
+  const auto result = scorer.ScoreSubspacePreparedChecked(
+      prepared, ds.FullSpace(), RunContext());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(prepared.cache().num_score_vectors(), 0u);
+}
+
+}  // namespace
+}  // namespace hics
