@@ -13,6 +13,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
+#include <vector>
 
 #include "bench/bench_json.h"
 #include "common/parallel.h"
@@ -26,6 +28,8 @@
 #include "index/neighbor_searcher.h"
 #include "outlier/lof.h"
 #include "outlier/subspace_ranker.h"
+#include "serve/hics_model.h"
+#include "serve/model_io.h"
 #include "stats/ks_test.h"
 #include "stats/welch_t_test.h"
 
@@ -168,6 +172,13 @@ BENCHMARK(BM_LofScore)->Arg(500)->Arg(1000)->Arg(2000);
 /// speedups, the cache hit/miss tallies, and ranking_identical = whether
 /// the batched serial and parallel scores matched the per-query
 /// reference byte for byte.
+///
+/// Finally the serving path is timed end to end: a HicsModel is fitted on
+/// the same dataset, 256 out-of-sample queries are scored one at a time
+/// against the trained model, and serve_p50_us records the median
+/// single-query latency in microseconds. serve_identical = whether a
+/// model serialized to bytes and loaded back served the same 256 queries
+/// byte-identically to the fresh model.
 void WritePipelineStageReport() {
   SyntheticParams gen;
   gen.num_objects = 1000;
@@ -262,6 +273,61 @@ void WritePipelineStageReport() {
       cold_scores == per_query_scores && warm_scores == per_query_scores;
   const ArtifactCacheStats cache_stats = prepared.cache().stats();
 
+  // Out-of-sample serving: fit a durable model (search + per-subspace
+  // trained state), then score single out-of-sample queries against it and
+  // track the median latency. A serialize/deserialize round trip must not
+  // change a single served byte.
+  HicsModelConfig model_config;
+  model_config.search_params = params;
+  model_config.scorer = {ScorerKind::kLof, 10};
+  Timer fit_timer;
+  const auto model = HicsModel::Fit(data, model_config);
+  const double serve_fit_seconds = fit_timer.ElapsedSeconds();
+  if (!model.ok()) {
+    std::fprintf(stderr, "model fit failed: %s\n",
+                 model.status().ToString().c_str());
+    return;
+  }
+  constexpr std::size_t kNumServeQueries = 256;
+  Rng query_rng(gen.seed + 1);
+  std::vector<double> queries(kNumServeQueries * data.num_attributes());
+  for (double& v : queries) v = query_rng.UniformDouble();
+  const std::size_t query_width = data.num_attributes();
+  // Warm the lazy per-subspace searcher cache so p50 measures steady-state
+  // serving, not first-touch index builds.
+  (void)model->ScoreQueries(
+      std::span<const double>(queries.data(), query_width), 1);
+  std::vector<double> fresh_scores;
+  fresh_scores.reserve(kNumServeQueries);
+  std::vector<double> query_seconds(kNumServeQueries);
+  Timer serve_timer;
+  for (std::size_t q = 0; q < kNumServeQueries; ++q) {
+    Timer one;
+    const auto score = model->ScoreQueries(
+        std::span<const double>(queries.data() + q * query_width,
+                                query_width),
+        1);
+    query_seconds[q] = one.ElapsedSeconds();
+    if (!score.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n",
+                   score.status().ToString().c_str());
+      return;
+    }
+    fresh_scores.push_back(score->front());
+  }
+  const double serve_seconds = serve_timer.ElapsedSeconds();
+  std::nth_element(query_seconds.begin(),
+                   query_seconds.begin() + kNumServeQueries / 2,
+                   query_seconds.end());
+  const double serve_p50_us = query_seconds[kNumServeQueries / 2] * 1e6;
+  const auto reloaded = DeserializeHicsModel(SerializeHicsModel(*model));
+  bool serve_identical = reloaded.ok();
+  if (serve_identical) {
+    const auto reloaded_scores = reloaded->ScoreQueries(
+        queries, kNumServeQueries);
+    serve_identical = reloaded_scores.ok() && *reloaded_scores == fresh_scores;
+  }
+
   bench::JsonWriter json;
   json.BeginObject()
       .Field("benchmark", "bench_micro.pipeline_stages")
@@ -318,6 +384,13 @@ void WritePipelineStageReport() {
       .Field("seconds", rank_warm_seconds)
       .Field("num_threads", static_cast<std::uint64_t>(parallel_threads))
       .EndObject()
+      .BeginObject("serve_fit")
+      .Field("seconds", serve_fit_seconds)
+      .EndObject()
+      .BeginObject("serve")
+      .Field("seconds", serve_seconds)
+      .Field("queries", static_cast<std::uint64_t>(kNumServeQueries))
+      .EndObject()
       .BeginObject("total")
       .Field("seconds", search_seconds + rank_parallel_seconds)
       .EndObject()
@@ -335,9 +408,11 @@ void WritePipelineStageReport() {
       .Field("contrast_kernel_speedup",
              search_oracle_seconds / search_seconds)
       .Field("warm_speedup", rank_cold_seconds / rank_warm_seconds)
+      .Field("serve_p50_us", serve_p50_us)
       .Field("search_identical", search_identical)
       .Field("ranking_identical", identical)
       .Field("warm_identical", warm_identical)
+      .Field("serve_identical", serve_identical)
       .EndObject();
   if (bench::WriteJsonFile("BENCH_micro.json", json)) {
     std::printf(
@@ -345,7 +420,8 @@ void WritePipelineStageReport() {
         "parallel %zu threads %.3fs, identical=%s), rank serial/per-query "
         "%.3fs, rank serial/batched %.3fs (%.2fx), rank parallel (%zu "
         "threads) %.3fs (%.2fx), identical=%s, rank cold %.3fs, rank warm "
-        "%.3fs (%.2fx, hit rate %.2f), warm identical=%s -> "
+        "%.3fs (%.2fx, hit rate %.2f), warm identical=%s, serve fit "
+        "%.3fs + %zu queries p50 %.1fus, reload identical=%s -> "
         "BENCH_micro.json\n\n",
         search_seconds, search_oracle_seconds,
         search_oracle_seconds / search_seconds, search_parallel_threads,
@@ -355,7 +431,9 @@ void WritePipelineStageReport() {
         rank_parallel_seconds, rank_serial_seconds / rank_parallel_seconds,
         identical ? "yes" : "NO (BUG)", rank_cold_seconds,
         rank_warm_seconds, rank_cold_seconds / rank_warm_seconds,
-        cache_stats.hit_rate(), warm_identical ? "yes" : "NO (BUG)");
+        cache_stats.hit_rate(), warm_identical ? "yes" : "NO (BUG)",
+        serve_fit_seconds, kNumServeQueries, serve_p50_us,
+        serve_identical ? "yes" : "NO (BUG)");
   }
 }
 

@@ -16,6 +16,7 @@
 
 #include "common/random.h"
 #include "core/pipeline.h"
+#include "engine/prepared_dataset.h"
 #include "outlier/lof.h"
 
 namespace {
@@ -100,8 +101,13 @@ int main() {
 
   const hics::LofScorer lof({/*min_pts=*/15});
 
+  // One prepared artifact shared by the full-space baseline and the
+  // pipeline: the sorted index is built once and every projected searcher
+  // / kNN table is cached across both analyses.
+  const hics::PreparedDataset prepared(data);
+
   std::printf("-- traditional full-space LOF --\n");
-  const auto full_scores = lof.ScoreFullSpace(data);
+  const auto full_scores = lof.ScoreSubspacePrepared(prepared, data.FullSpace());
   PrintRank("outlier1", full_scores, 42);
   PrintRank("outlier2", full_scores, 300);
 
@@ -109,7 +115,7 @@ int main() {
   hics::HicsParams params;
   params.output_top_k = 5;
   params.num_iterations = 100;
-  auto result = hics::RunHicsPipeline(data, params, lof);
+  auto result = hics::RunHicsPipeline(prepared, params, lof);
   if (!result.ok()) {
     std::fprintf(stderr, "pipeline failed: %s\n",
                  result.status().ToString().c_str());

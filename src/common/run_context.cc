@@ -141,6 +141,21 @@ Status RunContext::CheckProgress() const {
   return Status::OK();
 }
 
+Status RunContext::AdmitWork(Clock::duration estimated_cost,
+                             const std::string& what) const {
+  HICS_RETURN_NOT_OK(CheckProgress());
+  if (!has_deadline_) return Status::OK();
+  const Clock::duration remaining = RemainingBudget();
+  if (estimated_cost <= remaining) return Status::OK();
+  const auto to_us = [](Clock::duration d) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  };
+  return Status::Overloaded(
+      what + " rejected: estimated cost " +
+      std::to_string(to_us(estimated_cost)) + "us exceeds the remaining " +
+      "deadline budget of " + std::to_string(to_us(remaining)) + "us");
+}
+
 Status RunContext::InjectFault(const std::string& site,
                                std::uint64_t ordinal) const {
   if (fault_injector_ == nullptr) return Status::OK();

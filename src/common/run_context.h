@@ -139,6 +139,25 @@ class RunContext {
     return has_deadline_ && Clock::now() >= deadline_;
   }
 
+  /// Wall-clock budget left before the deadline: Clock::duration::max()
+  /// when no deadline is set, zero once it has passed. A probe, not a
+  /// reservation — the budget keeps draining while the caller plans.
+  Clock::duration RemainingBudget() const {
+    if (!has_deadline_) return Clock::duration::max();
+    const Clock::time_point now = Clock::now();
+    return now >= deadline_ ? Clock::duration::zero() : deadline_ - now;
+  }
+
+  /// Deadline-based admission decision for a unit of work expected to take
+  /// `estimated_cost`: OK when the work fits the remaining budget,
+  /// Cancelled / DeadlineExceeded when the context is already dead, and a
+  /// typed Overloaded status when starting `what` now could not finish
+  /// before the deadline — reject-early load shedding instead of starting
+  /// work the deadline dooms (or queueing it unboundedly). `what` names
+  /// the shed unit in the status message (e.g. "batch of 64 queries").
+  Status AdmitWork(Clock::duration estimated_cost,
+                   const std::string& what) const;
+
   /// Requests cooperative cancellation; visible to every copy of this
   /// context. Safe to call from any thread, idempotent.
   void RequestCancellation() const {

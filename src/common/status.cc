@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kDataLoss:
       return "Data loss";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

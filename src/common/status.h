@@ -22,6 +22,11 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kDataLoss,
+  /// Load shedding: work was rejected up front because the remaining
+  /// deadline budget cannot fit it (see RunContext::AdmitWork). Distinct
+  /// from kDeadlineExceeded, which means work *started* and ran out of
+  /// time; an overloaded caller should retry later or shrink the batch.
+  kOverloaded,
 };
 
 /// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
@@ -70,6 +75,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -74,6 +74,11 @@ std::shared_ptr<const std::vector<double>> ArtifactCache::InsertScores(
     const std::string& scorer_key, const Subspace& subspace,
     std::vector<double> scores) {
   HICS_DCHECK(!scorer_key.empty());
+  // A score vector covers every object or it is not a score vector: a
+  // partial result (scorer interrupted mid-pass, deadline racing the
+  // insert) must never become the canonical cache entry, because later
+  // hits would serve it as if it were complete.
+  HICS_CHECK_EQ(scores.size(), dataset_.num_objects());
   auto entry =
       std::make_shared<const std::vector<double>>(std::move(scores));
   std::lock_guard<std::mutex> lock(score_mutex_);

@@ -102,6 +102,9 @@ class ArtifactCache {
   /// Publishes a successfully computed, validated score vector. First
   /// insert wins; returns the canonical entry (the racing duplicate is
   /// bit-identical by the determinism discipline, so either is correct).
+  /// `scores.size()` must equal the dataset's object count — a partial
+  /// vector (e.g. a scorer cut off by a deadline) is a programming error
+  /// and is rejected by HICS_CHECK rather than cached.
   std::shared_ptr<const std::vector<double>> InsertScores(
       const std::string& scorer_key, const Subspace& subspace,
       std::vector<double> scores);

@@ -86,6 +86,33 @@ class BruteForceSearcher : public NeighborSearcher {
     for (Neighbor& n : heap) n.distance = std::sqrt(n.distance);
   }
 
+  void QueryKnnPoint(std::span<const double> point, std::size_t k,
+                     std::vector<Neighbor>* out) const override {
+    HICS_CHECK_EQ(point.size(), dim_);
+    std::vector<Neighbor>& heap = *out;  // max-heap of the k best so far
+    heap.clear();
+    heap.reserve(k + 1);
+    const double* q = point.data();
+    for (std::size_t i = 0; i < num_objects_; ++i) {
+      if (heap.size() < k) {
+        const double d2 = SquaredDistance(q, &points_[i * dim_], dim_);
+        heap.push_back({i, d2});
+        std::push_heap(heap.begin(), heap.end());
+      } else if (k > 0) {
+        const double bound = heap.front().distance;
+        const double d2 =
+            SquaredDistanceBounded(q, &points_[i * dim_], dim_, bound);
+        if (d2 <= bound && Neighbor{i, d2} < heap.front()) {
+          std::pop_heap(heap.begin(), heap.end());
+          heap.back() = {i, d2};
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
+    }
+    std::sort_heap(heap.begin(), heap.end());
+    for (Neighbor& n : heap) n.distance = std::sqrt(n.distance);
+  }
+
   void QueryAllKnn(std::size_t k, KnnResultTable* out,
                    std::size_t num_threads) const override {
     const std::size_t n = num_objects_;

@@ -42,6 +42,21 @@ class KdTreeSearcher : public NeighborSearcher {
     for (Neighbor& n : heap) n.distance = std::sqrt(n.distance);
   }
 
+  void QueryKnnPoint(std::span<const double> point, std::size_t k,
+                     std::vector<Neighbor>* out) const override {
+    HICS_CHECK_EQ(point.size(), dim_);
+    std::vector<Neighbor>& heap = *out;
+    heap.clear();
+    heap.reserve(k + 1);
+    if (root_ >= 0 && k > 0) {
+      // exclude = num_objects_ matches no id, so the point competes
+      // against every indexed object (out-of-sample semantics).
+      SearchKnn(root_, point.data(), num_objects_, k, &heap);
+    }
+    std::sort_heap(heap.begin(), heap.end());
+    for (Neighbor& n : heap) n.distance = std::sqrt(n.distance);
+  }
+
   void QueryRadius(std::size_t query, double radius,
                    std::vector<Neighbor>* out) const override {
     HICS_CHECK_LT(query, num_objects_);

@@ -95,6 +95,25 @@ class NeighborSearcher {
     return out;
   }
 
+  /// The k nearest indexed objects of an arbitrary query *point*, given as
+  /// its dimensionality() coordinates in subspace projection order, sorted
+  /// ascending (distance, id) into `*out` (cleared first, capacity reused).
+  /// Unlike QueryKnn nothing is excluded — the point is not an indexed
+  /// object — and the searcher is never modified: this is the const
+  /// out-of-sample query path trained-model serving scores through
+  /// (src/serve). Yields min(k, num_objects()) neighbors; distances are
+  /// bit-identical to what QueryKnn computes for coincident coordinates.
+  virtual void QueryKnnPoint(std::span<const double> point, std::size_t k,
+                             std::vector<Neighbor>* out) const = 0;
+
+  /// Allocating convenience wrapper around the buffer variant.
+  std::vector<Neighbor> QueryKnnPoint(std::span<const double> point,
+                                      std::size_t k) const {
+    std::vector<Neighbor> out;
+    QueryKnnPoint(point, k, &out);
+    return out;
+  }
+
   /// Batched all-kNN: the k nearest neighbors of *every* object at once,
   /// into `out` (row q = neighbors of q, ascending (distance, id)). Result
   /// rows are element-identical to per-query QueryKnn calls; backends only

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "index/neighbor_searcher.h"
+#include "outlier/outlier_scorer.h"
 
 namespace hics {
 
@@ -13,7 +14,7 @@ std::vector<double> AbodScorer::ScoreSubspace(const Dataset& dataset,
   const std::size_t dim = subspace.size();
   std::vector<double> scores(n, 0.0);
   if (n < 3) return scores;
-  const std::size_t k = std::min(params_.k, n - 1);
+  const std::size_t k = ClampNeighborhoodSize(params_.k, n, "abod");
 
   const auto searcher = MakeBruteForceSearcher(dataset, subspace);
   // One batched sweep replaces the n per-query scans; the angle statistics

@@ -38,7 +38,7 @@ std::vector<double> KnnDistanceScorer::ScoreSubspace(
     const Dataset& dataset, const Subspace& subspace) const {
   const std::size_t n = dataset.num_objects();
   if (n < 2) return std::vector<double>(n, 0.0);
-  const std::size_t k = std::min(k_, n - 1);
+  const std::size_t k = ClampNeighborhoodSize(k_, n, name().c_str());
   const auto searcher = MakeBruteForceSearcher(dataset, subspace);
   KnnResultTable table;
   searcher->QueryAllKnn(k, &table, num_threads_);
@@ -49,18 +49,25 @@ std::vector<double> KnnDistanceScorer::ScoreSubspacePrepared(
     const PreparedDataset& prepared, const Subspace& subspace) const {
   const std::size_t n = prepared.num_objects();
   if (n < 2) return std::vector<double>(n, 0.0);
-  const std::size_t k = std::min(k_, n - 1);
+  const std::size_t k = ClampNeighborhoodSize(k_, n, name().c_str());
   const std::shared_ptr<const KnnResultTable> table =
       prepared.cache().GetKnnTable(subspace, KnnBackend::kBruteForce, k,
                                    num_threads_, /*use_batch_kernel=*/true);
   return KthDistanceFromTable(*table, n);
 }
 
+double KnnDistanceScorer::ScoreOutOfSample(
+    std::span<const Neighbor> neighbors,
+    const TrainedScorerState& state) const {
+  (void)state;
+  return neighbors.empty() ? 0.0 : neighbors.back().distance;
+}
+
 std::vector<double> KnnAverageScorer::ScoreSubspace(
     const Dataset& dataset, const Subspace& subspace) const {
   const std::size_t n = dataset.num_objects();
   if (n < 2) return std::vector<double>(n, 0.0);
-  const std::size_t k = std::min(k_, n - 1);
+  const std::size_t k = ClampNeighborhoodSize(k_, n, name().c_str());
   const auto searcher = MakeBruteForceSearcher(dataset, subspace);
   KnnResultTable table;
   searcher->QueryAllKnn(k, &table, num_threads_);
@@ -71,11 +78,21 @@ std::vector<double> KnnAverageScorer::ScoreSubspacePrepared(
     const PreparedDataset& prepared, const Subspace& subspace) const {
   const std::size_t n = prepared.num_objects();
   if (n < 2) return std::vector<double>(n, 0.0);
-  const std::size_t k = std::min(k_, n - 1);
+  const std::size_t k = ClampNeighborhoodSize(k_, n, name().c_str());
   const std::shared_ptr<const KnnResultTable> table =
       prepared.cache().GetKnnTable(subspace, KnnBackend::kBruteForce, k,
                                    num_threads_, /*use_batch_kernel=*/true);
   return MeanDistanceFromTable(*table, n);
+}
+
+double KnnAverageScorer::ScoreOutOfSample(
+    std::span<const Neighbor> neighbors,
+    const TrainedScorerState& state) const {
+  (void)state;
+  if (neighbors.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Neighbor& nb : neighbors) sum += nb.distance;
+  return sum / static_cast<double>(neighbors.size());
 }
 
 }  // namespace hics

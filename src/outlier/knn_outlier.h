@@ -35,6 +35,14 @@ class KnnDistanceScorer : public OutlierScorer {
     return "knn-dist:k=" + std::to_string(k_);
   }
 
+  /// Out-of-sample support (src/serve): the score is the distance to the
+  /// k-th nearest *training* object, so no trained state is needed beyond
+  /// the searcher.
+  bool SupportsOutOfSample() const override { return true; }
+  std::size_t NeighborhoodSize() const override { return k_; }
+  double ScoreOutOfSample(std::span<const Neighbor> neighbors,
+                          const TrainedScorerState& state) const override;
+
  private:
   std::size_t k_;
   std::size_t num_threads_;
@@ -61,6 +69,13 @@ class KnnAverageScorer : public OutlierScorer {
   std::string cache_key() const override {
     return "knn-avg:k=" + std::to_string(k_);
   }
+
+  /// Out-of-sample support (src/serve): mean distance to the k nearest
+  /// training objects; stateless like knn-dist.
+  bool SupportsOutOfSample() const override { return true; }
+  std::size_t NeighborhoodSize() const override { return k_; }
+  double ScoreOutOfSample(std::span<const Neighbor> neighbors,
+                          const TrainedScorerState& state) const override;
 
  private:
   std::size_t k_;

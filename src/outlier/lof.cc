@@ -14,7 +14,7 @@ std::vector<double> LofScorer::ScoreSubspace(const Dataset& dataset,
                                              const Subspace& subspace) const {
   const std::size_t n = dataset.num_objects();
   if (n == 0) return {};
-  const std::size_t k = std::min(params_.min_pts, n > 1 ? n - 1 : 1);
+  const std::size_t k = ClampNeighborhoodSize(params_.min_pts, n, "lof");
 
   const KnnBackend backend =
       params_.backend == KnnBackend::kAuto
@@ -44,7 +44,7 @@ std::vector<double> LofScorer::ScoreSubspacePrepared(
     const PreparedDataset& prepared, const Subspace& subspace) const {
   const std::size_t n = prepared.num_objects();
   if (n == 0) return {};
-  const std::size_t k = std::min(params_.min_pts, n > 1 ? n - 1 : 1);
+  const std::size_t k = ClampNeighborhoodSize(params_.min_pts, n, "lof");
   const KnnBackend backend =
       params_.backend == KnnBackend::kAuto
           ? ChooseKnnBackend(n, subspace.size())
@@ -61,36 +61,46 @@ std::vector<double> LofScorer::ScoreSubspacePrepared(
   return ScoreFromTable(*table, n, num_threads);
 }
 
-std::vector<double> LofScorer::ScoreFromTable(const KnnResultTable& table,
-                                              std::size_t n,
-                                              std::size_t num_threads) const {
-  std::vector<double> scores(n, 1.0);
-  std::vector<double> k_distance(n, 0.0);
+void LofScorer::ComputeDensities(const KnnResultTable& table, std::size_t n,
+                                 std::size_t num_threads,
+                                 std::vector<double>* k_distance,
+                                 std::vector<double>* lrd) const {
+  k_distance->assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto row = table.Row(i);
-    k_distance[i] = row.empty() ? 0.0 : row.back().distance;
+    (*k_distance)[i] = row.empty() ? 0.0 : row.back().distance;
   }
-  const auto neighbors_of = [&](std::size_t i) { return table.Row(i); };
 
   // Pass 2: local reachability densities. Reads only pass-1 output, so the
   // objects are independent and the pass parallelizes directly.
   constexpr double kInfinity = std::numeric_limits<double>::infinity();
-  std::vector<double> lrd(n, 0.0);
+  lrd->assign(n, 0.0);
   ParallelFor(0, n, num_threads, [&](std::size_t i) {
-    const auto nbrs = neighbors_of(i);
+    const auto nbrs = table.Row(i);
     if (nbrs.empty()) {
-      lrd[i] = kInfinity;
+      (*lrd)[i] = kInfinity;
       return;
     }
     double sum_reach = 0.0;
     for (const Neighbor& nb : nbrs) {
-      sum_reach += std::max(k_distance[nb.id], nb.distance);
+      sum_reach += std::max((*k_distance)[nb.id], nb.distance);
     }
     // All-zero reachability (duplicate points): infinite density.
-    lrd[i] = sum_reach > 0.0
-                 ? static_cast<double>(nbrs.size()) / sum_reach
-                 : kInfinity;
+    (*lrd)[i] = sum_reach > 0.0
+                    ? static_cast<double>(nbrs.size()) / sum_reach
+                    : kInfinity;
   });
+}
+
+std::vector<double> LofScorer::ScoreFromTable(const KnnResultTable& table,
+                                              std::size_t n,
+                                              std::size_t num_threads) const {
+  std::vector<double> scores(n, 1.0);
+  std::vector<double> k_distance;
+  std::vector<double> lrd;
+  ComputeDensities(table, n, num_threads, &k_distance, &lrd);
+  const auto neighbors_of = [&](std::size_t i) { return table.Row(i); };
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
   // Pass 3: LOF = mean neighbor lrd ratio; independent per object like
   // pass 2.
@@ -122,6 +132,46 @@ std::vector<double> LofScorer::ScoreFromTable(const KnnResultTable& table,
                     : 1.0;
   });
   return scores;
+}
+
+TrainedScorerState LofScorer::BuildTrainedState(
+    const KnnResultTable& table) const {
+  TrainedScorerState state;
+  state.channels.resize(2);
+  ComputeDensities(table, table.num_queries(), /*num_threads=*/1,
+                   &state.channels[0], &state.channels[1]);
+  return state;
+}
+
+double LofScorer::ScoreOutOfSample(std::span<const Neighbor> neighbors,
+                                   const TrainedScorerState& state) const {
+  HICS_CHECK_EQ(state.channels.size(), 2u);
+  const std::vector<double>& k_distance = state.channels[0];
+  const std::vector<double>& lrd = state.channels[1];
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  if (neighbors.empty()) return 1.0;
+
+  // The query's own lrd from its reachability against the trained
+  // neighborhoods, then the usual mean lrd ratio — the same duplicate
+  // handling as the in-sample pass 3 (infinite densities clamp to 1).
+  double sum_reach = 0.0;
+  for (const Neighbor& nb : neighbors) {
+    HICS_DCHECK(nb.id < k_distance.size());
+    sum_reach += std::max(k_distance[nb.id], nb.distance);
+  }
+  const double lrd_q =
+      sum_reach > 0.0 ? static_cast<double>(neighbors.size()) / sum_reach
+                      : kInfinity;
+  if (lrd_q == kInfinity) return 1.0;
+  double sum_ratio = 0.0;
+  std::size_t finite_terms = 0;
+  for (const Neighbor& nb : neighbors) {
+    if (lrd[nb.id] == kInfinity) continue;
+    sum_ratio += lrd[nb.id] / lrd_q;
+    ++finite_terms;
+  }
+  return finite_terms > 0 ? sum_ratio / static_cast<double>(finite_terms)
+                          : 1.0;
 }
 
 }  // namespace hics

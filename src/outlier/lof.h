@@ -59,6 +59,19 @@ class LofScorer : public OutlierScorer {
     return "lof:minpts=" + std::to_string(params_.min_pts);
   }
 
+  /// Out-of-sample support (src/serve): the trained state stores every
+  /// training object's k-distance and lrd, and a query is scored as
+  /// LOF(q) = mean_{o in N_k(q)} lrd(o) / lrd(q) with lrd(q) derived from
+  /// the query's reachability against the trained neighborhoods — the
+  /// standard novelty-detection LOF extension. Duplicate/degenerate
+  /// handling mirrors the in-sample path (infinite densities clamp to 1).
+  bool SupportsOutOfSample() const override { return true; }
+  std::size_t NeighborhoodSize() const override { return params_.min_pts; }
+  TrainedScorerState BuildTrainedState(
+      const KnnResultTable& table) const override;
+  double ScoreOutOfSample(std::span<const Neighbor> neighbors,
+                          const TrainedScorerState& state) const override;
+
   const LofParams& params() const { return params_; }
 
  private:
@@ -68,6 +81,14 @@ class LofScorer : public OutlierScorer {
   std::vector<double> ScoreFromTable(const KnnResultTable& table,
                                      std::size_t n,
                                      std::size_t num_threads) const;
+
+  /// Passes 1-2 (k-distance + lrd); shared by ScoreFromTable and
+  /// BuildTrainedState so the serialized trained state is bit-identical
+  /// to the densities the in-sample score used.
+  void ComputeDensities(const KnnResultTable& table, std::size_t n,
+                        std::size_t num_threads,
+                        std::vector<double>* k_distance,
+                        std::vector<double>* lrd) const;
 
   LofParams params_;
 };

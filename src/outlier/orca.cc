@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/random.h"
 #include "index/distance.h"
+#include "outlier/outlier_scorer.h"
 
 namespace hics {
 
@@ -70,6 +71,11 @@ std::vector<OrcaOutlier> OrcaTopOutliers(const Dataset& dataset,
   const std::size_t n = dataset.num_objects();
   const std::size_t dim = subspace.size();
   HICS_CHECK_GT(dim, 0u);
+  // k >= N used to be accepted silently (the nearest-k heaps simply never
+  // filled, disabling the pruning cutoff); clamp to the n-1 possible
+  // neighbors, which preserves every score, and say so.
+  const std::size_t effective_k = ClampNeighborhoodSize(params.k, n, "orca");
+  if (effective_k == 0) return {};
   OrcaRunInfo local_info;
 
   // Row-major projected copy, in randomized order: randomization makes the
@@ -108,7 +114,7 @@ std::vector<OrcaOutlier> OrcaTopOutliers(const Dataset& dataset,
     const std::size_t end = std::min(n, begin + kBlockSize);
     std::vector<std::size_t> candidates(order.begin() + begin,
                                         order.begin() + end);
-    std::vector<NearestK> nearest(candidates.size(), NearestK(params.k));
+    std::vector<NearestK> nearest(candidates.size(), NearestK(effective_k));
     std::vector<bool> alive(candidates.size(), true);
     std::size_t alive_count = candidates.size();
 

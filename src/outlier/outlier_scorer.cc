@@ -1,9 +1,42 @@
 #include "outlier/outlier_scorer.h"
 
 #include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <set>
 #include <utility>
 
 namespace hics {
+
+std::size_t ClampNeighborhoodSize(std::size_t k, std::size_t num_objects,
+                                  const char* who) {
+  const std::size_t max_k = num_objects > 1 ? num_objects - 1 : 0;
+  if (k <= max_k) return k;
+  // Log each clamping call site once per process: a misconfigured k >= N
+  // should be visible, but a ranking pass over hundreds of subspaces must
+  // not repeat the line per subspace.
+  static std::mutex mutex;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (warned->insert(who).second) {
+      std::fprintf(stderr,
+                   "hics: %s: neighborhood size k=%zu >= %zu objects; "
+                   "clamping to %zu (every other object is a neighbor)\n",
+                   who, k, num_objects, max_k);
+    }
+  }
+  return max_k;
+}
+
+double OutlierScorer::ScoreOutOfSample(std::span<const Neighbor> neighbors,
+                                       const TrainedScorerState& state) const {
+  (void)neighbors;
+  (void)state;
+  HICS_CHECK(false) << "scorer '" << name()
+                    << "' does not support out-of-sample scoring";
+  return 0.0;
+}
 
 namespace {
 

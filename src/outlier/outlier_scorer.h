@@ -2,6 +2,7 @@
 #define HICS_OUTLIER_OUTLIER_SCORER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,8 +11,33 @@
 #include "common/status.h"
 #include "common/subspace.h"
 #include "engine/prepared_dataset.h"
+#include "index/neighbor_searcher.h"
 
 namespace hics {
+
+/// Clamps a neighborhood size `k` to the `num_objects - 1` possible
+/// neighbors an in-sample query has, logging a one-line stderr diagnostic
+/// the first time a given caller clamps (so a misconfigured k >= N is
+/// visible instead of silently shrunk). Returns the effective k; 0 when
+/// fewer than two objects exist. `who` names the clamping entry point in
+/// the diagnostic, e.g. "lof".
+std::size_t ClampNeighborhoodSize(std::size_t k, std::size_t num_objects,
+                                  const char* who);
+
+/// Per-subspace trained state a scorer needs to score *out-of-sample*
+/// queries against a fitted dataset without refitting: scorer-defined
+/// channels of per-training-object doubles (LOF stores the k-distance and
+/// lrd of every training object; the kNN scorers need no state beyond the
+/// searcher). Opaque to the serving layer, which only stores, serializes,
+/// and hands it back to the scorer that built it.
+struct TrainedScorerState {
+  std::vector<std::vector<double>> channels;
+
+  friend bool operator==(const TrainedScorerState& a,
+                         const TrainedScorerState& b) {
+    return a.channels == b.channels;
+  }
+};
 
 /// Interface for a density-based outlier score score_S(x): given a dataset
 /// and a subspace, produce one score per object, higher = more outlying.
@@ -100,6 +126,37 @@ class OutlierScorer {
   /// Returning "" (the default) opts the scorer out of score caching —
   /// the safe choice for scorers whose parameters are not represented.
   virtual std::string cache_key() const { return ""; }
+
+  /// True when the scorer can score out-of-sample queries from trained
+  /// state (BuildTrainedState / ScoreOutOfSample below). Scorers that only
+  /// define in-sample semantics keep the default.
+  virtual bool SupportsOutOfSample() const { return false; }
+
+  /// The neighborhood size this scorer queries with (LOF's min_pts, the
+  /// kNN scorers' k) before any dataset clamping; 0 for scorers without a
+  /// neighborhood notion. The serving layer uses it to size searcher
+  /// queries and trained kNN tables.
+  virtual std::size_t NeighborhoodSize() const { return 0; }
+
+  /// Builds the per-subspace trained state from the fitted dataset's
+  /// all-kNN table for this subspace (row q = neighbors of training object
+  /// q). Only meaningful when SupportsOutOfSample(); the default state is
+  /// empty.
+  virtual TrainedScorerState BuildTrainedState(
+      const KnnResultTable& table) const {
+    (void)table;
+    return {};
+  }
+
+  /// Scores one out-of-sample query from its neighborhood among the
+  /// *training* objects (`neighbors`, ascending (distance, id), nothing
+  /// excluded) and the state built at fit time. Must not depend on other
+  /// queries — serving batches in any split is bit-identical to one query
+  /// at a time. CHECK-fails on scorers without out-of-sample support; the
+  /// serving layer gates on SupportsOutOfSample() and returns a typed
+  /// Status instead.
+  virtual double ScoreOutOfSample(std::span<const Neighbor> neighbors,
+                                  const TrainedScorerState& state) const;
 
   /// Short identifier, e.g. "lof".
   virtual std::string name() const = 0;

@@ -1,0 +1,81 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace hics {
+
+AdmissionController::AdmissionController(Clock::duration initial_cost_per_query,
+                                         double safety_factor,
+                                         double smoothing)
+    : safety_factor_(safety_factor),
+      smoothing_(smoothing),
+      ewma_cost_per_query_us_(
+          std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+              initial_cost_per_query)
+              .count()) {
+  HICS_CHECK(safety_factor >= 1.0);
+  HICS_CHECK(smoothing > 0.0 && smoothing <= 1.0);
+  HICS_CHECK(ewma_cost_per_query_us_ >= 0.0);
+}
+
+double AdmissionController::SafeCostPerQueryUs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ewma_cost_per_query_us_ * safety_factor_;
+}
+
+AdmissionController::Clock::duration AdmissionController::EstimatedBatchCost(
+    std::size_t num_queries) const {
+  const double us = SafeCostPerQueryUs() * static_cast<double>(num_queries);
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::micro>(us));
+}
+
+Status AdmissionController::AdmitBatch(const RunContext& ctx,
+                                       std::size_t num_queries) const {
+  // Overload drill hook: lets tests and the serve example force shedding
+  // deterministically without a real slow host.
+  const Status injected = ctx.InjectFault("serve.admit");
+  if (!injected.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shed_batches_;
+    return injected;
+  }
+  const Status admit = ctx.AdmitWork(
+      EstimatedBatchCost(num_queries),
+      "batch of " + std::to_string(num_queries) + " queries");
+  if (admit.code() == StatusCode::kOverloaded) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shed_batches_;
+  }
+  return admit;
+}
+
+void AdmissionController::RecordBatch(std::size_t num_queries,
+                                      Clock::duration elapsed) {
+  if (num_queries == 0) return;
+  const double per_query_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          elapsed)
+          .count() /
+      static_cast<double>(num_queries);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!has_observation_) {
+    // First real observation replaces the seed outright; blending with a
+    // guess would just slow convergence.
+    ewma_cost_per_query_us_ = per_query_us;
+    has_observation_ = true;
+    return;
+  }
+  ewma_cost_per_query_us_ = smoothing_ * per_query_us +
+                            (1.0 - smoothing_) * ewma_cost_per_query_us_;
+}
+
+std::size_t AdmissionController::shed_batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_batches_;
+}
+
+}  // namespace hics

@@ -1,0 +1,66 @@
+#ifndef HICS_SERVE_ADMISSION_H_
+#define HICS_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+
+#include "common/run_context.h"
+#include "common/status.h"
+
+namespace hics {
+
+/// Deadline-based admission control for a serving loop: estimates what a
+/// batch will cost from an EWMA of observed per-query latency and rejects
+/// work the remaining deadline budget cannot fit — up front, with a typed
+/// kOverloaded Status, instead of starting (or queueing) work the
+/// deadline dooms. The controller itself never blocks and never queues;
+/// shedding is the caller returning the Overloaded status to its client.
+///
+/// The estimate is deliberately conservative: `safety_factor` scales the
+/// EWMA so a borderline batch is shed rather than admitted into a
+/// deadline miss. Cost observations are fed back with RecordBatch, so the
+/// controller adapts as the model or the host load changes.
+///
+/// Thread-safe; one controller can guard a multi-threaded serving loop.
+class AdmissionController {
+ public:
+  using Clock = RunContext::Clock;
+
+  /// `initial_cost_per_query` seeds the estimate before the first
+  /// RecordBatch; `safety_factor` (>= 1) is the headroom multiplier;
+  /// `smoothing` in (0, 1] is the EWMA weight of the newest observation.
+  explicit AdmissionController(
+      Clock::duration initial_cost_per_query = std::chrono::microseconds(200),
+      double safety_factor = 1.5, double smoothing = 0.2);
+
+  /// Admission decision for a batch of `num_queries` against `ctx`'s
+  /// deadline: OK to proceed, kOverloaded to shed (also injectable at
+  /// fault site "serve.admit" for overload drills), or the context's own
+  /// Cancelled / DeadlineExceeded when the run is already dead.
+  Status AdmitBatch(const RunContext& ctx, std::size_t num_queries) const;
+
+  /// Feeds one completed batch back into the cost model.
+  void RecordBatch(std::size_t num_queries, Clock::duration elapsed);
+
+  /// Current safety-scaled cost estimate for a batch.
+  Clock::duration EstimatedBatchCost(std::size_t num_queries) const;
+
+  /// Batches shed with kOverloaded by AdmitBatch (including injected
+  /// overloads), for reporting.
+  std::size_t shed_batches() const;
+
+ private:
+  double SafeCostPerQueryUs() const;
+
+  const double safety_factor_;
+  const double smoothing_;
+  mutable std::mutex mutex_;
+  double ewma_cost_per_query_us_;
+  bool has_observation_ = false;
+  mutable std::size_t shed_batches_ = 0;
+};
+
+}  // namespace hics
+
+#endif  // HICS_SERVE_ADMISSION_H_

@@ -148,5 +148,86 @@ INSTANTIATE_TEST_SUITE_P(
                       ParityCase{150, 8, 15, 5}, ParityCase{64, 2, 63, 6},
                       ParityCase{500, 4, 1, 7}));
 
+// --------------------------------------------------------------------------
+// QueryKnnPoint: the const out-of-sample query path (serving).
+// --------------------------------------------------------------------------
+
+TEST(QueryKnnPointTest, FindsNearestTrainingPoints) {
+  auto ds = *Dataset::FromRows(
+      {{0.0, 0.0}, {1.0, 0.0}, {0.1, 0.0}, {5.0, 5.0}});
+  auto searcher = MakeBruteForceSearcher(ds, Subspace({0, 1}));
+  const std::vector<double> query = {0.05, 0.0};
+  const auto nbrs = searcher->QueryKnnPoint(query, 2);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].id, 0u);
+  EXPECT_NEAR(nbrs[0].distance, 0.05, 1e-12);
+  EXPECT_EQ(nbrs[1].id, 2u);
+}
+
+TEST(QueryKnnPointTest, DoesNotExcludeCoincidingTrainingPoint) {
+  // Unlike QueryKnn(q, ...), a point query excludes nothing: a query that
+  // coincides with a training object sees it at distance 0.
+  auto ds = *Dataset::FromRows({{0.0}, {1.0}, {2.0}});
+  auto searcher = MakeBruteForceSearcher(ds, Subspace({0}));
+  const std::vector<double> query = {1.0};
+  const auto nbrs = searcher->QueryKnnPoint(query, 1);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0].id, 1u);
+  EXPECT_EQ(nbrs[0].distance, 0.0);
+}
+
+TEST(QueryKnnPointTest, KLargerThanDatasetReturnsAll) {
+  auto ds = *Dataset::FromRows({{0.0}, {1.0}, {2.0}});
+  auto searcher = MakeKdTreeSearcher(ds, Subspace({0}));
+  const std::vector<double> query = {0.4};
+  const auto nbrs = searcher->QueryKnnPoint(query, 99);
+  EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST_P(KnnParityTest, QueryKnnPointKdTreeMatchesBruteForce) {
+  const ParityCase& c = GetParam();
+  Dataset ds = RandomDataset(c.n, c.d, c.seed + 2000);
+  const Subspace full = ds.FullSpace();
+  auto brute = MakeBruteForceSearcher(ds, full);
+  auto kd = MakeKdTreeSearcher(ds, full);
+  Rng rng(c.seed + 3000);
+  std::vector<double> query(c.d);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (double& v : query) v = rng.UniformDouble();
+    const auto expected = brute->QueryKnnPoint(query, c.k);
+    const auto actual = kd->QueryKnnPoint(query, c.k);
+    ASSERT_EQ(actual.size(), expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i].id)
+          << "trial " << trial << " neighbor " << i;
+      // Exact equality, not NEAR: serving depends on the backends being
+      // bit-identical so the cache / backend choice can never change a
+      // served score.
+      EXPECT_EQ(actual[i].distance, expected[i].distance);
+    }
+  }
+}
+
+TEST(QueryKnnPointTest, MatchesQueryKnnOnTrainingPointsPlusSelf) {
+  // A point query at training object q must return q itself at distance 0
+  // followed by exactly QueryKnn(q, k-1)'s neighbors (no duplicates in
+  // the data).
+  Dataset ds = RandomDataset(60, 3, 99);
+  auto searcher = MakeBruteForceSearcher(ds, ds.FullSpace());
+  std::vector<double> point(3);
+  for (std::size_t q = 0; q < 10; ++q) {
+    for (std::size_t j = 0; j < 3; ++j) point[j] = ds.Get(q, j);
+    const auto with_self = searcher->QueryKnnPoint(point, 5);
+    const auto without_self = searcher->QueryKnn(q, 4);
+    ASSERT_EQ(with_self.size(), 5u);
+    EXPECT_EQ(with_self[0].id, q);
+    EXPECT_EQ(with_self[0].distance, 0.0);
+    for (std::size_t i = 0; i < without_self.size(); ++i) {
+      EXPECT_EQ(with_self[i + 1].id, without_self[i].id);
+      EXPECT_EQ(with_self[i + 1].distance, without_self[i].distance);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hics

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -423,6 +424,84 @@ TEST(ScoreValidationTest, PoisonScorerNeverEntersCache) {
       prepared, ds.FullSpace(), RunContext());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(prepared.cache().num_score_vectors(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: a deadline racing the cache must not poison it
+
+/// Simulates a scorer whose pass was cut short (e.g. by a deadline): it
+/// returns fewer scores than objects. The checked path must reject the
+/// partial vector and keep it out of the cache.
+class TruncatingScorer : public OutlierScorer {
+ public:
+  std::vector<double> ScoreSubspace(const Dataset& dataset,
+                                    const Subspace&) const override {
+    const std::size_t n = dataset.num_objects();
+    return std::vector<double>(n > 3 ? n - 3 : 0, 1.0);
+  }
+  std::string name() const override { return "truncating"; }
+  std::string cache_key() const override { return "truncating"; }
+};
+
+TEST(DeadlineCacheRaceTest, PartialScoreVectorIsRejectedAndNeverCached) {
+  const Dataset ds = ClusteredDataset(40, 3, 41);
+  const PreparedDataset prepared(ds);
+  const TruncatingScorer scorer;
+  const auto result = scorer.ScoreSubspacePreparedChecked(
+      prepared, ds.FullSpace(), RunContext());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("' returned "),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_EQ(prepared.cache().num_score_vectors(), 0u);
+  EXPECT_EQ(prepared.cache().FindScores("truncating", ds.FullSpace()),
+            nullptr);
+}
+
+TEST(DeadlineCacheRaceTest, ExpiredDeadlineLeavesCacheEmpty) {
+  const Dataset ds = ClusteredDataset(60, 4, 43);
+  const PreparedDataset prepared(ds);
+  const LofScorer scorer({/*min_pts=*/8});
+  const RunContext expired =
+      RunContext::WithTimeout(std::chrono::milliseconds(-1));
+  const auto dead = scorer.ScoreSubspacePreparedChecked(
+      prepared, ds.FullSpace(), expired);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(prepared.cache().num_score_vectors(), 0u);
+
+  // The same prepared artifact keeps serving clean contexts, and the now
+  // cached vector is byte-identical to a cold computation.
+  const auto healthy = scorer.ScoreSubspacePreparedChecked(
+      prepared, ds.FullSpace(), RunContext());
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(*healthy, scorer.ScoreSubspace(ds, ds.FullSpace()));
+  EXPECT_EQ(prepared.cache().num_score_vectors(), 1u);
+}
+
+TEST(DeadlineCacheRaceTest, DeadlineRacingParallelRankingNeverPoisonsCache) {
+  // Concurrent degraded rankings race a deadline that expires mid-run.
+  // Whatever subset completes, every cache entry that exists afterwards
+  // must be a complete, byte-identical-to-cold score vector: a deadline
+  // may shrink the ensemble, never corrupt the artifact.
+  const Dataset ds = ClusteredDataset(300, 4, 47);
+  const LofScorer scorer({/*min_pts=*/10});
+  const std::vector<Subspace> subspaces = SomeSubspaces();
+  for (int trial = 0; trial < 5; ++trial) {
+    const PreparedDataset prepared(ds);
+    const RunContext ctx =
+        RunContext::WithTimeout(std::chrono::microseconds(300 * trial));
+    (void)RankWithSubspacesDegraded(prepared, subspaces, scorer,
+                                    ScoreAggregation::kAverage, ctx,
+                                    /*num_threads=*/4);
+    for (const Subspace& s : subspaces) {
+      const auto cached = prepared.cache().FindScores(scorer.cache_key(), s);
+      if (cached == nullptr) continue;  // raced out before publishing: fine
+      EXPECT_EQ(cached->size(), ds.num_objects());
+      EXPECT_EQ(*cached, scorer.ScoreSubspace(ds, s))
+          << "trial " << trial << " subspace " << s.ToString();
+    }
+  }
 }
 
 }  // namespace

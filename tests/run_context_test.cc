@@ -165,6 +165,53 @@ TEST(FaultInjectorTest, TalliesAndReset) {
   EXPECT_TRUE(injector.OnSite("a").ok());
 }
 
+TEST(RunContextTest, RemainingBudgetUnboundedWithoutDeadline) {
+  RunContext ctx;
+  EXPECT_EQ(ctx.RemainingBudget(), RunContext::Clock::duration::max());
+}
+
+TEST(RunContextTest, RemainingBudgetZeroPastDeadline) {
+  const RunContext ctx =
+      RunContext::WithTimeout(std::chrono::milliseconds(-1));
+  EXPECT_EQ(ctx.RemainingBudget(), RunContext::Clock::duration::zero());
+}
+
+TEST(RunContextTest, AdmitWorkAlwaysAdmitsWithoutDeadline) {
+  RunContext ctx;
+  EXPECT_TRUE(ctx.AdmitWork(std::chrono::hours(24), "huge batch").ok());
+}
+
+TEST(RunContextTest, AdmitWorkAdmitsWorkThatFits) {
+  const RunContext ctx = RunContext::WithTimeout(std::chrono::seconds(60));
+  EXPECT_TRUE(ctx.AdmitWork(std::chrono::milliseconds(1), "small batch").ok());
+}
+
+TEST(RunContextTest, AdmitWorkShedsWorkThatCannotFit) {
+  const RunContext ctx =
+      RunContext::WithTimeout(std::chrono::milliseconds(10));
+  const Status s = ctx.AdmitWork(std::chrono::seconds(60), "batch of 64");
+  EXPECT_EQ(s.code(), StatusCode::kOverloaded);
+  // The typed status names the shed unit and both sides of the budget
+  // comparison, so callers can log an actionable message.
+  EXPECT_NE(s.message().find("batch of 64"), std::string::npos);
+}
+
+TEST(RunContextTest, AdmitWorkReportsDeadlineExceededWhenAlreadyDead) {
+  // An already-expired context is not "overloaded" -- the run is over;
+  // the distinction matters to retry logic.
+  const RunContext ctx =
+      RunContext::WithTimeout(std::chrono::milliseconds(-1));
+  EXPECT_EQ(ctx.AdmitWork(std::chrono::nanoseconds(1), "w").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, AdmitWorkReportsCancellationFirst) {
+  const RunContext ctx = RunContext::WithTimeout(std::chrono::seconds(60));
+  ctx.RequestCancellation();
+  EXPECT_EQ(ctx.AdmitWork(std::chrono::nanoseconds(1), "w").code(),
+            StatusCode::kCancelled);
+}
+
 TEST(FaultInjectorTest, ThreadSafeCountingIsExact) {
   FaultInjector injector;
   injector.FailNthCall("s", 500, Status::Internal("boom"));

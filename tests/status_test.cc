@@ -24,9 +24,20 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
         StatusCode::kNotFound, StatusCode::kAlreadyExists, StatusCode::kIOError,
-        StatusCode::kNotImplemented, StatusCode::kInternal}) {
+        StatusCode::kNotImplemented, StatusCode::kInternal,
+        StatusCode::kDataLoss, StatusCode::kOverloaded}) {
     EXPECT_STRNE(StatusCodeToString(code), "");
   }
+}
+
+TEST(StatusTest, OverloadedIsDistinctFromDeadlineExceeded) {
+  // Load shedding (work rejected up front) and deadline expiry (work
+  // started and ran out of time) must be distinguishable by callers.
+  Status shed = Status::Overloaded("batch of 64 queries rejected");
+  EXPECT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kOverloaded);
+  EXPECT_NE(shed.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(shed.ToString(), "Overloaded: batch of 64 queries rejected");
 }
 
 TEST(ResultTest, HoldsValue) {
