@@ -20,9 +20,11 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/bench_kernels.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "core/contrast.h"
+#include "simd/simd.h"
 #include "stats/two_sample_test.h"
 
 namespace hics {
@@ -68,6 +70,62 @@ struct Cell {
   double rank_seconds;
   bool identical;
 };
+
+/// Appends a "kernels" object: effective GB/s and GFLOP/s of the
+/// dispatched deviation-path kernels over a contrast-shaped working set
+/// (one N=2000 column, ~alpha=0.1 selection density). These are the
+/// kernels DeviationFromSelection runs per Monte Carlo draw: id-order
+/// compaction + fused moments for Welch, sorted-order compaction for
+/// KS/CvM.
+void WriteDeviationKernelThroughput(bench::JsonWriter& json) {
+  const simd::SimdKernels& kernels = simd::ActiveKernels();
+  Rng rng(4242);
+  const std::size_t n = 2000;
+  std::vector<double> column(n);
+  for (double& v : column) v = rng.UniformDouble();
+  std::vector<double> sorted = column;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<std::uint32_t> stamps(n);
+  const std::uint32_t target = 3;
+  for (std::uint32_t& s : stamps) {
+    s = rng.UniformDouble() < 0.1 ? target : 1;
+  }
+  std::vector<double> out(n + simd::kCompactPad);
+  const bench::KernelRate compact = bench::MeasureKernel(
+      [&] {
+        bench::KeepAlive(kernels.compact_selected(
+            column.data(), stamps.data(), n, target, out.data()));
+      },
+      static_cast<double>(n * (sizeof(double) + sizeof(std::uint32_t))),
+      0.0);
+  const bench::KernelRate compact_sorted = bench::MeasureKernel(
+      [&] {
+        bench::KeepAlive(kernels.compact_selected_sorted(
+            sorted.data(), order.data(), stamps.data(), n, target,
+            out.data()));
+      },
+      // Full sweep of order + gathered stamps, plus the selected ~10% of
+      // sorted values read and written.
+      static_cast<double>(n * (sizeof(std::size_t) +
+                               sizeof(std::uint32_t)) +
+                          0.1 * n * 2 * sizeof(double)),
+      0.0);
+  const bench::KernelRate sum_rate = bench::MeasureKernel(
+      [&] { bench::KeepAlive(kernels.sum(column.data(), n)); },
+      static_cast<double>(n * sizeof(double)), static_cast<double>(n));
+  const bench::KernelRate ssd_rate = bench::MeasureKernel(
+      [&] { bench::KeepAlive(kernels.sum_sq_dev(column.data(), n, 0.5)); },
+      static_cast<double>(n * sizeof(double)),
+      static_cast<double>(3 * n));
+  json.BeginObject("kernels");
+  bench::WriteKernelRate(json, "compact_selected", compact);
+  bench::WriteKernelRate(json, "compact_selected_sorted", compact_sorted);
+  bench::WriteKernelRate(json, "sum", sum_rate);
+  bench::WriteKernelRate(json, "sum_sq_dev", ssd_rate);
+  json.EndObject();
+}
 
 }  // namespace
 
@@ -149,6 +207,8 @@ int Run() {
       .Field("contrasts_per_run",
              static_cast<std::uint64_t>(kContrastsPerRun));
   bench::WriteBuildInfo(json);
+  bench::WriteSimdInfo(json);
+  WriteDeviationKernelThroughput(json);
   json.BeginArray("grid");
   for (const Cell& c : cells) {
     json.BeginObject()

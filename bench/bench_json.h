@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "simd/simd.h"
+
 namespace hics::bench {
 
 /// Builds one JSON document through nested Begin*/End*/Field calls:
@@ -159,6 +161,25 @@ inline JsonWriter& WriteBuildInfo(JsonWriter& json) {
       .Field("cxx_flags", flags)
       .Field("build_type", build_type)
       .Field("git_commit", git_commit)
+      .EndObject();
+}
+
+/// Appends a "simd" object (cpuid features, best runnable tier, and the
+/// tier actually dispatched when the record was produced) to the record
+/// under construction. Absolute timings are only comparable between
+/// records with the same active tier; the feature flags tell whether a
+/// slower record came from weaker hardware or a forced-down dispatch.
+inline JsonWriter& WriteSimdInfo(JsonWriter& json) {
+  const simd::SimdFeatures& f = simd::DetectedFeatures();
+  return json.BeginObject("simd")
+      .Field("avx2", f.avx2)
+      .Field("fma", f.fma)
+      .Field("avx512f", f.avx512f)
+      .Field("avx512bw", f.avx512bw)
+      .Field("avx512dq", f.avx512dq)
+      .Field("avx512vl", f.avx512vl)
+      .Field("detected_tier", simd::SimdTierName(simd::DetectedTier()))
+      .Field("active_tier", simd::SimdTierName(simd::ActiveTier()))
       .EndObject();
 }
 

@@ -1,0 +1,72 @@
+// Shared kernel-throughput measurement for BENCH_* reports: times one
+// dispatched SIMD kernel and converts the per-call wall clock into
+// effective GB/s and GFLOP/s under a caller-supplied traffic model (bytes
+// actually touched per call, arithmetic the kernel's contract requires).
+// The rates are comparable across tiers and commits because the model is
+// fixed per kernel, not per implementation.
+
+#ifndef HICS_BENCH_BENCH_KERNELS_H_
+#define HICS_BENCH_BENCH_KERNELS_H_
+
+#include <cstddef>
+
+#include "bench/bench_json.h"
+#include "common/timer.h"
+
+namespace hics::bench {
+
+/// Compiler barrier: forces `value` to be materialized so a timed kernel
+/// call cannot be dead-code eliminated (works for results and for output
+/// buffer pointers alike).
+template <typename T>
+inline void KeepAlive(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+/// Effective throughput of one dispatched kernel: wall-clock per call plus
+/// the memory and arithmetic rates implied by its per-call traffic.
+struct KernelRate {
+  double seconds = 0.0;
+  double gb_per_s = 0.0;
+  double gflop_per_s = 0.0;
+};
+
+/// Times `fn` (warmup call + geometrically grown repetition batches until
+/// the batch exceeds ~30 ms) and converts the per-call cost into effective
+/// GB/s / GFLOP/s from the caller's traffic model.
+template <typename Fn>
+KernelRate MeasureKernel(Fn&& fn, double bytes_per_call,
+                         double flops_per_call) {
+  fn();  // warmup: page in buffers, settle the dispatch
+  std::size_t reps = 1;
+  double elapsed = 0.0;
+  for (;;) {
+    Timer timer;
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    elapsed = timer.ElapsedSeconds();
+    if (elapsed > 0.03 || reps >= (1u << 22)) break;
+    reps *= 4;
+  }
+  KernelRate rate;
+  rate.seconds = elapsed / static_cast<double>(reps);
+  if (rate.seconds > 0.0) {
+    rate.gb_per_s = bytes_per_call / rate.seconds / 1e9;
+    rate.gflop_per_s = flops_per_call / rate.seconds / 1e9;
+  }
+  return rate;
+}
+
+/// Appends one named rate object ({seconds_per_call, gb_per_s,
+/// gflop_per_s}) to the record under construction.
+inline JsonWriter& WriteKernelRate(JsonWriter& json, const char* name,
+                                   const KernelRate& rate) {
+  return json.BeginObject(name)
+      .Field("seconds_per_call", rate.seconds)
+      .Field("gb_per_s", rate.gb_per_s)
+      .Field("gflop_per_s", rate.gflop_per_s)
+      .EndObject();
+}
+
+}  // namespace hics::bench
+
+#endif  // HICS_BENCH_BENCH_KERNELS_H_

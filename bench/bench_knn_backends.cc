@@ -5,7 +5,13 @@
 //   brute_per_query  — N independent bound-abandoning scans (the
 //                      pre-batching reference path),
 //   brute_batched    — the blocked SoA + symmetric-pair kernel,
+//   brute_f32_screen — the same blocked kernel screening in float32 with
+//                      exact-double recompute of surviving candidates,
 //   kd_tree          — per-query median-split KD-tree search.
+//
+// Timings depend on the dispatched SIMD tier (the brute kernels run the
+// tier's screen-row kernels; the kd-tree does not use them), so the header
+// line and the JSON "simd" object record the tier each record came from.
 //
 // Output: a table on stdout and BENCH_knn_backends.json with every cell,
 // the per-N crossover dimensionality where the KD-tree stops winning, and
@@ -23,6 +29,7 @@
 #include "common/timer.h"
 #include "index/neighbor_searcher.h"
 #include "outlier/subspace_ranker.h"
+#include "simd/simd.h"
 
 namespace hics {
 namespace {
@@ -58,6 +65,7 @@ struct Cell {
   std::size_t dim;
   double per_query_seconds;
   double batched_seconds;
+  double batched_f32_seconds;
   double kd_tree_seconds;
 };
 
@@ -68,9 +76,11 @@ int Run() {
   const std::vector<std::size_t> dims = {1, 2, 3, 4, 6, 8};
   std::vector<Cell> cells;
 
-  std::printf("all-kNN wall clock (k = %zu, median of 3), seconds\n", kK);
-  std::printf("%6s %4s %14s %14s %14s %s\n", "N", "|S|", "brute/query",
-              "brute/batched", "kd-tree", "winner");
+  std::printf("all-kNN wall clock (k = %zu, median of 3, simd tier %s), "
+              "seconds\n",
+              kK, simd::SimdTierName(simd::ActiveTier()));
+  std::printf("%6s %4s %14s %14s %14s %14s %s\n", "N", "|S|", "brute/query",
+              "brute/batched", "brute/f32", "kd-tree", "winner");
   for (std::size_t n : sizes) {
     for (std::size_t dim : dims) {
       const Dataset ds = UniformData(n, dim, 1000 + n + dim);
@@ -88,14 +98,22 @@ int Run() {
         const auto s = MakeBruteForceSearcher(ds, full);
         s->QueryAllKnn(kK, &table);
       });
+      const double batched_f32 = MedianSeconds(runs, [&] {
+        const auto s = MakeBruteForceSearcher(ds, full,
+                                              KnnPrecision::kFloat32Screen);
+        s->QueryAllKnn(kK, &table);
+      });
       const double kd = MedianSeconds(runs, [&] {
         const auto s = MakeKdTreeSearcher(ds, full);
         s->QueryAllKnn(kK, &table);
       });
-      cells.push_back({n, dim, per_query, batched, kd});
-      const char* winner = kd < batched ? "kd-tree" : "brute/batched";
-      std::printf("%6zu %4zu %14.6f %14.6f %14.6f %s\n", n, dim, per_query,
-                  batched, kd, winner);
+      cells.push_back({n, dim, per_query, batched, batched_f32, kd});
+      const double best_brute = std::min(batched, batched_f32);
+      const char* winner = kd < best_brute          ? "kd-tree"
+                           : batched_f32 < batched ? "brute/f32"
+                                                    : "brute/batched";
+      std::printf("%6zu %4zu %14.6f %14.6f %14.6f %14.6f %s\n", n, dim,
+                  per_query, batched, batched_f32, kd, winner);
     }
   }
 
@@ -123,6 +141,7 @@ int Run() {
       .Field("benchmark", "bench_knn_backends.all_knn_crossover")
       .Field("k", static_cast<std::uint64_t>(kK));
   bench::WriteBuildInfo(json);
+  bench::WriteSimdInfo(json);
   json.BeginArray("grid");
   for (const Cell& c : cells) {
     json.BeginObject()
@@ -130,6 +149,7 @@ int Run() {
         .Field("dim", static_cast<std::uint64_t>(c.dim))
         .Field("brute_per_query_seconds", c.per_query_seconds)
         .Field("brute_batched_seconds", c.batched_seconds)
+        .Field("brute_f32_screen_seconds", c.batched_f32_seconds)
         .Field("kd_tree_seconds", c.kd_tree_seconds)
         .EndObject();
   }
@@ -149,7 +169,7 @@ int Run() {
   json.BeginObject("selector")
       .Field("kd_tree_min_objects", static_cast<std::uint64_t>(256))
       .Field("kd_tree_max_dims", static_cast<std::uint64_t>(4))
-      .Field("kd_tree_extended_min_objects", static_cast<std::uint64_t>(2000))
+      .Field("kd_tree_extended_min_objects", static_cast<std::uint64_t>(4000))
       .Field("kd_tree_extended_max_dims", static_cast<std::uint64_t>(6))
       .EndObject()
       .EndObject();

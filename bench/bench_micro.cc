@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/bench_kernels.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/timer.h"
@@ -30,6 +31,7 @@
 #include "outlier/subspace_ranker.h"
 #include "serve/hics_model.h"
 #include "serve/model_io.h"
+#include "simd/simd.h"
 #include "stats/ks_test.h"
 #include "stats/welch_t_test.h"
 
@@ -55,7 +57,7 @@ void BM_SortedIndexBuild(benchmark::State& state) {
   const Dataset ds = UniformData(state.range(0), 25, 1);
   for (auto _ : state) {
     SortedAttributeIndex index(ds);
-    benchmark::DoNotOptimize(index.num_objects());
+    bench::KeepAlive(index.num_objects());
   }
 }
 BENCHMARK(BM_SortedIndexBuild)->Arg(1000)->Arg(4000);
@@ -67,7 +69,7 @@ void BM_SliceDraw(benchmark::State& state) {
   const Subspace s = FirstDims(state.range(0));
   Rng rng(3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.Draw(s, 0.1, &rng).selected_count);
+    bench::KeepAlive(sampler.Draw(s, 0.1, &rng).selected_count);
   }
 }
 BENCHMARK(BM_SliceDraw)->Arg(2)->Arg(3)->Arg(5)->Arg(8);
@@ -79,7 +81,7 @@ void BM_WelchDeviation(benchmark::State& state) {
   for (double& v : b) v = rng.Gaussian();
   const stats::WelchTDeviation dev;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dev.Deviation(a, b));
+    bench::KeepAlive(dev.Deviation(a, b));
   }
 }
 BENCHMARK(BM_WelchDeviation)->Arg(1000)->Arg(10000);
@@ -91,7 +93,7 @@ void BM_KsDeviation(benchmark::State& state) {
   for (double& v : b) v = rng.Gaussian();
   const stats::KsDeviation dev;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dev.Deviation(a, b));
+    bench::KeepAlive(dev.Deviation(a, b));
   }
 }
 BENCHMARK(BM_KsDeviation)->Arg(1000)->Arg(10000);
@@ -103,7 +105,7 @@ void BM_ContrastEstimate(benchmark::State& state) {
   const Subspace s = FirstDims(state.range(0));
   Rng rng(7);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(estimator.Contrast(s, &rng));
+    bench::KeepAlive(estimator.Contrast(s, &rng));
   }
 }
 BENCHMARK(BM_ContrastEstimate)->Arg(2)->Arg(3)->Arg(5);
@@ -113,7 +115,7 @@ void BM_KnnBruteForce(benchmark::State& state) {
   const auto searcher = MakeBruteForceSearcher(ds, ds.FullSpace());
   std::size_t query = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(searcher->QueryKnn(query, 10).size());
+    bench::KeepAlive(searcher->QueryKnn(query, 10).size());
     query = (query + 1) % ds.num_objects();
   }
 }
@@ -127,7 +129,7 @@ void BM_KnnBruteForceBatched(benchmark::State& state) {
   KnnResultTable table;
   for (auto _ : state) {
     searcher->QueryAllKnn(10, &table);
-    benchmark::DoNotOptimize(table.count(0));
+    bench::KeepAlive(table.count(0));
   }
 }
 BENCHMARK(BM_KnnBruteForceBatched)->Arg(2)->Arg(8)->Arg(25);
@@ -137,7 +139,7 @@ void BM_KnnKdTree(benchmark::State& state) {
   const auto searcher = MakeKdTreeSearcher(ds, ds.FullSpace());
   std::size_t query = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(searcher->QueryKnn(query, 10).size());
+    bench::KeepAlive(searcher->QueryKnn(query, 10).size());
     query = (query + 1) % ds.num_objects();
   }
 }
@@ -147,10 +149,130 @@ void BM_LofScore(benchmark::State& state) {
   const Dataset ds = UniformData(state.range(0), 5, 10);
   const LofScorer lof({.min_pts = 10});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lof.ScoreFullSpace(ds).size());
+    bench::KeepAlive(lof.ScoreFullSpace(ds).size());
   }
 }
 BENCHMARK(BM_LofScore)->Arg(500)->Arg(1000)->Arg(2000);
+
+/// Appends a "kernels" object: effective GB/s and GFLOP/s of each hot
+/// dispatched kernel on the active tier, over working sets shaped like the
+/// pipeline's (screen rows over a 2000-point SoA, moment/compaction sweeps
+/// over contrast-sized columns). The traffic model counts bytes actually
+/// touched per call and the arithmetic the kernel's contract requires, so
+/// the rates are comparable across tiers and commits.
+void WriteKernelThroughput(bench::JsonWriter& json) {
+  using bench::MeasureKernel;
+  const simd::SimdKernels& kernels = simd::ActiveKernels();
+  Rng rng(97);
+  const std::size_t n = 2000;
+  const std::size_t dim = 8;
+  const std::size_t w = 128;
+  std::vector<double> soa(n * dim);
+  for (double& v : soa) v = rng.UniformDouble();
+  std::vector<double> norms(n, 0.0);
+  for (std::size_t d = 0; d < dim; ++d) {
+    for (std::size_t i = 0; i < n; ++i) {
+      norms[i] += soa[d * n + i] * soa[d * n + i];
+    }
+  }
+  std::vector<float> soa32(soa.begin(), soa.end());
+  std::vector<float> norms32(n, 0.0f);
+  for (std::size_t d = 0; d < dim; ++d) {
+    for (std::size_t i = 0; i < n; ++i) {
+      norms32[i] += soa32[d * n + i] * soa32[d * n + i];
+    }
+  }
+  std::vector<double> d2(w);
+  const bench::KernelRate screen_f64 = MeasureKernel(
+      [&] {
+        kernels.screen_row_f64(soa.data(), n, dim, 3, 64, w, norms[3],
+                               norms.data() + 64, d2.data());
+        bench::KeepAlive(d2.data());
+      },
+      // Per call: dim column segments of w doubles + w norms read, w
+      // doubles written; 2 flops per (dim, t) product-accumulate plus the
+      // 3-op norm combine per output.
+      static_cast<double>((dim * w + w) * sizeof(double) +
+                          w * sizeof(double)),
+      static_cast<double>(2 * dim * w + 3 * w));
+  const bench::KernelRate screen_f32 = MeasureKernel(
+      [&] {
+        kernels.screen_row_f32(soa32.data(), n, dim, 3, 64, w, norms32[3],
+                               norms32.data() + 64, d2.data());
+        bench::KeepAlive(d2.data());
+      },
+      static_cast<double>((dim * w + w) * sizeof(float) +
+                          w * sizeof(double)),
+      static_cast<double>(2 * dim * w + 3 * w));
+
+  const std::size_t dist_dim = 32;
+  std::vector<double> pa(dist_dim), pb(dist_dim);
+  for (double& v : pa) v = rng.UniformDouble();
+  for (double& v : pb) v = rng.UniformDouble();
+  const bench::KernelRate distance = MeasureKernel(
+      [&] {
+        bench::KeepAlive(
+            kernels.squared_distance(pa.data(), pb.data(), dist_dim));
+      },
+      static_cast<double>(2 * dist_dim * sizeof(double)),
+      static_cast<double>(3 * dist_dim));
+
+  const std::size_t cn = 100000;
+  std::vector<double> column(cn);
+  for (double& v : column) v = rng.UniformDouble();
+  std::vector<double> sorted = column;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::size_t> order(cn);
+  for (std::size_t i = 0; i < cn; ++i) order[i] = i;
+  std::vector<std::uint32_t> stamps(cn);
+  const std::uint32_t target = 5;
+  for (std::uint32_t& s : stamps) {
+    s = rng.UniformDouble() < 0.1 ? target : 1;
+  }
+  std::vector<double> compact_out(cn + simd::kCompactPad);
+  double selected = 0.0;
+  const bench::KernelRate compact = MeasureKernel(
+      [&] {
+        selected = static_cast<double>(kernels.compact_selected(
+            column.data(), stamps.data(), cn, target, compact_out.data()));
+        bench::KeepAlive(compact_out.data());
+      },
+      static_cast<double>(cn * (sizeof(double) + sizeof(std::uint32_t))),
+      0.0);
+  const bench::KernelRate compact_sorted = MeasureKernel(
+      [&] {
+        bench::KeepAlive(kernels.compact_selected_sorted(
+            sorted.data(), order.data(), stamps.data(), cn, target,
+            compact_out.data()));
+      },
+      static_cast<double>(cn * (2 * sizeof(double) + sizeof(std::size_t) +
+                                sizeof(std::uint32_t)) /
+                          2),
+      0.0);
+  const bench::KernelRate sum_rate = MeasureKernel(
+      [&] {
+        bench::KeepAlive(kernels.sum(column.data(), cn));
+      },
+      static_cast<double>(cn * sizeof(double)), static_cast<double>(cn));
+  const bench::KernelRate ssd_rate = MeasureKernel(
+      [&] {
+        bench::KeepAlive(
+            kernels.sum_sq_dev(column.data(), cn, 0.5));
+      },
+      static_cast<double>(cn * sizeof(double)),
+      static_cast<double>(3 * cn));
+
+  json.BeginObject("kernels");
+  bench::WriteKernelRate(json, "screen_row_f64", screen_f64);
+  bench::WriteKernelRate(json, "screen_row_f32", screen_f32);
+  bench::WriteKernelRate(json, "squared_distance", distance);
+  bench::WriteKernelRate(json, "compact_selected", compact);
+  bench::WriteKernelRate(json, "compact_selected_sorted", compact_sorted);
+  bench::WriteKernelRate(json, "sum", sum_rate);
+  bench::WriteKernelRate(json, "sum_sq_dev", ssd_rate);
+  json.EndObject();
+  (void)selected;
+}
 
 }  // namespace
 
@@ -179,6 +301,12 @@ BENCHMARK(BM_LofScore)->Arg(500)->Arg(1000)->Arg(2000);
 /// single-query latency in microseconds. serve_identical = whether a
 /// model serialized to bytes and loaded back served the same 256 queries
 /// byte-identically to the fresh model.
+///
+/// The record also carries the SIMD dispatch state ("simd" object), the
+/// effective GB/s / GFLOP/s of each dispatched kernel ("kernels" object),
+/// and simd_identical = whether the search repeated on every runnable
+/// tier and the float32-screen kNN mode all reproduced the tracked
+/// results byte for byte.
 void WritePipelineStageReport() {
   SyntheticParams gen;
   gen.num_objects = 1000;
@@ -328,12 +456,58 @@ void WritePipelineStageReport() {
     serve_identical = reloaded_scores.ok() && *reloaded_scores == fresh_scores;
   }
 
+  // SIMD cross-tier identity: re-run the tracked search forced down to
+  // each runnable tier (params.simd_tier applies a scoped override) and
+  // require the byte-identical subspace list; then require the float32
+  // screening mode to reproduce the exact-double kNN tables element for
+  // element on the top search results. Together with search_identical /
+  // ranking_identical this pins the CANONICAL-kernel contract: the
+  // dispatched tier must never be observable in results.
+  bool simd_identical = true;
+  for (simd::SimdTier tier :
+       {simd::SimdTier::kScalar, simd::SimdTier::kAvx2,
+        simd::SimdTier::kAvx512}) {
+    if (tier > simd::DetectedTier()) continue;
+    HicsParams tier_params = params;
+    tier_params.simd_tier = simd::SimdTierName(tier);
+    if (!same_subspaces(RunHicsSearch(data, tier_params))) {
+      simd_identical = false;
+    }
+  }
+  const std::size_t f32_check =
+      std::min<std::size_t>(5, subspaces->size());
+  for (std::size_t s = 0; simd_identical && s < f32_check; ++s) {
+    const Subspace& sub = (*subspaces)[s].subspace;
+    const auto exact = MakeBruteForceSearcher(data, sub);
+    const auto screened =
+        MakeBruteForceSearcher(data, sub, KnnPrecision::kFloat32Screen);
+    KnnResultTable exact_table, screened_table;
+    exact->QueryAllKnn(10, &exact_table, 1);
+    screened->QueryAllKnn(10, &screened_table, 1);
+    for (std::size_t q = 0; q < exact_table.num_queries(); ++q) {
+      const auto a = exact_table.Row(q);
+      const auto b = screened_table.Row(q);
+      if (a.size() != b.size()) {
+        simd_identical = false;
+        break;
+      }
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].id != b[i].id || a[i].distance != b[i].distance) {
+          simd_identical = false;
+          break;
+        }
+      }
+      if (!simd_identical) break;
+    }
+  }
+
   bench::JsonWriter json;
   json.BeginObject()
       .Field("benchmark", "bench_micro.pipeline_stages")
       .Field("hardware_concurrency",
              static_cast<std::uint64_t>(DefaultNumThreads()));
   bench::WriteBuildInfo(json);
+  bench::WriteSimdInfo(json);
   json.BeginObject("dataset")
       .Field("num_objects", static_cast<std::uint64_t>(data.num_objects()))
       .Field("num_attributes",
@@ -401,8 +575,9 @@ void WritePipelineStageReport() {
       .Field("score_hits", cache_stats.score_hits)
       .Field("score_misses", cache_stats.score_misses)
       .Field("hit_rate", cache_stats.hit_rate())
-      .EndObject()
-      .Field("ranking_speedup", rank_serial_seconds / rank_parallel_seconds)
+      .EndObject();
+  WriteKernelThroughput(json);
+  json.Field("ranking_speedup", rank_serial_seconds / rank_parallel_seconds)
       .Field("batch_knn_speedup",
              rank_per_query_seconds / rank_serial_seconds)
       .Field("contrast_kernel_speedup",
@@ -413,6 +588,7 @@ void WritePipelineStageReport() {
       .Field("ranking_identical", identical)
       .Field("warm_identical", warm_identical)
       .Field("serve_identical", serve_identical)
+      .Field("simd_identical", simd_identical)
       .EndObject();
   if (bench::WriteJsonFile("BENCH_micro.json", json)) {
     std::printf(
@@ -421,8 +597,8 @@ void WritePipelineStageReport() {
         "%.3fs, rank serial/batched %.3fs (%.2fx), rank parallel (%zu "
         "threads) %.3fs (%.2fx), identical=%s, rank cold %.3fs, rank warm "
         "%.3fs (%.2fx, hit rate %.2f), warm identical=%s, serve fit "
-        "%.3fs + %zu queries p50 %.1fus, reload identical=%s -> "
-        "BENCH_micro.json\n\n",
+        "%.3fs + %zu queries p50 %.1fus, reload identical=%s, simd tier "
+        "%s identical=%s -> BENCH_micro.json\n\n",
         search_seconds, search_oracle_seconds,
         search_oracle_seconds / search_seconds, search_parallel_threads,
         search_parallel_seconds, search_identical ? "yes" : "NO (BUG)",
@@ -433,7 +609,9 @@ void WritePipelineStageReport() {
         rank_warm_seconds, rank_cold_seconds / rank_warm_seconds,
         cache_stats.hit_rate(), warm_identical ? "yes" : "NO (BUG)",
         serve_fit_seconds, kNumServeQueries, serve_p50_us,
-        serve_identical ? "yes" : "NO (BUG)");
+        serve_identical ? "yes" : "NO (BUG)",
+        simd::SimdTierName(simd::ActiveTier()),
+        simd_identical ? "yes" : "NO (BUG)");
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace hics {
 
@@ -164,7 +165,12 @@ Dataset& Dataset::Standardize() {
 void Dataset::ResetDefaultNames() {
   names_.resize(columns_.size());
   for (std::size_t i = 0; i < names_.size(); ++i) {
-    names_[i] = "a" + std::to_string(i);
+    // snprintf rather than string concatenation: GCC 12 inlines the
+    // string insert/append and raises a spurious -Wrestrict under -mavx2
+    // (PR105329), and warnings are errors in CI.
+    char name[2 + sizeof(std::size_t) * 3];
+    std::snprintf(name, sizeof(name), "a%zu", i);
+    names_[i] = name;
   }
 }
 

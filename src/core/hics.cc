@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
 #include "common/parallel.h"
 #include "common/random.h"
+#include "simd/simd.h"
 #include "stats/two_sample_test.h"
 
 namespace hics {
@@ -27,6 +29,12 @@ Status HicsParams::Validate() const {
   if (max_dimensionality == 1) {
     return Status::InvalidArgument(
         "max_dimensionality must be 0 (unbounded) or >= 2");
+  }
+  simd::SimdTier tier;
+  if (!simd::ParseSimdTier(simd_tier, &tier)) {
+    return Status::InvalidArgument(
+        "unknown simd_tier '" + simd_tier +
+        "' (expected 'auto', 'scalar', 'avx2', or 'avx512')");
   }
   return Status::OK();
 }
@@ -156,6 +164,17 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(
     return Status::InvalidArgument("HiCS requires at least 2 objects");
   }
   HICS_RETURN_NOT_OK(ctx.InjectFault("hics.search"));
+
+  // Apply an explicitly requested SIMD tier for the duration of the run
+  // (results are tier-invariant; this only pins which kernel
+  // implementations execute). "auto" leaves the ambient active tier alone
+  // so an HICS_SIMD environment clamp stays in force.
+  std::optional<simd::ScopedSimdTier> tier_scope;
+  if (params.simd_tier != "auto") {
+    simd::SimdTier requested = simd::DetectedTier();
+    simd::ParseSimdTier(params.simd_tier, &requested);  // validated above
+    tier_scope.emplace(requested);
+  }
 
   const auto test = stats::MakeTwoSampleTest(params.statistical_test);
   HICS_CHECK(test != nullptr);

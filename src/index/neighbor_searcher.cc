@@ -27,11 +27,13 @@ void NeighborSearcher::QueryAllKnnPerQuery(std::size_t k, KnnResultTable* out,
 
 std::unique_ptr<NeighborSearcher> MakeSearcher(const Dataset& dataset,
                                                const Subspace& subspace,
-                                               KnnBackend backend) {
+                                               KnnBackend backend,
+                                               KnnPrecision precision) {
   HICS_CHECK(backend != KnnBackend::kAuto);
+  // The KD-tree has no screening stage, so precision does not apply there.
   return backend == KnnBackend::kKdTree
              ? MakeKdTreeSearcher(dataset, subspace)
-             : MakeBruteForceSearcher(dataset, subspace);
+             : MakeBruteForceSearcher(dataset, subspace, precision);
 }
 
 }  // namespace hics

@@ -74,6 +74,18 @@ enum class KnnBackend {
   kAuto,        ///< let the caller's selection policy decide
 };
 
+/// Precision of the *screening* stage of the batched brute-force kernel.
+/// Results are bit-identical either way: screening only prunes pairs, and
+/// every surviving candidate is re-evaluated with the exact double
+/// difference-form distance. kFloat32Screen runs the Gram tile rows in
+/// single precision (twice the SIMD lanes, half the SoA bandwidth) under a
+/// correspondingly wider slack margin; per-query paths and the KD-tree are
+/// unaffected.
+enum class KnnPrecision {
+  kFloat64,       ///< screen in double (default)
+  kFloat32Screen, ///< screen in float, exact double recheck on candidates
+};
+
 /// k-nearest-neighbor search over the objects of one dataset, with distances
 /// restricted to a subspace (Euclidean on the projected attributes, as in
 /// the paper's dist_S). Backends: brute force and KD-tree.
@@ -169,7 +181,8 @@ class NeighborSearcher {
 /// bound abandonment; batched (QueryAllKnn) it switches to a cache-blocked
 /// SoA kernel that computes each symmetric pair once — see DESIGN.md §5c.
 std::unique_ptr<NeighborSearcher> MakeBruteForceSearcher(
-    const Dataset& dataset, const Subspace& subspace);
+    const Dataset& dataset, const Subspace& subspace,
+    KnnPrecision precision = KnnPrecision::kFloat64);
 
 /// Median-split KD-tree; faster for low-dimensional subspaces, degrades
 /// toward brute force as dimensionality grows (the classic curse; compared
@@ -180,9 +193,9 @@ std::unique_ptr<NeighborSearcher> MakeKdTreeSearcher(const Dataset& dataset,
 /// Factory over a concrete backend choice. `backend` must not be kAuto —
 /// resolve policy first (ChooseKnnBackend) so the decision stays visible at
 /// the call site.
-std::unique_ptr<NeighborSearcher> MakeSearcher(const Dataset& dataset,
-                                               const Subspace& subspace,
-                                               KnnBackend backend);
+std::unique_ptr<NeighborSearcher> MakeSearcher(
+    const Dataset& dataset, const Subspace& subspace, KnnBackend backend,
+    KnnPrecision precision = KnnPrecision::kFloat64);
 
 }  // namespace hics
 

@@ -12,16 +12,19 @@ namespace hics {
 KnnBackend ChooseKnnBackend(std::size_t num_objects,
                             std::size_t num_dimensions) {
   // Calibrated from BENCH_knn_backends.json (all-kNN wall clock per
-  // backend over an (N, |S|) grid, k = 10, index build included): the
-  // KD-tree wins through |S| <= 4 at every measured N and holds on
-  // through |S| <= 6 once N reaches ~2000; past that the curse of
-  // dimensionality flattens its pruning while the blocked brute-force
+  // backend over an (N, |S|) grid, k = 10, index build included,
+  // avx512-dispatched SIMD screen kernels): the KD-tree wins through
+  // |S| <= 4 at every measured N but only holds on through |S| <= 6 once
+  // N reaches ~4000 — the vectorized Gram-screen tile sped the blocked
+  // brute-force kernel up enough to reclaim the (N=2000, |S|=6) cell that
+  // the pre-SIMD calibration gave to the tree. Past the crossover the
+  // curse of dimensionality flattens the tree's pruning while the brute
   // kernel's cost stays nearly flat in |S|. Below the measured range the
   // whole decision is sub-100us — brute force avoids betting on an
   // unmeasured tree-build constant there.
   constexpr std::size_t kKdTreeMinObjects = 256;
   constexpr std::size_t kKdTreeMaxDims = 4;
-  constexpr std::size_t kKdTreeExtendedMinObjects = 2000;
+  constexpr std::size_t kKdTreeExtendedMinObjects = 4000;
   constexpr std::size_t kKdTreeExtendedMaxDims = 6;
   if (num_objects >= kKdTreeMinObjects &&
       num_dimensions <= kKdTreeMaxDims) {

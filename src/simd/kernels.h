@@ -1,0 +1,23 @@
+// Internal: per-tier kernel tables. Each TU compiled with the matching
+// -m flags exposes exactly one accessor; simd.cc wires them into the
+// dispatch. Tables for tiers this binary was not compiled with are absent
+// (guarded by the HICS_SIMD_COMPILED_* macros from CMake).
+
+#ifndef HICS_SIMD_KERNELS_H_
+#define HICS_SIMD_KERNELS_H_
+
+#include "simd/simd.h"
+
+namespace hics::simd::internal {
+
+const SimdKernels& ScalarKernels();
+#ifdef HICS_SIMD_COMPILED_AVX2
+const SimdKernels& Avx2Kernels();
+#endif
+#ifdef HICS_SIMD_COMPILED_AVX512
+const SimdKernels& Avx512Kernels();
+#endif
+
+}  // namespace hics::simd::internal
+
+#endif  // HICS_SIMD_KERNELS_H_

@@ -1,0 +1,260 @@
+// AVX2 (+FMA) tier. CANONICAL kernels run the exact partial-sum lanes of
+// kernels_scalar.cc in ymm registers (a 4-double vector *is* the four
+// distance partials; two ymm accumulators are the eight moment partials),
+// spill to an array, and finish through the shared scalar tails — so the
+// results are bit-identical to the scalar tier by construction. No FMA in
+// canonical kernels (and the global -ffp-contract=off keeps the compiler
+// from fusing behind our back); the SCREENING kernels fuse freely.
+//
+// Compaction has no compress instruction on AVX2; it is emulated with a
+// per-mask shuffle table driving vpermd over the 4 candidate doubles.
+
+#ifdef HICS_SIMD_COMPILED_AVX2
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.h"
+#include "simd/kernels_common.h"
+
+namespace hics::simd::internal {
+namespace {
+
+double SquaredDistanceAvx2(const double* a, const double* b,
+                           std::size_t dim) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= dim; j += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  SquaredDistanceTail4(a, b, j, dim, s);
+  return Combine4(s);
+}
+
+double SquaredDistanceBoundedAvx2(const double* a, const double* b,
+                                  std::size_t dim, double bound) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t j = 0;
+  // Same every-8 bound cadence as the scalar tier; a result that never
+  // exceeded the bound is the full canonical accumulation.
+  for (; j + 8 <= dim; j += 8) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d0, d0));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + j + 4), _mm256_loadu_pd(b + j + 4));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d1, d1));
+    double s[4];
+    _mm256_storeu_pd(s, acc);
+    const double total = Combine4(s);
+    if (total > bound) return total;
+  }
+  for (; j + 4 <= dim; j += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  SquaredDistanceTail4(a, b, j, dim, s);
+  return Combine4(s);
+}
+
+void ScreenRowF64Avx2(const double* soa, std::size_t stride, std::size_t dim,
+                      std::size_t i, std::size_t j0, std::size_t w, double ni,
+                      const double* norms, double* d2) {
+  std::size_t t = 0;
+  const __m256d vni = _mm256_set1_pd(ni);
+  for (; t + 8 <= w; t += 8) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double* base = soa + d * stride;
+      const __m256d xi = _mm256_broadcast_sd(base + i);
+      const double* col = base + j0 + t;
+      acc0 = _mm256_fmadd_pd(xi, _mm256_loadu_pd(col), acc0);
+      acc1 = _mm256_fmadd_pd(xi, _mm256_loadu_pd(col + 4), acc1);
+    }
+    const __m256d r0 =
+        _mm256_sub_pd(_mm256_add_pd(vni, _mm256_loadu_pd(norms + t)),
+                      _mm256_add_pd(acc0, acc0));
+    const __m256d r1 =
+        _mm256_sub_pd(_mm256_add_pd(vni, _mm256_loadu_pd(norms + t + 4)),
+                      _mm256_add_pd(acc1, acc1));
+    _mm256_storeu_pd(d2 + t, r0);
+    _mm256_storeu_pd(d2 + t + 4, r1);
+  }
+  for (; t < w; ++t) {
+    double dot = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      dot += soa[d * stride + i] * soa[d * stride + j0 + t];
+    }
+    d2[t] = ni + norms[t] - 2.0 * dot;
+  }
+}
+
+void ScreenRowF32Avx2(const float* soa, std::size_t stride, std::size_t dim,
+                      std::size_t i, std::size_t j0, std::size_t w, float ni,
+                      const float* norms, double* d2) {
+  std::size_t t = 0;
+  const __m256 vni = _mm256_set1_ps(ni);
+  for (; t + 8 <= w; t += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float* base = soa + d * stride;
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(base + i),
+                            _mm256_loadu_ps(base + j0 + t), acc);
+    }
+    const __m256 r =
+        _mm256_sub_ps(_mm256_add_ps(vni, _mm256_loadu_ps(norms + t)),
+                      _mm256_add_ps(acc, acc));
+    _mm256_storeu_pd(d2 + t, _mm256_cvtps_pd(_mm256_castps256_ps128(r)));
+    _mm256_storeu_pd(d2 + t + 4,
+                     _mm256_cvtps_pd(_mm256_extractf128_ps(r, 1)));
+  }
+  for (; t < w; ++t) {
+    float dot = 0.0f;
+    for (std::size_t d = 0; d < dim; ++d) {
+      dot += soa[d * stride + i] * soa[d * stride + j0 + t];
+    }
+    d2[t] = static_cast<double>(ni + norms[t] - 2.0f * dot);
+  }
+}
+
+/// vpermd control words packing the doubles selected by a 4-bit stamp mask
+/// to the vector front: entry m lists the selected doubles' int32 halves
+/// (2e, 2e+1) in ascending e, padded with zeros (the padding lanes are
+/// overwritten by later stores or ignored past the final count).
+alignas(32) constexpr std::int32_t kCompactLut[16][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},  // 0000
+    {0, 1, 0, 0, 0, 0, 0, 0},  // 0001 -> e0
+    {2, 3, 0, 0, 0, 0, 0, 0},  // 0010 -> e1
+    {0, 1, 2, 3, 0, 0, 0, 0},  // 0011 -> e0 e1
+    {4, 5, 0, 0, 0, 0, 0, 0},  // 0100 -> e2
+    {0, 1, 4, 5, 0, 0, 0, 0},  // 0101 -> e0 e2
+    {2, 3, 4, 5, 0, 0, 0, 0},  // 0110 -> e1 e2
+    {0, 1, 2, 3, 4, 5, 0, 0},  // 0111 -> e0 e1 e2
+    {6, 7, 0, 0, 0, 0, 0, 0},  // 1000 -> e3
+    {0, 1, 6, 7, 0, 0, 0, 0},  // 1001 -> e0 e3
+    {2, 3, 6, 7, 0, 0, 0, 0},  // 1010 -> e1 e3
+    {0, 1, 2, 3, 6, 7, 0, 0},  // 1011 -> e0 e1 e3
+    {4, 5, 6, 7, 0, 0, 0, 0},  // 1100 -> e2 e3
+    {0, 1, 4, 5, 6, 7, 0, 0},  // 1101 -> e0 e2 e3
+    {2, 3, 4, 5, 6, 7, 0, 0},  // 1110 -> e1 e2 e3
+    {0, 1, 2, 3, 4, 5, 6, 7},  // 1111 -> e0 e1 e2 e3
+};
+
+inline std::size_t CompactStep(__m256d values, int mask, double* out,
+                               std::size_t k) {
+  const __m256i perm =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(kCompactLut[mask]));
+  const __m256d packed = _mm256_castsi256_pd(
+      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(values), perm));
+  _mm256_storeu_pd(out + k, packed);  // out has kCompactPad slots of slack
+  return k + static_cast<std::size_t>(__builtin_popcount(
+                 static_cast<unsigned>(mask)));
+}
+
+std::size_t CompactSelectedAvx2(const double* column,
+                                const std::uint32_t* stamps, std::size_t n,
+                                std::uint32_t target, double* out) {
+  const __m128i vtarget = _mm_set1_epi32(static_cast<int>(target));
+  std::size_t k = 0;
+  std::size_t id = 0;
+  for (; id + 4 <= n; id += 4) {
+    const __m128i st = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(stamps + id));
+    const int mask =
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(st, vtarget)));
+    k = CompactStep(_mm256_loadu_pd(column + id), mask, out, k);
+  }
+  for (; id < n; ++id) {
+    out[k] = column[id];
+    k += static_cast<std::size_t>(stamps[id] == target);
+  }
+  return k;
+}
+
+std::size_t CompactSelectedSortedAvx2(const double* sorted_values,
+                                      const std::size_t* order,
+                                      const std::uint32_t* stamps,
+                                      std::size_t n, std::uint32_t target,
+                                      double* out) {
+  const __m128i vtarget = _mm_set1_epi32(static_cast<int>(target));
+  std::size_t k = 0;
+  std::size_t pos = 0;
+  for (; pos + 4 <= n; pos += 4) {
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(order + pos));
+    const __m128i st = _mm256_i64gather_epi32(
+        reinterpret_cast<const int*>(stamps), idx, sizeof(std::uint32_t));
+    const int mask =
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(st, vtarget)));
+    k = CompactStep(_mm256_loadu_pd(sorted_values + pos), mask, out, k);
+  }
+  for (; pos < n; ++pos) {
+    out[k] = sorted_values[pos];
+    k += static_cast<std::size_t>(stamps[order[pos]] == target);
+  }
+  return k;
+}
+
+double SumAvx2(const double* values, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();  // partial lanes 0..3
+  __m256d acc1 = _mm256_setzero_pd();  // partial lanes 4..7
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(values + j));
+    acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(values + j + 4));
+  }
+  double s[8];
+  _mm256_storeu_pd(s, acc0);
+  _mm256_storeu_pd(s + 4, acc1);
+  SumTail8(values, j, n, s);
+  return Combine8(s);
+}
+
+double SumSqDevAvx2(const double* values, std::size_t n, double mean) {
+  const __m256d vmean = _mm256_set1_pd(mean);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(values + j), vmean);
+    const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(values + j + 4), vmean);
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+  }
+  double s[8];
+  _mm256_storeu_pd(s, acc0);
+  _mm256_storeu_pd(s + 4, acc1);
+  SumSqDevTail8(values, j, n, mean, s);
+  return Combine8(s);
+}
+
+}  // namespace
+
+const SimdKernels& Avx2Kernels() {
+  static const SimdKernels kernels = {
+      SquaredDistanceAvx2,
+      SquaredDistanceBoundedAvx2,
+      ScreenRowF64Avx2,
+      ScreenRowF32Avx2,
+      CompactSelectedAvx2,
+      CompactSelectedSortedAvx2,
+      SumAvx2,
+      SumSqDevAvx2,
+      "avx2",
+  };
+  return kernels;
+}
+
+}  // namespace hics::simd::internal
+
+#endif  // HICS_SIMD_COMPILED_AVX2

@@ -1,0 +1,229 @@
+// AVX-512 tier (F/BW/DQ/VL baseline). CANONICAL kernels keep the scalar
+// tier's partial-sum lanes: the exact distance stays on 4 ymm lanes (the
+// canonical decomposition is 4-wide; running it 8-wide would change the
+// result), the moments run one zmm accumulator whose 8 lanes *are* the
+// canonical 8 partials, and compaction uses the native compress-store —
+// which preserves ascending order exactly like the scalar cursor loop.
+// SCREENING kernels run full zmm width with FMA.
+
+#ifdef HICS_SIMD_COMPILED_AVX512
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.h"
+#include "simd/kernels_common.h"
+
+namespace hics::simd::internal {
+namespace {
+
+double SquaredDistanceAvx512(const double* a, const double* b,
+                             std::size_t dim) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= dim; j += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  SquaredDistanceTail4(a, b, j, dim, s);
+  return Combine4(s);
+}
+
+double SquaredDistanceBoundedAvx512(const double* a, const double* b,
+                                    std::size_t dim, double bound) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 8 <= dim; j += 8) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d0, d0));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + j + 4), _mm256_loadu_pd(b + j + 4));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d1, d1));
+    double s[4];
+    _mm256_storeu_pd(s, acc);
+    const double total = Combine4(s);
+    if (total > bound) return total;
+  }
+  for (; j + 4 <= dim; j += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  SquaredDistanceTail4(a, b, j, dim, s);
+  return Combine4(s);
+}
+
+void ScreenRowF64Avx512(const double* soa, std::size_t stride,
+                        std::size_t dim, std::size_t i, std::size_t j0,
+                        std::size_t w, double ni, const double* norms,
+                        double* d2) {
+  std::size_t t = 0;
+  const __m512d vni = _mm512_set1_pd(ni);
+  for (; t + 16 <= w; t += 16) {
+    __m512d acc0 = _mm512_setzero_pd();
+    __m512d acc1 = _mm512_setzero_pd();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double* base = soa + d * stride;
+      const __m512d xi = _mm512_set1_pd(base[i]);
+      const double* col = base + j0 + t;
+      acc0 = _mm512_fmadd_pd(xi, _mm512_loadu_pd(col), acc0);
+      acc1 = _mm512_fmadd_pd(xi, _mm512_loadu_pd(col + 8), acc1);
+    }
+    const __m512d r0 =
+        _mm512_sub_pd(_mm512_add_pd(vni, _mm512_loadu_pd(norms + t)),
+                      _mm512_add_pd(acc0, acc0));
+    const __m512d r1 =
+        _mm512_sub_pd(_mm512_add_pd(vni, _mm512_loadu_pd(norms + t + 8)),
+                      _mm512_add_pd(acc1, acc1));
+    _mm512_storeu_pd(d2 + t, r0);
+    _mm512_storeu_pd(d2 + t + 8, r1);
+  }
+  for (; t + 8 <= w; t += 8) {
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double* base = soa + d * stride;
+      acc = _mm512_fmadd_pd(_mm512_set1_pd(base[i]),
+                            _mm512_loadu_pd(base + j0 + t), acc);
+    }
+    _mm512_storeu_pd(
+        d2 + t, _mm512_sub_pd(_mm512_add_pd(vni, _mm512_loadu_pd(norms + t)),
+                              _mm512_add_pd(acc, acc)));
+  }
+  for (; t < w; ++t) {
+    double dot = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      dot += soa[d * stride + i] * soa[d * stride + j0 + t];
+    }
+    d2[t] = ni + norms[t] - 2.0 * dot;
+  }
+}
+
+void ScreenRowF32Avx512(const float* soa, std::size_t stride, std::size_t dim,
+                        std::size_t i, std::size_t j0, std::size_t w,
+                        float ni, const float* norms, double* d2) {
+  std::size_t t = 0;
+  const __m512 vni = _mm512_set1_ps(ni);
+  for (; t + 16 <= w; t += 16) {
+    __m512 acc = _mm512_setzero_ps();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float* base = soa + d * stride;
+      acc = _mm512_fmadd_ps(_mm512_set1_ps(base[i]),
+                            _mm512_loadu_ps(base + j0 + t), acc);
+    }
+    const __m512 r =
+        _mm512_sub_ps(_mm512_add_ps(vni, _mm512_loadu_ps(norms + t)),
+                      _mm512_add_ps(acc, acc));
+    _mm512_storeu_pd(d2 + t,
+                     _mm512_cvtps_pd(_mm512_castps512_ps256(r)));
+    _mm512_storeu_pd(d2 + t + 8,
+                     _mm512_cvtps_pd(_mm512_extractf32x8_ps(r, 1)));
+  }
+  for (; t < w; ++t) {
+    float dot = 0.0f;
+    for (std::size_t d = 0; d < dim; ++d) {
+      dot += soa[d * stride + i] * soa[d * stride + j0 + t];
+    }
+    d2[t] = static_cast<double>(ni + norms[t] - 2.0f * dot);
+  }
+}
+
+std::size_t CompactSelectedAvx512(const double* column,
+                                  const std::uint32_t* stamps, std::size_t n,
+                                  std::uint32_t target, double* out) {
+  const __m256i vtarget = _mm256_set1_epi32(static_cast<int>(target));
+  std::size_t k = 0;
+  std::size_t id = 0;
+  for (; id + 8 <= n; id += 8) {
+    const __m256i st = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(stamps + id));
+    const __mmask8 m = _mm256_cmpeq_epu32_mask(st, vtarget);
+    _mm512_mask_compressstoreu_pd(out + k, m, _mm512_loadu_pd(column + id));
+    k += static_cast<std::size_t>(__builtin_popcount(m));
+  }
+  for (; id < n; ++id) {
+    out[k] = column[id];
+    k += static_cast<std::size_t>(stamps[id] == target);
+  }
+  return k;
+}
+
+std::size_t CompactSelectedSortedAvx512(const double* sorted_values,
+                                        const std::size_t* order,
+                                        const std::uint32_t* stamps,
+                                        std::size_t n, std::uint32_t target,
+                                        double* out) {
+  const __m256i vtarget = _mm256_set1_epi32(static_cast<int>(target));
+  std::size_t k = 0;
+  std::size_t pos = 0;
+  for (; pos + 8 <= n; pos += 8) {
+    const __m512i idx = _mm512_loadu_si512(
+        reinterpret_cast<const void*>(order + pos));
+    const __m256i st =
+        _mm512_i64gather_epi32(idx, stamps, sizeof(std::uint32_t));
+    const __mmask8 m = _mm256_cmpeq_epu32_mask(st, vtarget);
+    _mm512_mask_compressstoreu_pd(out + k, m,
+                                  _mm512_loadu_pd(sorted_values + pos));
+    k += static_cast<std::size_t>(__builtin_popcount(m));
+  }
+  for (; pos < n; ++pos) {
+    out[k] = sorted_values[pos];
+    k += static_cast<std::size_t>(stamps[order[pos]] == target);
+  }
+  return k;
+}
+
+double SumAvx512(const double* values, std::size_t n) {
+  // One zmm accumulator: lane l is canonical partial s[l] directly.
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    acc = _mm512_add_pd(acc, _mm512_loadu_pd(values + j));
+  }
+  double s[8];
+  _mm512_storeu_pd(s, acc);
+  SumTail8(values, j, n, s);
+  return Combine8(s);
+}
+
+double SumSqDevAvx512(const double* values, std::size_t n, double mean) {
+  const __m512d vmean = _mm512_set1_pd(mean);
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512d d = _mm512_sub_pd(_mm512_loadu_pd(values + j), vmean);
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(d, d));
+  }
+  double s[8];
+  _mm512_storeu_pd(s, acc);
+  SumSqDevTail8(values, j, n, mean, s);
+  return Combine8(s);
+}
+
+}  // namespace
+
+const SimdKernels& Avx512Kernels() {
+  static const SimdKernels kernels = {
+      SquaredDistanceAvx512,
+      SquaredDistanceBoundedAvx512,
+      ScreenRowF64Avx512,
+      ScreenRowF32Avx512,
+      CompactSelectedAvx512,
+      CompactSelectedSortedAvx512,
+      SumAvx512,
+      SumSqDevAvx512,
+      "avx512",
+  };
+  return kernels;
+}
+
+}  // namespace hics::simd::internal
+
+#endif  // HICS_SIMD_COMPILED_AVX512

@@ -1,0 +1,190 @@
+// Scalar tier: the canonical reference implementations. Every vector tier
+// must reproduce the CANONICAL kernels here bit for bit (same partial-sum
+// lanes, same combine order — see kernels_common.h); the SCREENING kernels
+// only need to stay within the callers' slack margins.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.h"
+#include "simd/kernels_common.h"
+
+namespace hics::simd::internal {
+namespace {
+
+double SquaredDistanceScalar(const double* a, const double* b,
+                             std::size_t dim) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t j = 0;
+  for (; j + 4 <= dim; j += 4) {
+    const double d0 = a[j] - b[j];
+    const double d1 = a[j + 1] - b[j + 1];
+    const double d2 = a[j + 2] - b[j + 2];
+    const double d3 = a[j + 3] - b[j + 3];
+    s[0] += d0 * d0;
+    s[1] += d1 * d1;
+    s[2] += d2 * d2;
+    s[3] += d3 * d3;
+  }
+  SquaredDistanceTail4(a, b, j, dim, s);
+  return Combine4(s);
+}
+
+double SquaredDistanceBoundedScalar(const double* a, const double* b,
+                                    std::size_t dim, double bound) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t j = 0;
+  // Two unrolled 4-wide steps between bound checks: the same every-8
+  // cadence the pre-SIMD kernel used, now on four independent dependency
+  // chains so the common below-bound path is throughput- not
+  // latency-limited.
+  for (; j + 8 <= dim; j += 8) {
+    const double d0 = a[j] - b[j];
+    const double d1 = a[j + 1] - b[j + 1];
+    const double d2 = a[j + 2] - b[j + 2];
+    const double d3 = a[j + 3] - b[j + 3];
+    s[0] += d0 * d0;
+    s[1] += d1 * d1;
+    s[2] += d2 * d2;
+    s[3] += d3 * d3;
+    const double d4 = a[j + 4] - b[j + 4];
+    const double d5 = a[j + 5] - b[j + 5];
+    const double d6 = a[j + 6] - b[j + 6];
+    const double d7 = a[j + 7] - b[j + 7];
+    s[0] += d4 * d4;
+    s[1] += d5 * d5;
+    s[2] += d6 * d6;
+    s[3] += d7 * d7;
+    if (Combine4(s) > bound) return Combine4(s);
+  }
+  for (; j + 4 <= dim; j += 4) {
+    const double d0 = a[j] - b[j];
+    const double d1 = a[j + 1] - b[j + 1];
+    const double d2 = a[j + 2] - b[j + 2];
+    const double d3 = a[j + 3] - b[j + 3];
+    s[0] += d0 * d0;
+    s[1] += d1 * d1;
+    s[2] += d2 * d2;
+    s[3] += d3 * d3;
+  }
+  SquaredDistanceTail4(a, b, j, dim, s);
+  return Combine4(s);
+}
+
+void ScreenRowF64Scalar(const double* soa, std::size_t stride,
+                        std::size_t dim, std::size_t i, std::size_t j0,
+                        std::size_t w, double ni, const double* norms,
+                        double* d2) {
+  std::array<double, kMaxScreenWidth> dot{};
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double xi = soa[d * stride + i];
+    const double* col = soa + d * stride + j0;
+    for (std::size_t t = 0; t < w; ++t) dot[t] += xi * col[t];
+  }
+  for (std::size_t t = 0; t < w; ++t) {
+    d2[t] = ni + norms[t] - 2.0 * dot[t];
+  }
+}
+
+void ScreenRowF32Scalar(const float* soa, std::size_t stride, std::size_t dim,
+                        std::size_t i, std::size_t j0, std::size_t w,
+                        float ni, const float* norms, double* d2) {
+  std::array<float, kMaxScreenWidth> dot{};
+  for (std::size_t d = 0; d < dim; ++d) {
+    const float xi = soa[d * stride + i];
+    const float* col = soa + d * stride + j0;
+    for (std::size_t t = 0; t < w; ++t) dot[t] += xi * col[t];
+  }
+  for (std::size_t t = 0; t < w; ++t) {
+    d2[t] = static_cast<double>(ni + norms[t] - 2.0f * dot[t]);
+  }
+}
+
+std::size_t CompactSelectedScalar(const double* column,
+                                  const std::uint32_t* stamps, std::size_t n,
+                                  std::uint32_t target, double* out) {
+  // Branchless compaction: every position writes, only hits advance the
+  // cursor — the hit rate is the slice-selection density, which the
+  // branch predictor cannot learn.
+  std::size_t k = 0;
+  for (std::size_t id = 0; id < n; ++id) {
+    out[k] = column[id];
+    k += static_cast<std::size_t>(stamps[id] == target);
+  }
+  return k;
+}
+
+std::size_t CompactSelectedSortedScalar(const double* sorted_values,
+                                        const std::size_t* order,
+                                        const std::uint32_t* stamps,
+                                        std::size_t n, std::uint32_t target,
+                                        double* out) {
+  std::size_t k = 0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    out[k] = sorted_values[pos];
+    k += static_cast<std::size_t>(stamps[order[pos]] == target);
+  }
+  return k;
+}
+
+double SumScalar(const double* values, std::size_t n) {
+  double s[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    s[0] += values[j];
+    s[1] += values[j + 1];
+    s[2] += values[j + 2];
+    s[3] += values[j + 3];
+    s[4] += values[j + 4];
+    s[5] += values[j + 5];
+    s[6] += values[j + 6];
+    s[7] += values[j + 7];
+  }
+  SumTail8(values, j, n, s);
+  return Combine8(s);
+}
+
+double SumSqDevScalar(const double* values, std::size_t n, double mean) {
+  double s[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const double d0 = values[j] - mean;
+    const double d1 = values[j + 1] - mean;
+    const double d2 = values[j + 2] - mean;
+    const double d3 = values[j + 3] - mean;
+    const double d4 = values[j + 4] - mean;
+    const double d5 = values[j + 5] - mean;
+    const double d6 = values[j + 6] - mean;
+    const double d7 = values[j + 7] - mean;
+    s[0] += d0 * d0;
+    s[1] += d1 * d1;
+    s[2] += d2 * d2;
+    s[3] += d3 * d3;
+    s[4] += d4 * d4;
+    s[5] += d5 * d5;
+    s[6] += d6 * d6;
+    s[7] += d7 * d7;
+  }
+  SumSqDevTail8(values, j, n, mean, s);
+  return Combine8(s);
+}
+
+}  // namespace
+
+const SimdKernels& ScalarKernels() {
+  static const SimdKernels kernels = {
+      SquaredDistanceScalar,
+      SquaredDistanceBoundedScalar,
+      ScreenRowF64Scalar,
+      ScreenRowF32Scalar,
+      CompactSelectedScalar,
+      CompactSelectedSortedScalar,
+      SumScalar,
+      SumSqDevScalar,
+      "scalar",
+  };
+  return kernels;
+}
+
+}  // namespace hics::simd::internal

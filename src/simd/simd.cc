@@ -1,0 +1,164 @@
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "simd/kernels.h"
+
+namespace hics::simd {
+namespace {
+
+SimdFeatures DetectFeatures() {
+  SimdFeatures f;
+#if defined(__GNUC__) || defined(__clang__)
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+  f.avx512bw = __builtin_cpu_supports("avx512bw");
+  f.avx512dq = __builtin_cpu_supports("avx512dq");
+  f.avx512vl = __builtin_cpu_supports("avx512vl");
+#endif
+  return f;
+}
+
+SimdTier ComputeDetectedTier() {
+  const SimdFeatures& f = DetectedFeatures();
+#ifdef HICS_SIMD_COMPILED_AVX512
+  if (f.avx512f && f.avx512bw && f.avx512dq && f.avx512vl && f.avx2 &&
+      f.fma) {
+    return SimdTier::kAvx512;
+  }
+#endif
+#ifdef HICS_SIMD_COMPILED_AVX2
+  if (f.avx2 && f.fma) return SimdTier::kAvx2;
+#endif
+  return SimdTier::kScalar;
+}
+
+const SimdKernels& TableForClamped(SimdTier tier) {
+  // `tier` must already be <= DetectedTier(), so the compiled guards and
+  // the cpuid check both hold for any table we return.
+  switch (tier) {
+    case SimdTier::kAvx512:
+#ifdef HICS_SIMD_COMPILED_AVX512
+      return internal::Avx512Kernels();
+#else
+      break;
+#endif
+    case SimdTier::kAvx2:
+#ifdef HICS_SIMD_COMPILED_AVX2
+      return internal::Avx2Kernels();
+#else
+      break;
+#endif
+    case SimdTier::kScalar:
+      break;
+  }
+  return internal::ScalarKernels();
+}
+
+SimdTier Clamp(SimdTier tier) {
+  const SimdTier best = DetectedTier();
+  return static_cast<int>(tier) > static_cast<int>(best) ? best : tier;
+}
+
+/// Initial tier: DetectedTier() clamped by HICS_SIMD (read once, at first
+/// use). An unparseable value is reported once and ignored.
+SimdTier InitialTier() {
+  SimdTier tier = DetectedTier();
+  if (const char* env = std::getenv("HICS_SIMD")) {
+    SimdTier requested;
+    if (ParseSimdTier(env, &requested)) {
+      tier = Clamp(requested);
+    } else {
+      std::fprintf(stderr,
+                   "hics: ignoring unrecognized HICS_SIMD=\"%s\" "
+                   "(expected scalar, avx2, avx512, or auto)\n",
+                   env);
+    }
+  }
+  return tier;
+}
+
+std::atomic<const SimdKernels*>& ActiveTable() {
+  static std::atomic<const SimdKernels*> table{
+      &TableForClamped(InitialTier())};
+  return table;
+}
+
+std::atomic<int>& ActiveTierSlot() {
+  static std::atomic<int> tier{static_cast<int>(InitialTier())};
+  return tier;
+}
+
+}  // namespace
+
+const SimdFeatures& DetectedFeatures() {
+  static const SimdFeatures features = DetectFeatures();
+  return features;
+}
+
+SimdTier DetectedTier() {
+  static const SimdTier tier = ComputeDetectedTier();
+  return tier;
+}
+
+SimdTier ActiveTier() {
+  return static_cast<SimdTier>(
+      ActiveTierSlot().load(std::memory_order_acquire));
+}
+
+const SimdKernels& ActiveKernels() {
+  return *ActiveTable().load(std::memory_order_acquire);
+}
+
+const SimdKernels& KernelsForTier(SimdTier tier) {
+  return TableForClamped(Clamp(tier));
+}
+
+SimdTier SetSimdTier(SimdTier tier) {
+  const SimdTier applied = Clamp(tier);
+  // Table first, tier second: a racing reader may briefly pair the old
+  // tier label with the new table, but never dispatches a kernel the
+  // machine cannot run.
+  ActiveTable().store(&TableForClamped(applied), std::memory_order_release);
+  ActiveTierSlot().store(static_cast<int>(applied),
+                         std::memory_order_release);
+  return applied;
+}
+
+bool ParseSimdTier(const std::string& name, SimdTier* out) {
+  if (name == "scalar") {
+    *out = SimdTier::kScalar;
+  } else if (name == "avx2") {
+    *out = SimdTier::kAvx2;
+  } else if (name == "avx512") {
+    *out = SimdTier::kAvx512;
+  } else if (name == "auto") {
+    *out = DetectedTier();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+ScopedSimdTier::ScopedSimdTier(SimdTier tier)
+    : previous_(ActiveTier()), applied_(SetSimdTier(tier)) {}
+
+ScopedSimdTier::~ScopedSimdTier() { SetSimdTier(previous_); }
+
+}  // namespace hics::simd

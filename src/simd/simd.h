@@ -1,0 +1,184 @@
+// Explicit SIMD layer: runtime CPU dispatch over scalar / AVX2 / AVX-512
+// implementations of the two hot kernel families (DESIGN.md §5g):
+//
+//   * the batched-kNN distance kernels — the exact 4-partial-sum squared
+//     distance every result-bearing path shares, and the Gram-screening
+//     tile rows (f64 and f32) that only ever *prune* pairs,
+//   * the rank-space contrast kernels — stamp-filtered compaction of a
+//     slice selection (object-id order for moment tests, sorted-attribute
+//     order for rank tests) and the canonical 8-partial-sum moments.
+//
+// Bit-identity contract. Kernels come in two classes:
+//
+//   CANONICAL — squared_distance(_bounded), mean, sum_sq_dev, and both
+//   compaction kernels define *the* result. Every tier computes the same
+//   partial-sum decomposition in the same combine order (see
+//   kernels_scalar.cc for the reference), so outputs are bit-identical
+//   across scalar/AVX2/AVX-512 and across machines. None of them may use
+//   FMA (the build pins -ffp-contract=off so inlined scalar code cannot
+//   silently contract either).
+//
+//   SCREENING — screen_row_f64 / screen_row_f32 produce approximations
+//   whose error the caller covers with a slack margin before an exact
+//   recompute; they are free to reassociate and fuse, so each tier runs
+//   them at full hardware width.
+//
+// The tier is detected once (cpuid) and can be forced down for testing via
+// the HICS_SIMD environment variable ("scalar", "avx2", "avx512") or
+// SetSimdTier / ScopedSimdTier (HicsParams::simd_tier routes here).
+// Requests above the detected/compiled capability clamp down, never up.
+
+#ifndef HICS_SIMD_SIMD_H_
+#define HICS_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hics::simd {
+
+/// Instruction-set tiers, ordered by capability. kAvx2 requires AVX2+FMA;
+/// kAvx512 requires AVX-512 F/BW/DQ/VL (the Skylake-X baseline).
+enum class SimdTier : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// CPU features relevant to tier selection, as reported by cpuid. Recorded
+/// into BENCH_*.json so perf trajectories across machines are comparable.
+struct SimdFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+};
+
+/// Function table of the dispatched kernels. One immutable instance per
+/// tier; ActiveKernels() returns the selected one. All pointers are always
+/// non-null (lower tiers fill in for kernels a tier does not specialize).
+struct SimdKernels {
+  /// CANONICAL. Squared Euclidean distance over `dim` dimensions as four
+  /// independent partial sums (lane l accumulates dimensions j % 4 == l),
+  /// combined as (s0+s2) + (s1+s3). No FMA.
+  double (*squared_distance)(const double* a, const double* b,
+                             std::size_t dim);
+
+  /// CANONICAL. Same accumulation, early exit once the partial total
+  /// exceeds `bound` (checked every 8 dimensions). A result <= bound is
+  /// bit-identical to squared_distance; above the bound it is only a
+  /// certificate of exceedance.
+  double (*squared_distance_bounded)(const double* a, const double* b,
+                                     std::size_t dim, double bound);
+
+  /// SCREENING. One row of the Gram-decomposition tile:
+  ///   d2[t] = ni + norms[t] - 2 * <x_i, x_{j0+t}>   for t in [0, w)
+  /// with the dot products accumulated dimension-major over the SoA
+  /// columns (`soa` has stride `stride` per dimension; x_i is column
+  /// element i, the tile columns start at j0). Approximate: callers must
+  /// cover the error with a slack margin.
+  void (*screen_row_f64)(const double* soa, std::size_t stride,
+                         std::size_t dim, std::size_t i, std::size_t j0,
+                         std::size_t w, double ni, const double* norms,
+                         double* d2);
+
+  /// SCREENING. Single-precision variant over a float32 SoA copy; `ni`
+  /// and `norms` are the float32 norms. Results are converted to double.
+  /// Roughly twice the lanes of screen_row_f64; needs the wider float32
+  /// slack (see BruteForceSearcher::ScreeningSlack).
+  void (*screen_row_f32)(const float* soa, std::size_t stride,
+                         std::size_t dim, std::size_t i, std::size_t j0,
+                         std::size_t w, float ni, const float* norms,
+                         double* d2);
+
+  /// CANONICAL. Object-id-order compaction of a slice selection: writes
+  /// column[id] for every id in [0, n) with stamps[id] == target to
+  /// out[0..k) (ascending id) and returns k. `out` must have room for
+  /// n + kCompactPad elements; slots past k are scratch garbage.
+  std::size_t (*compact_selected)(const double* column,
+                                  const std::uint32_t* stamps, std::size_t n,
+                                  std::uint32_t target, double* out);
+
+  /// CANONICAL. Sorted-attribute-order compaction: position pos emits
+  /// sorted_values[pos] iff stamps[order[pos]] == target, so the output is
+  /// the selected sample already sorted ascending. Same out-buffer
+  /// contract as compact_selected.
+  std::size_t (*compact_selected_sorted)(const double* sorted_values,
+                                         const std::size_t* order,
+                                         const std::uint32_t* stamps,
+                                         std::size_t n, std::uint32_t target,
+                                         double* out);
+
+  /// CANONICAL. Sum of `values` as eight independent partial sums (lane
+  /// l accumulates j % 8 == l), combined pairwise:
+  ///   ((s0+s4) + (s2+s6)) + ((s1+s5) + (s3+s7)).
+  double (*sum)(const double* values, std::size_t n);
+
+  /// CANONICAL. Sum of (values[j] - mean)^2 in the same 8-partial-sum
+  /// scheme as sum(). No FMA.
+  double (*sum_sq_dev)(const double* values, std::size_t n, double mean);
+
+  /// Tier this table implements ("scalar", "avx2", "avx512").
+  const char* name;
+};
+
+/// Extra writable slots the compaction kernels may touch past the last
+/// selected element (full-width vector stores near the output cursor).
+inline constexpr std::size_t kCompactPad = 8;
+
+/// Maximum `w` the screening-row kernels accept (the distance tile edge).
+inline constexpr std::size_t kMaxScreenWidth = 128;
+
+/// Features of the machine we are running on (cpuid, cached).
+const SimdFeatures& DetectedFeatures();
+
+/// Best tier this binary can run here: min(compiled support, cpuid).
+SimdTier DetectedTier();
+
+/// The tier in effect: DetectedTier() clamped by the HICS_SIMD environment
+/// variable (read once) and any SetSimdTier override.
+SimdTier ActiveTier();
+
+/// Kernel table of ActiveTier(). Cheap (one atomic load); hot loops should
+/// still hoist the reference out of per-element code.
+const SimdKernels& ActiveKernels();
+
+/// Kernel table of a specific tier, clamped to DetectedTier(); lets tests
+/// compare tiers directly without flipping the global override.
+const SimdKernels& KernelsForTier(SimdTier tier);
+
+/// Forces the active tier (clamped to DetectedTier(); requesting an
+/// unavailable tier selects the best available below it). Returns the tier
+/// actually applied. Takes effect for subsequent ActiveKernels() calls
+/// process-wide; intended for tests and benchmarks, not concurrent mixed
+/// use.
+SimdTier SetSimdTier(SimdTier tier);
+
+/// Parses "scalar" / "avx2" / "avx512" (and "auto" -> DetectedTier());
+/// returns false on anything else.
+bool ParseSimdTier(const std::string& name, SimdTier* out);
+
+const char* SimdTierName(SimdTier tier);
+
+/// RAII tier override: applies `tier` (clamped) on construction, restores
+/// the previous active tier on destruction.
+class ScopedSimdTier {
+ public:
+  explicit ScopedSimdTier(SimdTier tier);
+  ~ScopedSimdTier();
+  ScopedSimdTier(const ScopedSimdTier&) = delete;
+  ScopedSimdTier& operator=(const ScopedSimdTier&) = delete;
+
+  /// The tier actually in effect inside the scope.
+  SimdTier applied() const { return applied_; }
+
+ private:
+  SimdTier previous_;
+  SimdTier applied_;
+};
+
+}  // namespace hics::simd
+
+#endif  // HICS_SIMD_SIMD_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "simd/simd.h"
+
 namespace hics::stats {
 
 namespace {
@@ -87,18 +89,16 @@ double CvmDeviation::DeviationPresortedMarginal(
 
 double CvmDeviation::DeviationFromSelection(
     const SelectionView& view, std::vector<double>* gather_scratch) const {
-  // Sorted-order emission with branchless compaction; see
+  // Sorted-order emission via the dispatched compaction kernel; see
   // KsDeviation::DeviationFromSelection for the reasoning.
-  const std::uint32_t target = view.selected_stamp;
   const std::size_t n = view.sorted_order.size();
-  if (gather_scratch->size() < n) gather_scratch->resize(n);
-  double* out = gather_scratch->data();
-  std::size_t k = 0;
-  for (std::size_t pos = 0; pos < n; ++pos) {
-    out[k] = view.marginal_sorted[pos];
-    k += static_cast<std::size_t>(view.stamps[view.sorted_order[pos]] ==
-                                  target);
+  if (gather_scratch->size() < n + simd::kCompactPad) {
+    gather_scratch->resize(n + simd::kCompactPad);
   }
+  double* out = gather_scratch->data();
+  const std::size_t k = simd::ActiveKernels().compact_selected_sorted(
+      view.marginal_sorted.data(), view.sorted_order.data(),
+      view.stamps.data(), n, view.selected_stamp, out);
   if (view.marginal_sorted.empty() || k == 0) return 0.0;
   const CvmResult r =
       CvmSorted(view.marginal_sorted, std::span<const double>(out, k));

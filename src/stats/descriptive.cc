@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "simd/simd.h"
 
 namespace hics::stats {
 
@@ -52,16 +53,19 @@ void RunningStats::Merge(const RunningStats& other) {
 
 double Mean(std::span<const double> values) {
   if (values.empty()) return 0.0;
-  return std::accumulate(values.begin(), values.end(), 0.0) /
+  // Canonical 8-partial-sum reduction (src/simd): bit-identical across
+  // SIMD tiers, and the definition every moment-consuming path (marginal
+  // moments, Welch slice moments) shares.
+  return simd::ActiveKernels().sum(values.data(), values.size()) /
          static_cast<double>(values.size());
 }
 
 double SampleVariance(std::span<const double> values) {
   if (values.size() < 2) return 0.0;
   const double mean = Mean(values);
-  double sum_sq = 0.0;
-  for (double v : values) sum_sq += (v - mean) * (v - mean);
-  return sum_sq / static_cast<double>(values.size() - 1);
+  return simd::ActiveKernels().sum_sq_dev(values.data(), values.size(),
+                                          mean) /
+         static_cast<double>(values.size() - 1);
 }
 
 double StdDev(std::span<const double> values) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "simd/simd.h"
 #include "stats/distributions.h"
 
 namespace hics::stats {
@@ -84,20 +85,19 @@ double KsDeviation::DeviationFromSelection(
   // selected values ascending: the same value sequence sort-after-gather
   // produces (ties carry equal values), with the sort itself gone.
   // marginal_sorted[pos] == column[sorted_order[pos]], so the emitted
-  // value needs no second indirection. Branchless compaction: every
-  // position writes, only hits advance the cursor — no unpredictable
-  // branch at the ~alpha selection density. The scratch vector stays at
-  // size n between calls; only the first k slots are meaningful.
-  const std::uint32_t target = view.selected_stamp;
+  // value needs no second indirection. The dispatched SIMD kernel gathers
+  // the stamps through sorted_order and compress-stores the hits — a pure
+  // data movement, so every tier emits the identical value sequence. The
+  // scratch vector stays at n + pad between calls; only the first k slots
+  // are meaningful (the pad absorbs full-width stores near the cursor).
   const std::size_t n = view.sorted_order.size();
-  if (gather_scratch->size() < n) gather_scratch->resize(n);
-  double* out = gather_scratch->data();
-  std::size_t k = 0;
-  for (std::size_t pos = 0; pos < n; ++pos) {
-    out[k] = view.marginal_sorted[pos];
-    k += static_cast<std::size_t>(view.stamps[view.sorted_order[pos]] ==
-                                  target);
+  if (gather_scratch->size() < n + simd::kCompactPad) {
+    gather_scratch->resize(n + simd::kCompactPad);
   }
+  double* out = gather_scratch->data();
+  const std::size_t k = simd::ActiveKernels().compact_selected_sorted(
+      view.marginal_sorted.data(), view.sorted_order.data(),
+      view.stamps.data(), n, view.selected_stamp, out);
   if (view.marginal_sorted.empty() || k == 0) return 0.0;
   const KsResult r =
       KsTestSorted(view.marginal_sorted, std::span<const double>(out, k));

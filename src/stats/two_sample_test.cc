@@ -1,5 +1,8 @@
 #include "stats/two_sample_test.h"
 
+#include <span>
+
+#include "simd/simd.h"
 #include "stats/cvm_test.h"
 #include "stats/ks_test.h"
 #include "stats/welch_t_test.h"
@@ -10,14 +13,14 @@ double TwoSampleTest::DeviationFromSelection(
     const SelectionView& view, std::vector<double>* gather_scratch) const {
   // Reference semantics: gather the selected values in object-id order,
   // then evaluate as if the caller had materialized the conditional.
-  gather_scratch->clear();
   const std::size_t n = view.column.size();
-  for (std::size_t id = 0; id < n; ++id) {
-    if (view.stamps[id] == view.selected_stamp) {
-      gather_scratch->push_back(view.column[id]);
-    }
-  }
-  return DeviationPresortedMarginal(view.marginal_sorted, *gather_scratch);
+  gather_scratch->resize(n + simd::kCompactPad);
+  const std::size_t k = simd::ActiveKernels().compact_selected(
+      view.column.data(), view.stamps.data(), n, view.selected_stamp,
+      gather_scratch->data());
+  return DeviationPresortedMarginal(
+      view.marginal_sorted,
+      std::span<const double>(gather_scratch->data(), k));
 }
 
 std::unique_ptr<TwoSampleTest> MakeTwoSampleTest(const std::string& name) {

@@ -1,9 +1,9 @@
 #include "stats/welch_t_test.h"
 
-#include <bit>
 #include <cmath>
 #include <cstdint>
 
+#include "simd/simd.h"
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
 
@@ -60,44 +60,26 @@ double WelchTDeviation::Deviation(std::span<const double> marginal,
 
 double WelchTDeviation::DeviationFromSelection(
     const SelectionView& view, std::vector<double>* gather_scratch) const {
-  (void)gather_scratch;
-  const double* column = view.column.data();
-  const std::uint32_t* stamps = view.stamps.data();
-  const std::uint32_t target = view.selected_stamp;
   const std::size_t n = view.column.size();
 
-  // Pass 1: count and sum of the selected values, in object-id order —
-  // the order std::accumulate sees when the gather path runs Mean on the
-  // materialized conditional. The selection density (~alpha^((|S|-1)/|S|))
-  // makes `stamps[id] == target` an unlearnable branch, so the filter is a
-  // bit mask instead: masked-out elements contribute +0.0, which is
-  // summation-neutral bit for bit — the running sum starts at +0.0 and can
-  // never become -0.0 (x + y is -0.0 in round-to-nearest only when both
-  // operands are), and s + 0.0 == s for every other s.
-  std::size_t count = 0;
-  double sum = 0.0;
-  for (std::size_t id = 0; id < n; ++id) {
-    const bool hit = stamps[id] == target;
-    const std::uint64_t keep = -static_cast<std::uint64_t>(hit);
-    sum += std::bit_cast<double>(std::bit_cast<std::uint64_t>(column[id]) &
-                                 keep);
-    count += static_cast<std::size_t>(hit);
-  }
+  // Compact the selected values into scratch (ascending object id — the
+  // order the gather path materializes the conditional in), then run the
+  // canonical moment kernels over the dense sample. Both steps are the
+  // dispatched SIMD kernels, and the compacted array is elementwise equal
+  // to the gathered conditional, so the moments — hence the p-value — are
+  // bit-identical to the Deviation(gather) path on every tier. Replaces a
+  // latency-bound masked sweep over all n with ~n/lanes compaction plus
+  // moments over only the ~alpha-fraction selected sample.
+  const simd::SimdKernels& kernels = simd::ActiveKernels();
+  gather_scratch->resize(n + simd::kCompactPad);
+  const std::size_t count =
+      kernels.compact_selected(view.column.data(), view.stamps.data(), n,
+                               view.selected_stamp, gather_scratch->data());
   if (view.marginal_sorted.size() < 2 || count < 2) return 0.0;
+  const double sum = kernels.sum(gather_scratch->data(), count);
   const double mean = sum / static_cast<double>(count);
-
-  // Pass 2: sum of squared deviations about the pass-1 mean, again in id
-  // order — the two-pass scheme SampleVariance applies, reproduced so the
-  // fused variance matches the gather path bit for bit. Same mask trick;
-  // the masked term (v-mean)^2 is never -0.0, so neutrality holds as above.
-  double sum_sq = 0.0;
-  for (std::size_t id = 0; id < n; ++id) {
-    const std::uint64_t keep =
-        -static_cast<std::uint64_t>(stamps[id] == target);
-    const double d = column[id] - mean;
-    sum_sq +=
-        std::bit_cast<double>(std::bit_cast<std::uint64_t>(d * d) & keep);
-  }
+  const double sum_sq =
+      kernels.sum_sq_dev(gather_scratch->data(), count, mean);
   const double var = sum_sq / static_cast<double>(count - 1);
 
   const WelchResult r = WelchTTestFromMoments(

@@ -104,7 +104,7 @@ TEST(ContrastKernelTest, SearchOutputUnchangedByKernelAndThreads) {
   const std::vector<ScoredSubspace> reference = run(oracle);
   ASSERT_FALSE(reference.empty());
 
-  for (const std::string& test_name : {"welch", "ks", "cvm"}) {
+  for (const char* test_name : {"welch", "ks", "cvm"}) {
     for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
       HicsParams o = base;
       o.statistical_test = test_name;

@@ -21,7 +21,7 @@ TEST(TimerTest, MeasuresElapsedTime) {
   Timer timer;
   // Burn a little CPU deterministically.
   volatile double sink = 0.0;
-  for (int i = 0; i < 2000000; ++i) sink += 1e-9 * i;
+  for (int i = 0; i < 2000000; ++i) sink = sink + 1e-9 * i;
   const double first = timer.ElapsedSeconds();
   EXPECT_GT(first, 0.0);
   EXPECT_GE(timer.ElapsedMillis(), first * 1000.0 * 0.5);

@@ -76,7 +76,9 @@ TEST(LociTest, SubspaceRestriction) {
   LociScorer loci({.num_radii = 8, .min_neighbors = 10});
   const auto scores = loci.ScoreSubspace(ds, Subspace({0}));
   for (std::size_t i = 0; i < 200; ++i) {
-    if (i != 150) EXPECT_GE(scores[150], scores[i]);
+    if (i != 150) {
+      EXPECT_GE(scores[150], scores[i]);
+    }
   }
 }
 

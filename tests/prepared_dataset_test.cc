@@ -57,7 +57,9 @@ TEST(PreparedDatasetTest, RankArtifactsMatchFreshIndex) {
     ASSERT_EQ(sorted.size(), ds.num_objects());
     for (std::size_t i = 0; i < sorted.size(); ++i) {
       EXPECT_EQ(sorted[i], ds.Column(a)[order[i]]);
-      if (i > 0) EXPECT_LE(sorted[i - 1], sorted[i]);
+      if (i > 0) {
+        EXPECT_LE(sorted[i - 1], sorted[i]);
+      }
     }
     EXPECT_TRUE(std::isfinite(prepared.MarginalMean(a)));
     EXPECT_GT(prepared.MarginalVariance(a), 0.0);

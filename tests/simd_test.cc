@@ -1,0 +1,469 @@
+// SIMD layer guarantees (DESIGN.md §5g):
+//  (1) every CANONICAL kernel (exact distance, bounded distance, both
+//      compactions, sum, sum_sq_dev) is bit-identical across every tier
+//      this machine can run, on hostile inputs too (NaN, duplicates,
+//      tie-heavy, remainder-heavy lengths);
+//  (2) the SCREENING kernels stay within the slack margins the brute-force
+//      searcher covers them with, in both precisions;
+//  (3) the dispatch seam: tier parsing/clamping/scoped restore, and — end
+//      to end — ranking, search, and serve outputs are byte-identical when
+//      each tier is forced, across thread counts {1, 2, 4}.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "core/hics.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "index/distance.h"
+#include "index/neighbor_searcher.h"
+#include "outlier/lof.h"
+#include "outlier/subspace_ranker.h"
+#include "serve/hics_model.h"
+#include "simd/simd.h"
+
+namespace hics {
+namespace {
+
+using simd::KernelsForTier;
+using simd::SimdTier;
+
+std::vector<SimdTier> AvailableTiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  if (simd::DetectedTier() >= SimdTier::kAvx2) tiers.push_back(SimdTier::kAvx2);
+  if (simd::DetectedTier() >= SimdTier::kAvx512) {
+    tiers.push_back(SimdTier::kAvx512);
+  }
+  return tiers;
+}
+
+std::uint64_t Bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Random values with duplicates, exact ties, and (optionally) NaN/inf
+/// planted — the inputs most likely to expose ordering or masking bugs.
+std::vector<double> HostileValues(std::size_t n, std::uint64_t seed,
+                                  bool with_specials) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = rng.UniformDouble() * 100.0 - 50.0;
+  }
+  for (std::size_t i = 3; i + 2 < n; i += 5) v[i + 2] = v[i];  // ties
+  if (with_specials && n > 4) {
+    v[n / 3] = std::numeric_limits<double>::quiet_NaN();
+    v[2 * n / 3] = std::numeric_limits<double>::infinity();
+  }
+  return v;
+}
+
+const std::size_t kLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,   9,
+                                15, 16, 17, 23, 31, 32, 33, 100, 257};
+
+TEST(SimdKernelTest, SquaredDistanceIdenticalAcrossTiers) {
+  const simd::SimdKernels& scalar = KernelsForTier(SimdTier::kScalar);
+  for (std::size_t dim : kLengths) {
+    for (bool specials : {false, true}) {
+      const std::vector<double> a = HostileValues(dim, 11 + dim, specials);
+      const std::vector<double> b = HostileValues(dim, 77 + dim, false);
+      const double expected = scalar.squared_distance(a.data(), b.data(), dim);
+      for (SimdTier tier : AvailableTiers()) {
+        const double got =
+            KernelsForTier(tier).squared_distance(a.data(), b.data(), dim);
+        EXPECT_EQ(Bits(expected), Bits(got))
+            << "dim=" << dim << " tier=" << simd::SimdTierName(tier)
+            << " specials=" << specials;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, BoundedDistanceEqualsFullBelowBound) {
+  // Satellite pin: SquaredDistanceBounded accumulates in the same 4-wide
+  // partial sums as SquaredDistance, so any result that never exceeded the
+  // bound is the full distance, bit for bit — per tier and at the repo
+  // seam (index/distance.h), which dispatches above kSimdDistanceMinDim.
+  for (std::size_t dim : kLengths) {
+    const std::vector<double> a = HostileValues(dim, 5 + dim, false);
+    const std::vector<double> b = HostileValues(dim, 6 + dim, false);
+    const double inf = std::numeric_limits<double>::infinity();
+    for (SimdTier tier : AvailableTiers()) {
+      const simd::SimdKernels& k = KernelsForTier(tier);
+      const double full = k.squared_distance(a.data(), b.data(), dim);
+      EXPECT_EQ(Bits(full),
+                Bits(k.squared_distance_bounded(a.data(), b.data(), dim, inf)))
+          << "dim=" << dim << " tier=" << simd::SimdTierName(tier);
+      // Partial bounds: below-bound results must still equal the full
+      // distance; above-bound results need only certify exceedance.
+      for (double frac : {0.1, 0.5, 0.9, 1.0}) {
+        const double bound = full * frac;
+        const double got =
+            k.squared_distance_bounded(a.data(), b.data(), dim, bound);
+        if (got <= bound) {
+          EXPECT_EQ(Bits(full), Bits(got)) << "dim=" << dim << " frac=" << frac;
+        } else {
+          EXPECT_GT(got, bound) << "dim=" << dim << " frac=" << frac;
+        }
+      }
+    }
+    EXPECT_EQ(Bits(SquaredDistance(a.data(), b.data(), dim)),
+              Bits(SquaredDistanceBounded(a.data(), b.data(), dim, inf)))
+        << "distance.h seam, dim=" << dim;
+  }
+}
+
+TEST(SimdKernelTest, CompactSelectedIdenticalAcrossTiers) {
+  const simd::SimdKernels& scalar = KernelsForTier(SimdTier::kScalar);
+  for (std::size_t n : kLengths) {
+    for (double density : {0.0, 0.1, 0.5, 1.0}) {
+      Rng rng(1000 + n);
+      const std::vector<double> column = HostileValues(n, 13 + n, true);
+      std::vector<std::uint32_t> stamps(n);
+      const std::uint32_t target = 42;
+      for (std::size_t i = 0; i < n; ++i) {
+        stamps[i] = rng.UniformDouble() < density ? target : 7;
+      }
+      std::vector<double> expected(n + simd::kCompactPad, -1.0);
+      const std::size_t want = scalar.compact_selected(
+          column.data(), stamps.data(), n, target, expected.data());
+      for (SimdTier tier : AvailableTiers()) {
+        std::vector<double> out(n + simd::kCompactPad, -2.0);
+        const std::size_t got = KernelsForTier(tier).compact_selected(
+            column.data(), stamps.data(), n, target, out.data());
+        ASSERT_EQ(want, got)
+            << "n=" << n << " tier=" << simd::SimdTierName(tier);
+        for (std::size_t i = 0; i < got; ++i) {
+          EXPECT_EQ(Bits(expected[i]), Bits(out[i]))
+              << "n=" << n << " i=" << i
+              << " tier=" << simd::SimdTierName(tier);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, CompactSelectedSortedIdenticalAcrossTiers) {
+  const simd::SimdKernels& scalar = KernelsForTier(SimdTier::kScalar);
+  for (std::size_t n : kLengths) {
+    Rng rng(2000 + n);
+    std::vector<double> sorted = HostileValues(n, 17 + n, false);
+    std::sort(sorted.begin(), sorted.end());
+    // Random permutation as the sorted_order -> object-id mapping.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+    std::vector<std::uint32_t> stamps(n);
+    const std::uint32_t target = 3;
+    for (std::size_t i = 0; i < n; ++i) {
+      stamps[i] = rng.UniformDouble() < 0.3 ? target : 9;
+    }
+    std::vector<double> expected(n + simd::kCompactPad, -1.0);
+    const std::size_t want = scalar.compact_selected_sorted(
+        sorted.data(), order.data(), stamps.data(), n, target,
+        expected.data());
+    for (SimdTier tier : AvailableTiers()) {
+      std::vector<double> out(n + simd::kCompactPad, -2.0);
+      const std::size_t got = KernelsForTier(tier).compact_selected_sorted(
+          sorted.data(), order.data(), stamps.data(), n, target, out.data());
+      ASSERT_EQ(want, got) << "n=" << n << " tier=" << simd::SimdTierName(tier);
+      for (std::size_t i = 0; i < got; ++i) {
+        EXPECT_EQ(Bits(expected[i]), Bits(out[i]))
+            << "n=" << n << " i=" << i << " tier=" << simd::SimdTierName(tier);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, MomentKernelsIdenticalAcrossTiers) {
+  const simd::SimdKernels& scalar = KernelsForTier(SimdTier::kScalar);
+  for (std::size_t n : kLengths) {
+    for (bool specials : {false, true}) {
+      const std::vector<double> v = HostileValues(n, 23 + n, specials);
+      const double sum_want = scalar.sum(v.data(), n);
+      const double mean = n > 0 ? sum_want / static_cast<double>(n) : 0.0;
+      const double ssd_want = scalar.sum_sq_dev(v.data(), n, mean);
+      for (SimdTier tier : AvailableTiers()) {
+        const simd::SimdKernels& k = KernelsForTier(tier);
+        EXPECT_EQ(Bits(sum_want), Bits(k.sum(v.data(), n)))
+            << "n=" << n << " tier=" << simd::SimdTierName(tier)
+            << " specials=" << specials;
+        EXPECT_EQ(Bits(ssd_want), Bits(k.sum_sq_dev(v.data(), n, mean)))
+            << "n=" << n << " tier=" << simd::SimdTierName(tier)
+            << " specials=" << specials;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ScreeningRowsStayWithinSlack) {
+  // Screening is approximate by contract; the invariant the searcher
+  // depends on is |screen - exact| <= the slack margin it adds to the heap
+  // bound before deciding to skip a pair.
+  const std::size_t n = 300;
+  for (std::size_t dim : {1u, 2u, 3u, 5u, 8u, 16u}) {
+    Rng rng(31 * dim);
+    std::vector<double> soa(dim * n);
+    for (double& x : soa) x = rng.UniformDouble() * 10.0 - 5.0;
+    std::vector<double> norms(n, 0.0);
+    for (std::size_t d = 0; d < dim; ++d) {
+      for (std::size_t i = 0; i < n; ++i) {
+        norms[i] += soa[d * n + i] * soa[d * n + i];
+      }
+    }
+    std::vector<float> soa32(soa.begin(), soa.end());
+    std::vector<float> norms32(n, 0.0f);
+    for (std::size_t d = 0; d < dim; ++d) {
+      for (std::size_t i = 0; i < n; ++i) {
+        norms32[i] += soa32[d * n + i] * soa32[d * n + i];
+      }
+    }
+    auto exact = [&](std::size_t i, std::size_t j) {
+      double sum = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = soa[d * n + i] - soa[d * n + j];
+        sum += diff * diff;
+      }
+      return sum;
+    };
+    const std::size_t i = 7;
+    const std::size_t j0 = 50;
+    const std::size_t w = 128;
+    for (SimdTier tier : AvailableTiers()) {
+      const simd::SimdKernels& k = KernelsForTier(tier);
+      std::vector<double> d2(w);
+      k.screen_row_f64(soa.data(), n, dim, i, j0, w, norms[i],
+                       norms.data() + j0, d2.data());
+      for (std::size_t t = 0; t < w; ++t) {
+        const double slack = 1e-12 * (norms[i] + norms[j0 + t]);
+        EXPECT_LE(std::fabs(d2[t] - exact(i, j0 + t)), slack)
+            << "f64 dim=" << dim << " t=" << t
+            << " tier=" << simd::SimdTierName(tier);
+      }
+      k.screen_row_f32(soa32.data(), n, dim, i, j0, w, norms32[i],
+                       norms32.data() + j0, d2.data());
+      for (std::size_t t = 0; t < w; ++t) {
+        const double slack = 5e-7 * static_cast<double>(dim + 8) *
+                             (norms[i] + norms[j0 + t]);
+        EXPECT_LE(std::fabs(d2[t] - exact(i, j0 + t)), slack)
+            << "f32 dim=" << dim << " t=" << t
+            << " tier=" << simd::SimdTierName(tier);
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, ParseAndNames) {
+  SimdTier tier;
+  EXPECT_TRUE(simd::ParseSimdTier("scalar", &tier));
+  EXPECT_EQ(tier, SimdTier::kScalar);
+  EXPECT_TRUE(simd::ParseSimdTier("avx2", &tier));
+  EXPECT_EQ(tier, SimdTier::kAvx2);
+  EXPECT_TRUE(simd::ParseSimdTier("avx512", &tier));
+  EXPECT_EQ(tier, SimdTier::kAvx512);
+  EXPECT_TRUE(simd::ParseSimdTier("auto", &tier));
+  EXPECT_EQ(tier, simd::DetectedTier());
+  EXPECT_FALSE(simd::ParseSimdTier("sse9", &tier));
+  EXPECT_FALSE(simd::ParseSimdTier("", &tier));
+  for (SimdTier t : AvailableTiers()) {
+    SimdTier parsed;
+    ASSERT_TRUE(simd::ParseSimdTier(simd::SimdTierName(t), &parsed));
+    EXPECT_EQ(parsed, t);
+  }
+}
+
+TEST(SimdDispatchTest, ScopedOverrideClampsAndRestores) {
+  const SimdTier ambient = simd::ActiveTier();
+  {
+    simd::ScopedSimdTier forced(SimdTier::kScalar);
+    EXPECT_EQ(forced.applied(), SimdTier::kScalar);
+    EXPECT_EQ(simd::ActiveTier(), SimdTier::kScalar);
+    EXPECT_STREQ(simd::ActiveKernels().name, "scalar");
+    {
+      // Requests above the machine's capability clamp down, never up.
+      simd::ScopedSimdTier nested(SimdTier::kAvx512);
+      EXPECT_LE(nested.applied(), simd::DetectedTier());
+      EXPECT_EQ(simd::ActiveTier(), nested.applied());
+    }
+    EXPECT_EQ(simd::ActiveTier(), SimdTier::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveTier(), ambient);
+}
+
+TEST(SimdDispatchTest, HicsParamsValidateRejectsUnknownTier) {
+  HicsParams params;
+  params.simd_tier = "sse42";
+  EXPECT_FALSE(params.Validate().ok());
+  for (const char* ok : {"auto", "scalar", "avx2", "avx512"}) {
+    params.simd_tier = ok;
+    EXPECT_TRUE(params.Validate().ok()) << ok;
+  }
+}
+
+// --- Dispatch-seam end-to-end identity ------------------------------------
+
+Dataset SeamData(std::uint64_t seed) {
+  SyntheticParams gen;
+  gen.num_objects = 250;
+  gen.num_attributes = 8;
+  gen.seed = seed;
+  auto data = GenerateSynthetic(gen);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return data->data;
+}
+
+HicsParams SeamParams(const char* tier, std::size_t threads) {
+  HicsParams params;
+  params.num_iterations = 20;
+  params.max_dimensionality = 3;
+  params.output_top_k = 40;
+  params.num_threads = threads;
+  params.simd_tier = tier;
+  return params;
+}
+
+const std::size_t kSeamThreads[] = {1, 2, 4};
+
+TEST(SimdSeamTest, SearchIsIdenticalAcrossTiersAndThreads) {
+  const Dataset data = SeamData(91);
+  const auto reference = RunHicsSearch(data, SeamParams("scalar", 1));
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference->empty());
+  for (SimdTier tier : AvailableTiers()) {
+    for (std::size_t threads : kSeamThreads) {
+      const auto result =
+          RunHicsSearch(data, SeamParams(simd::SimdTierName(tier), threads));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_EQ(result->size(), reference->size())
+          << simd::SimdTierName(tier) << " threads=" << threads;
+      for (std::size_t i = 0; i < result->size(); ++i) {
+        EXPECT_EQ((*result)[i].subspace, (*reference)[i].subspace)
+            << simd::SimdTierName(tier) << " threads=" << threads;
+        EXPECT_EQ(Bits((*result)[i].score), Bits((*reference)[i].score))
+            << simd::SimdTierName(tier) << " threads=" << threads
+            << " position " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdSeamTest, RankingIsIdenticalAcrossTiersAndThreads) {
+  const Dataset data = SeamData(92);
+  const auto subspaces = RunHicsSearch(data, SeamParams("scalar", 1));
+  ASSERT_TRUE(subspaces.ok());
+  ASSERT_GT(subspaces->size(), 2u);
+  const LofScorer lof({.min_pts = 10});
+  std::vector<double> reference;
+  {
+    simd::ScopedSimdTier forced(SimdTier::kScalar);
+    reference = RankWithSubspaces(data, *subspaces, lof,
+                                  ScoreAggregation::kAverage, 1);
+  }
+  for (SimdTier tier : AvailableTiers()) {
+    for (std::size_t threads : kSeamThreads) {
+      simd::ScopedSimdTier forced(tier);
+      const auto scores = RankWithSubspaces(data, *subspaces, lof,
+                                            ScoreAggregation::kAverage,
+                                            threads);
+      ASSERT_EQ(scores.size(), reference.size());
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        EXPECT_EQ(Bits(scores[i]), Bits(reference[i]))
+            << "object " << i << " tier=" << simd::SimdTierName(tier)
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(SimdSeamTest, ServeIsIdenticalAcrossTiers) {
+  const Dataset data = SeamData(93);
+  HicsModelConfig config;
+  config.search_params = SeamParams("scalar", 1);
+  config.scorer = {ScorerKind::kLof, 10};
+  // Out-of-sample queries: perturbed copies of training rows.
+  std::vector<double> queries;
+  const std::size_t num_queries = 20;
+  Rng rng(404);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    for (std::size_t j = 0; j < data.num_attributes(); ++j) {
+      queries.push_back(data.Get(q * 3, j) + 0.01 * rng.UniformDouble());
+    }
+  }
+  std::vector<double> ref_training;
+  std::vector<double> ref_queries;
+  {
+    simd::ScopedSimdTier forced(SimdTier::kScalar);
+    const auto model = HicsModel::Fit(data, config);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    ref_training = model->training_scores();
+    const auto scored = model->ScoreQueries(queries, num_queries);
+    ASSERT_TRUE(scored.ok());
+    ref_queries = *scored;
+  }
+  for (SimdTier tier : AvailableTiers()) {
+    simd::ScopedSimdTier forced(tier);
+    const auto model = HicsModel::Fit(data, config);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    ASSERT_EQ(model->training_scores().size(), ref_training.size());
+    for (std::size_t i = 0; i < ref_training.size(); ++i) {
+      EXPECT_EQ(Bits(model->training_scores()[i]), Bits(ref_training[i]))
+          << "training object " << i
+          << " tier=" << simd::SimdTierName(tier);
+    }
+    const auto scored = model->ScoreQueries(queries, num_queries);
+    ASSERT_TRUE(scored.ok());
+    ASSERT_EQ(scored->size(), ref_queries.size());
+    for (std::size_t i = 0; i < ref_queries.size(); ++i) {
+      EXPECT_EQ(Bits((*scored)[i]), Bits(ref_queries[i]))
+          << "query " << i << " tier=" << simd::SimdTierName(tier);
+    }
+  }
+}
+
+TEST(SimdSeamTest, KnnTablesIdenticalAcrossTiersAndPrecisions) {
+  const Dataset data = SeamData(94);
+  const Subspace subspace{0, 2, 5, 7};
+  KnnResultTable reference;
+  {
+    simd::ScopedSimdTier forced(SimdTier::kScalar);
+    MakeBruteForceSearcher(data, subspace)->QueryAllKnn(10, &reference, 1);
+  }
+  for (SimdTier tier : AvailableTiers()) {
+    for (std::size_t threads : kSeamThreads) {
+      simd::ScopedSimdTier forced(tier);
+      for (KnnPrecision precision :
+           {KnnPrecision::kFloat64, KnnPrecision::kFloat32Screen}) {
+        KnnResultTable table;
+        MakeBruteForceSearcher(data, subspace, precision)
+            ->QueryAllKnn(10, &table, threads);
+        ASSERT_EQ(table.num_queries(), reference.num_queries());
+        for (std::size_t q = 0; q < table.num_queries(); ++q) {
+          const auto got = table.Row(q);
+          const auto want = reference.Row(q);
+          ASSERT_EQ(got.size(), want.size())
+              << "query " << q << " tier=" << simd::SimdTierName(tier)
+              << " precision="
+              << (precision == KnnPrecision::kFloat64 ? "f64" : "f32screen");
+          for (std::size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(got[i].id, want[i].id) << "query " << q;
+            EXPECT_EQ(Bits(got[i].distance), Bits(want[i].distance))
+                << "query " << q << " neighbor " << i
+                << " tier=" << simd::SimdTierName(tier);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hics

@@ -61,7 +61,9 @@ TEST(UnivariateScorerTest, FindsTrivialOutlierAcrossAttributes) {
   UnivariateScorer scorer;
   const auto scores = scorer.ScoreFullSpace(ds);
   for (std::size_t i = 0; i < 300; ++i) {
-    if (i != 123) EXPECT_GT(scores[123], scores[i]);
+    if (i != 123) {
+      EXPECT_GT(scores[123], scores[i]);
+    }
   }
 }
 
