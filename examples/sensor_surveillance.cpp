@@ -12,12 +12,15 @@
 //
 // Build & run:  ./build/examples/sensor_surveillance
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/random.h"
 #include "core/pipeline.h"
 #include "engine/prepared_dataset.h"
+#include "outlier/grid_density.h"
 #include "outlier/lof.h"
+#include "outlier/subspace_ranker.h"
 
 namespace {
 
@@ -90,6 +93,102 @@ void PrintRank(const char* what, const std::vector<double>& scores,
   }
 }
 
+// A season of the same network at city scale: half a million readings
+// with the same two hidden per-subspace anomalies. At this N the kNN
+// scorers need minutes per subspace; the O(N) grid-density tier — the
+// backend ChooseScoringBackend picks here — ranks it in milliseconds.
+hics::Dataset SimulateSensorArchive(std::size_t num_readings) {
+  hics::Rng rng(20120402);
+  hics::Dataset data(num_readings, 6);
+  for (std::size_t i = 0; i < num_readings; ++i) {
+    // Traffic load varies continuously across a season, driving pollution
+    // and noise together: the joint support is a tight diagonal band.
+    const double traffic = rng.UniformDouble();
+    data.Set(i, kPollution, traffic + rng.Gaussian(0.0, 0.008));
+    data.Set(i, kNoise, traffic + rng.Gaussian(0.0, 0.008));
+    // Weather fronts likewise: humidity anti-correlates with temperature.
+    const double front = rng.UniformDouble();
+    data.Set(i, kHumidity, front + rng.Gaussian(0.0, 0.008));
+    data.Set(i, kTemperature, 1.0 - front + rng.Gaussian(0.0, 0.008));
+    data.Set(i, kWindSpeed, rng.UniformDouble());
+    data.Set(i, kBattery, rng.UniformDouble());
+  }
+  // The same two contradiction patterns, planted mid-archive: each value
+  // is common on its own, the combination lies far off its band.
+  data.Set(123456, kPollution, 0.75);
+  data.Set(123456, kNoise, 0.25);
+  data.Set(424242, kHumidity, 0.7);
+  data.Set(424242, kTemperature, 0.7);
+  return data;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+const char* BackendName(hics::ScoringBackend backend) {
+  switch (backend) {
+    case hics::ScoringBackend::kKdTree:
+      return "kd-tree kNN";
+    case hics::ScoringBackend::kBruteSimd:
+      return "brute-force SIMD kNN";
+    case hics::ScoringBackend::kGrid:
+      return "O(N) grid density";
+  }
+  return "?";
+}
+
+void RunArchiveScale() {
+  constexpr std::size_t kNumReadings = 500000;
+  std::printf("\n-- archive scale: the grid-density tier --\n");
+
+  auto start = std::chrono::steady_clock::now();
+  const hics::Dataset archive = SimulateSensorArchive(kNumReadings);
+  std::printf("  simulate %zu readings x %zu attributes   %7.3f s\n",
+              archive.num_objects(), archive.num_attributes(),
+              SecondsSince(start));
+
+  const std::vector<hics::Subspace> subspaces = {
+      hics::Subspace({kPollution, kNoise}),
+      hics::Subspace({kHumidity, kTemperature}),
+  };
+  std::printf("  backend for (N=%zu, |S|=%zu): %s\n", kNumReadings,
+              subspaces[0].size(),
+              BackendName(hics::ChooseScoringBackend(kNumReadings,
+                                                     subspaces[0].size())));
+
+  start = std::chrono::steady_clock::now();
+  const hics::PreparedDataset prepared(archive, /*build_threads=*/0);
+  prepared.AttributeRange(0);  // force the range memoization into the timing
+  std::printf("  prepare dataset artifact              %7.3f s\n",
+              SecondsSince(start));
+
+  hics::GridDensityParams grid_params;
+  grid_params.bins_per_dim = 32;
+  // Neighbor smoothing separates a contradiction (empty cell amid empty
+  // neighbors) from an ordinary Gaussian-tail reading (sparse cell next
+  // to a packed one) — at this N the tails alone fill thousands of cells.
+  grid_params.smooth = true;
+  grid_params.num_threads = 0;
+  const hics::GridDensityScorer grid(grid_params);
+  start = std::chrono::steady_clock::now();
+  // kMax alerting: a contradiction lives in ONE subspace; averaging would
+  // dilute it with the (normal) score from the other.
+  const auto scores = hics::RankWithSubspaces(prepared, subspaces, grid,
+                                              hics::ScoreAggregation::kMax);
+  const double rank_seconds = SecondsSince(start);
+  std::printf("  grid-rank %zu subspaces               %7.3f s  "
+              "(%.1f M readings/s)\n",
+              subspaces.size(), rank_seconds,
+              static_cast<double>(kNumReadings * subspaces.size()) /
+                  rank_seconds / 1e6);
+
+  PrintRank("outlier1", scores, 123456);
+  PrintRank("outlier2", scores, 424242);
+}
+
 }  // namespace
 
 int main() {
@@ -133,8 +232,11 @@ int main() {
   PrintRank("outlier1", result->scores, 42);
   PrintRank("outlier2", result->scores, 300);
 
+  RunArchiveScale();
+
   std::printf("\nexpected: HiCS surfaces the two correlated sensor-pair "
-              "subspaces and ranks both\nhidden anomalies at the very top, "
-              "while full-space LOF buries them.\n");
+              "subspaces and ranks both\nhidden anomalies at the very top "
+              "(at survey and archive scale alike), while\nfull-space LOF "
+              "buries them.\n");
   return 0;
 }

@@ -2,58 +2,291 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
 
-#include "stats/histogram.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "engine/prepared_dataset.h"
+#include "simd/simd.h"
 
 namespace hics {
 
+namespace {
+
+/// bins^dims with overflow detection; returns false (and leaves *cells
+/// unspecified) when the product does not fit in 64 bits.
+bool GridNumCells(std::size_t bins_per_dim, std::size_t dims,
+                  std::uint64_t* cells) {
+  const std::uint64_t bins = bins_per_dim;
+  std::uint64_t product = 1;
+  for (std::size_t j = 0; j < dims; ++j) {
+    if (bins != 0 &&
+        product > std::numeric_limits<std::uint64_t>::max() / bins) {
+      return false;
+    }
+    product *= bins;
+  }
+  *cells = product;
+  return true;
+}
+
+/// One splitmix64 step folding `bin` into the running key — the hashed
+/// key scheme for grids whose nominal cell count overflows 64 bits.
+inline std::uint64_t MixBin(std::uint64_t key, std::uint32_t bin) {
+  std::uint64_t z =
+      key ^ (static_cast<std::uint64_t>(bin) + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// NaN-ignoring min/max of one column; [0, 0] when empty or all-NaN
+/// (every value then lands in bin 0 through the canonical clamp).
+std::pair<double, double> ScanRange(const std::vector<double>& col) {
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double v : col) {
+    if (!(v == v)) continue;
+    if (v < mn) mn = v;
+    if (v > mx) mx = v;
+  }
+  if (!(mn <= mx)) return {0.0, 0.0};
+  return {mn, mx};
+}
+
+/// Rows per parallel binning chunk; also the per-worker bin scratch size.
+constexpr std::size_t kBinChunk = 8192;
+
+}  // namespace
+
+bool GridKeysHashed(std::size_t bins_per_dim, std::size_t dims) {
+  std::uint64_t cells = 0;
+  return !GridNumCells(bins_per_dim, dims, &cells);
+}
+
+std::uint64_t GridCellKey(std::span<const std::uint32_t> bins,
+                          std::size_t bins_per_dim, bool hashed) {
+  std::uint64_t key = 0;
+  if (hashed) {
+    for (std::uint32_t b : bins) key = MixBin(key, b);
+  } else {
+    for (std::uint32_t b : bins) {
+      key = key * static_cast<std::uint64_t>(bins_per_dim) + b;
+    }
+  }
+  return key;
+}
+
 SubspaceGrid::SubspaceGrid(const Dataset& dataset, const Subspace& subspace,
                            std::size_t bins_per_dim)
-    : bins_per_dim_(bins_per_dim) {
-  HICS_CHECK_GT(bins_per_dim, 0u);
+    : SubspaceGrid(dataset, subspace, [&] {
+        GridOptions options;
+        options.bins_per_dim = bins_per_dim;
+        return options;
+      }()) {}
+
+SubspaceGrid::SubspaceGrid(const Dataset& dataset, const Subspace& subspace,
+                           const GridOptions& options)
+    : bins_per_dim_(options.bins_per_dim) {
+  HICS_CHECK_GT(bins_per_dim_, 0u);
   HICS_CHECK(!subspace.empty());
-  const std::size_t n = dataset.num_objects();
-
-  // Per-attribute ranges.
-  std::vector<double> lo(subspace.size()), width(subspace.size());
+  lo_.resize(subspace.size());
+  width_.resize(subspace.size());
   for (std::size_t j = 0; j < subspace.size(); ++j) {
-    const auto& col = dataset.Column(subspace[j]);
-    if (col.empty()) {
-      lo[j] = 0.0;
-      width[j] = 1.0;
-      continue;
-    }
-    auto [mn, mx] = std::minmax_element(col.begin(), col.end());
-    lo[j] = *mn;
-    width[j] = *mx - *mn;
-    if (width[j] <= 0.0) width[j] = 1.0;  // constant attribute -> one bin
+    const auto [mn, mx] = ScanRange(dataset.Column(subspace[j]));
+    lo_[j] = mn;
+    width_[j] = mx - mn;
+    if (width_[j] <= 0.0) width_[j] = 1.0;  // constant attribute -> one bin
+  }
+  Build(dataset, subspace, options);
+}
+
+SubspaceGrid::SubspaceGrid(const PreparedDataset& prepared,
+                           const Subspace& subspace,
+                           const GridOptions& options)
+    : bins_per_dim_(options.bins_per_dim) {
+  HICS_CHECK_GT(bins_per_dim_, 0u);
+  HICS_CHECK(!subspace.empty());
+  lo_.resize(subspace.size());
+  width_.resize(subspace.size());
+  for (std::size_t j = 0; j < subspace.size(); ++j) {
+    const auto [mn, mx] = prepared.AttributeRange(subspace[j]);
+    lo_[j] = mn;
+    width_[j] = mx - mn;
+    if (width_[j] <= 0.0) width_[j] = 1.0;
+  }
+  Build(prepared.dataset(), subspace, options);
+}
+
+void SubspaceGrid::Build(const Dataset& dataset, const Subspace& subspace,
+                         const GridOptions& options) {
+  // The canonical bin kernel truncates into int32 lanes; bins past 2^31
+  // would saturate. No realistic grid comes close.
+  HICS_CHECK_LE(bins_per_dim_, std::size_t{1} << 31);
+  const std::size_t n = dataset.num_objects();
+  const std::size_t dims = subspace.size();
+
+  scale_.resize(dims);
+  for (std::size_t j = 0; j < dims; ++j) {
+    scale_[j] = static_cast<double>(bins_per_dim_) / width_[j];
   }
 
-  for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t key = 0;
-    for (std::size_t j = 0; j < subspace.size(); ++j) {
-      const double v = dataset.Get(i, subspace[j]);
-      std::size_t bin = static_cast<std::size_t>(
-          (v - lo[j]) / width[j] * static_cast<double>(bins_per_dim_));
-      if (bin >= bins_per_dim_) bin = bins_per_dim_ - 1;
-      key = key * (bins_per_dim_ + 1) + bin + 1;
+  std::uint64_t num_cells = 0;
+  hashed_ = !GridNumCells(bins_per_dim_, dims, &num_cells);
+  dense_ = !hashed_ && num_cells <= options.dense_cell_cap;
+
+  // Pass 1: per-point cell keys, column-major within row chunks — each
+  // axis runs the canonical SIMD bin_index kernel over the chunk, then
+  // folds the bins into the running mixed-radix (or hashed) key. Chunks
+  // write disjoint key ranges, so any thread count produces identical
+  // keys.
+  point_keys_.assign(n, 0);
+  const std::size_t num_chunks = (n + kBinChunk - 1) / kBinChunk;
+  const std::size_t workers =
+      ParallelWorkerCount(num_chunks, options.num_threads);
+  std::vector<std::uint32_t> scratch(workers * kBinChunk);
+  const simd::SimdKernels& kernels = simd::ActiveKernels();
+  const double max_bin = static_cast<double>(bins_per_dim_ - 1);
+  ParallelForWorker(
+      0, num_chunks, options.num_threads,
+      [&](std::size_t c, std::size_t w) {
+        const std::size_t begin = c * kBinChunk;
+        const std::size_t end = std::min(n, begin + kBinChunk);
+        const std::size_t len = end - begin;
+        std::uint32_t* bins_buf = scratch.data() + w * kBinChunk;
+        std::uint64_t* keys = point_keys_.data() + begin;
+        for (std::size_t j = 0; j < dims; ++j) {
+          const double* col = dataset.Column(subspace[j]).data() + begin;
+          kernels.bin_index(col, len, lo_[j], scale_[j], max_bin, bins_buf);
+          if (hashed_) {
+            for (std::size_t i = 0; i < len; ++i) {
+              keys[i] = MixBin(keys[i], bins_buf[i]);
+            }
+          } else {
+            const std::uint64_t radix = bins_per_dim_;
+            for (std::size_t i = 0; i < len; ++i) {
+              keys[i] = keys[i] * radix + bins_buf[i];
+            }
+          }
+        }
+      });
+
+  // Pass 2: occupancy counts. Serial on purpose: integer increments over
+  // the deterministic keys, ~N random accesses — never the bottleneck,
+  // and trivially identical for every configuration.
+  total_ = n;
+  nonempty_ = 0;
+  if (dense_) {
+    HICS_CHECK_LT(n, std::size_t{std::numeric_limits<std::uint32_t>::max()});
+    counts_dense_.assign(num_cells, 0);
+    for (std::uint64_t key : point_keys_) {
+      if (counts_dense_[key]++ == 0) ++nonempty_;
     }
-    ++cell_counts_[key];
-    ++total_;
+  } else {
+    counts_sparse_.reserve(std::min<std::size_t>(n, 1u << 16));
+    for (std::uint64_t key : point_keys_) ++counts_sparse_[key];
+    nonempty_ = counts_sparse_.size();
   }
+
+  if (options.keep_point_keys) {
+    kept_point_keys_ = true;
+  } else {
+    point_keys_.clear();
+    point_keys_.shrink_to_fit();
+  }
+}
+
+std::size_t SubspaceGrid::num_nonempty_cells() const { return nonempty_; }
+
+std::uint32_t SubspaceGrid::BinOf(double v, std::size_t j) const {
+  HICS_DCHECK(j < lo_.size());
+  return simd::BinIndexOne(v, lo_[j], scale_[j],
+                           static_cast<double>(bins_per_dim_ - 1));
+}
+
+std::uint64_t SubspaceGrid::KeyOfBins(
+    std::span<const std::uint32_t> bins) const {
+  HICS_DCHECK(bins.size() == dimensionality());
+  return GridCellKey(bins, bins_per_dim_, hashed_);
+}
+
+std::size_t SubspaceGrid::CountForKey(std::uint64_t key) const {
+  if (dense_) {
+    return key < counts_dense_.size() ? counts_dense_[key] : 0;
+  }
+  const auto it = counts_sparse_.find(key);
+  return it == counts_sparse_.end() ? 0 : it->second;
+}
+
+std::size_t SubspaceGrid::SmoothedCount(
+    std::span<const std::uint32_t> bins) const {
+  const std::size_t dims = dimensionality();
+  HICS_DCHECK(bins.size() == dims);
+  // Hashed keys cannot be shifted axis-wise; rehash with one bin replaced.
+  const auto key_with = [&](std::size_t axis, std::uint32_t bin) {
+    std::uint64_t key = 0;
+    for (std::size_t j = 0; j < dims; ++j) {
+      const std::uint32_t b = j == axis ? bin : bins[j];
+      key = hashed_ ? MixBin(key, b)
+                    : key * static_cast<std::uint64_t>(bins_per_dim_) + b;
+    }
+    return key;
+  };
+  const std::uint64_t center = KeyOfBins(bins);
+  std::size_t sum = CountForKey(center);
+  // Mixed-radix neighbor keys are the center key +/- the axis stride, so
+  // the common (non-hashed) path skips the rehash entirely.
+  std::uint64_t stride = 1;
+  for (std::size_t r = 0; r < dims; ++r) {
+    const std::size_t j = dims - 1 - r;  // axis j has stride bins^(dims-1-j)
+    if (bins[j] > 0) {
+      sum += CountForKey(hashed_ ? key_with(j, bins[j] - 1) : center - stride);
+    }
+    if (bins[j] + 1 < bins_per_dim_) {
+      sum += CountForKey(hashed_ ? key_with(j, bins[j] + 1) : center + stride);
+    }
+    stride *= static_cast<std::uint64_t>(bins_per_dim_);
+  }
+  return sum;
+}
+
+std::span<const std::uint64_t> SubspaceGrid::point_keys() const {
+  HICS_CHECK(kept_point_keys_);
+  return point_keys_;
+}
+
+std::vector<std::pair<std::uint64_t, std::size_t>>
+SubspaceGrid::NonEmptyCells() const {
+  std::vector<std::pair<std::uint64_t, std::size_t>> cells;
+  cells.reserve(nonempty_);
+  if (dense_) {
+    for (std::uint64_t key = 0; key < counts_dense_.size(); ++key) {
+      if (counts_dense_[key] != 0) cells.emplace_back(key, counts_dense_[key]);
+    }
+  } else {
+    for (const auto& [key, count] : counts_sparse_) {
+      cells.emplace_back(key, count);
+    }
+    std::sort(cells.begin(), cells.end());
+  }
+  return cells;
 }
 
 std::vector<std::size_t> SubspaceGrid::NonEmptyCellCounts() const {
   std::vector<std::size_t> counts;
-  counts.reserve(cell_counts_.size());
-  for (const auto& [key, count] : cell_counts_) counts.push_back(count);
+  counts.reserve(nonempty_);
+  for (const auto& [key, count] : NonEmptyCells()) counts.push_back(count);
   return counts;
 }
 
 double SubspaceGrid::Entropy() const {
   if (total_ == 0) return 0.0;
+  // Ascending-key iteration keeps the floating-point sum identical across
+  // the dense and sparse layouts.
   double entropy = 0.0;
-  for (const auto& [key, count] : cell_counts_) {
+  for (const auto& [key, count] : NonEmptyCells()) {
     const double p = static_cast<double>(count) / static_cast<double>(total_);
     entropy -= p * std::log(p);
   }
@@ -63,8 +296,14 @@ double SubspaceGrid::Entropy() const {
 double SubspaceGrid::Coverage(std::size_t density_threshold) const {
   if (total_ == 0) return 0.0;
   std::size_t covered = 0;
-  for (const auto& [key, count] : cell_counts_) {
-    if (count >= density_threshold) covered += count;
+  if (dense_) {
+    for (std::uint32_t count : counts_dense_) {
+      if (count != 0 && count >= density_threshold) covered += count;
+    }
+  } else {
+    for (const auto& [key, count] : counts_sparse_) {
+      if (count >= density_threshold) covered += count;
+    }
   }
   return static_cast<double>(covered) / static_cast<double>(total_);
 }

@@ -1,5 +1,6 @@
 #include "engine/prepared_dataset.h"
 
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -133,7 +134,51 @@ void PreparedDataset::EnsureRankArtifacts() const {
       marginal_variances_.push_back(stats::SampleVariance(sorted));
       sorted_columns_.push_back(std::move(sorted));
     }
+    rank_artifacts_ready_.store(true, std::memory_order_release);
   });
+}
+
+std::pair<double, double> PreparedDataset::AttributeRange(
+    std::size_t attribute) const {
+  std::call_once(ranges_once_, [this] {
+    const std::size_t d = dataset_.num_attributes();
+    attr_min_.resize(d);
+    attr_max_.resize(d);
+    // When the sorted columns already exist, the range is their ends —
+    // no data scan. Never *trigger* the rank build for ranges alone: a
+    // min/max pass is far cheaper than d sorts.
+    const bool use_sorted =
+        rank_artifacts_ready_.load(std::memory_order_acquire);
+    for (std::size_t a = 0; a < d; ++a) {
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -std::numeric_limits<double>::infinity();
+      if (use_sorted) {
+        const std::vector<double>& sorted = sorted_columns_[a];
+        std::size_t b = 0;
+        std::size_t e = sorted.size();
+        while (b < e && !(sorted[b] == sorted[b])) ++b;
+        while (e > b && !(sorted[e - 1] == sorted[e - 1])) --e;
+        if (b < e) {
+          mn = sorted[b];
+          mx = sorted[e - 1];
+        }
+      } else {
+        for (double v : dataset_.Column(a)) {
+          if (!(v == v)) continue;
+          if (v < mn) mn = v;
+          if (v > mx) mx = v;
+        }
+      }
+      if (!(mn <= mx)) {
+        mn = 0.0;
+        mx = 0.0;
+      }
+      attr_min_[a] = mn;
+      attr_max_[a] = mx;
+    }
+  });
+  HICS_DCHECK(attribute < attr_min_.size());
+  return {attr_min_[attribute], attr_max_[attribute]};
 }
 
 const SortedAttributeIndex& PreparedDataset::sorted_index() const {

@@ -204,6 +204,16 @@ class PreparedDataset {
   double MarginalMean(std::size_t attribute) const;
   double MarginalVariance(std::size_t attribute) const;
 
+  /// (min, max) of attribute `attribute`'s finite values; (0, 0) when the
+  /// column is empty or all-NaN. Memoized for all attributes on first
+  /// call: reuses the pre-sorted columns' ends when the rank artifacts
+  /// are already built (no data scan at all), and one NaN-ignoring
+  /// min/max pass otherwise — identical results either way. This is the
+  /// range substrate of the grid-density tier (SubspaceGrid's prepared
+  /// overload), so repeated grid builds across subspaces never rescan
+  /// columns.
+  std::pair<double, double> AttributeRange(std::size_t attribute) const;
+
   /// The subspace-keyed artifact cache. Const-accessible by design: the
   /// cache memoizes pure derivations of the immutable dataset.
   ArtifactCache& cache() const { return cache_; }
@@ -215,10 +225,18 @@ class PreparedDataset {
   std::size_t build_threads_;
 
   mutable std::once_flag rank_artifacts_once_;
+  /// Set (release) at the end of the rank-artifact build; lets
+  /// AttributeRange read the sorted columns lock-free when they already
+  /// exist without forcing their construction when they don't.
+  mutable std::atomic<bool> rank_artifacts_ready_{false};
   mutable std::unique_ptr<SortedAttributeIndex> index_;
   mutable std::vector<std::vector<double>> sorted_columns_;
   mutable std::vector<double> marginal_means_;
   mutable std::vector<double> marginal_variances_;
+
+  mutable std::once_flag ranges_once_;
+  mutable std::vector<double> attr_min_;
+  mutable std::vector<double> attr_max_;
 
   mutable ArtifactCache cache_;
 };

@@ -1,0 +1,336 @@
+#include "outlier/grid_density.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "simd/simd.h"
+#include "stats/descriptive.h"
+
+namespace hics {
+
+namespace {
+
+/// Meta-channel layout (trained state channel 0).
+constexpr std::size_t kMetaDims = 0;
+constexpr std::size_t kMetaBins = 1;
+constexpr std::size_t kMetaSmooth = 2;
+constexpr std::size_t kMetaTotal = 3;
+constexpr std::size_t kMetaMean = 4;
+constexpr std::size_t kMetaSigma = 5;
+constexpr std::size_t kMetaFixed = 6;  // lo[dims] then width[dims] follow
+
+/// Rows per parallel gather chunk (mirrors the grid's binning chunk).
+constexpr std::size_t kGatherChunk = 8192;
+
+/// Per-point density estimates f_i: the point's cell occupancy, smoothed
+/// over the 2|S| face-adjacent cells when requested. Chunks write
+/// disjoint ranges of exact integer counts, so the gather is
+/// bit-identical for every thread count.
+std::vector<double> GatherDensities(const Dataset& dataset,
+                                    const Subspace& subspace,
+                                    const SubspaceGrid& grid, bool smooth,
+                                    std::size_t num_threads) {
+  const std::size_t n = dataset.num_objects();
+  std::vector<double> density(n, 0.0);
+  const std::size_t num_chunks = (n + kGatherChunk - 1) / kGatherChunk;
+  if (!smooth) {
+    const std::span<const std::uint64_t> keys = grid.point_keys();
+    ParallelFor(0, num_chunks, num_threads, [&](std::size_t c) {
+      const std::size_t begin = c * kGatherChunk;
+      const std::size_t end = std::min(n, begin + kGatherChunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        density[i] = static_cast<double>(grid.CountForKey(keys[i]));
+      }
+    });
+    return density;
+  }
+  const std::size_t dims = subspace.size();
+  const std::size_t workers = ParallelWorkerCount(num_chunks, num_threads);
+  std::vector<std::uint32_t> scratch(workers * dims);
+  ParallelForWorker(
+      0, num_chunks, num_threads, [&](std::size_t c, std::size_t w) {
+        std::uint32_t* bins = scratch.data() + w * dims;
+        const std::size_t begin = c * kGatherChunk;
+        const std::size_t end = std::min(n, begin + kGatherChunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < dims; ++j) {
+            bins[j] = grid.BinOf(dataset.Column(subspace[j])[i], j);
+          }
+          density[i] = static_cast<double>(
+              grid.SmoothedCount(std::span<const std::uint32_t>(bins, dims)));
+        }
+      });
+  return density;
+}
+
+/// mean and sample stddev of the density vector through the canonical
+/// SIMD moment kernels (bit-identical across tiers).
+std::pair<double, double> DensityMoments(std::span<const double> density) {
+  const double mean = stats::Mean(density);
+  const double sigma = std::sqrt(stats::SampleVariance(density));
+  return {mean, sigma};
+}
+
+std::uint64_t KeyAt(const std::vector<double>& key_pairs, std::size_t idx) {
+  const std::uint64_t low = static_cast<std::uint64_t>(key_pairs[2 * idx]);
+  const std::uint64_t high =
+      static_cast<std::uint64_t>(key_pairs[2 * idx + 1]);
+  return (high << 32) | low;
+}
+
+}  // namespace
+
+GridDensityScorer::GridDensityScorer(const GridDensityParams& params)
+    : params_(params) {
+  HICS_CHECK_GT(params_.bins_per_dim, 0u);
+}
+
+std::vector<double> GridDensityScorer::ScoreWithGrid(
+    const Dataset& dataset, const Subspace& subspace,
+    const SubspaceGrid& grid) const {
+  const std::size_t n = dataset.num_objects();
+  if (n < 2) return std::vector<double>(n, 0.0);
+  const std::vector<double> density = GatherDensities(
+      dataset, subspace, grid, params_.smooth, params_.num_threads);
+  const auto [mean, sigma] = DensityMoments(density);
+  std::vector<double> scores(n, 0.0);
+  // Degenerate distribution (all points in one cell): nothing is more
+  // outlying than anything else.
+  if (!(sigma > 0.0)) return scores;
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = (mean - density[i]) / sigma;
+  }
+  return scores;
+}
+
+std::vector<double> GridDensityScorer::ScoreSubspace(
+    const Dataset& dataset, const Subspace& subspace) const {
+  GridOptions options;
+  options.bins_per_dim = params_.bins_per_dim;
+  options.num_threads = params_.num_threads;
+  options.keep_point_keys = !params_.smooth;
+  const SubspaceGrid grid(dataset, subspace, options);
+  return ScoreWithGrid(dataset, subspace, grid);
+}
+
+std::vector<double> GridDensityScorer::ScoreSubspacePrepared(
+    const PreparedDataset& prepared, const Subspace& subspace) const {
+  GridOptions options;
+  options.bins_per_dim = params_.bins_per_dim;
+  options.num_threads = params_.num_threads;
+  options.keep_point_keys = !params_.smooth;
+  // Ranges come from the prepared artifact (no column rescan); the grid
+  // — and therefore every score — is identical to the cold path's.
+  const SubspaceGrid grid(prepared, subspace, options);
+  return ScoreWithGrid(prepared.dataset(), subspace, grid);
+}
+
+std::string GridDensityScorer::cache_key() const {
+  return "grid-density:bins=" + std::to_string(params_.bins_per_dim) +
+         ":smooth=" + std::string(params_.smooth ? "1" : "0");
+}
+
+TrainedScorerState GridDensityScorer::BuildTrainedStatePrepared(
+    const PreparedDataset& prepared, const Subspace& subspace) const {
+  GridOptions options;
+  options.bins_per_dim = params_.bins_per_dim;
+  options.num_threads = params_.num_threads;
+  options.keep_point_keys = !params_.smooth;
+  const SubspaceGrid grid(prepared, subspace, options);
+  const std::vector<double> density =
+      GatherDensities(prepared.dataset(), subspace, grid, params_.smooth,
+                      params_.num_threads);
+  const auto [mean, sigma] = DensityMoments(density);
+
+  const std::size_t dims = subspace.size();
+  TrainedScorerState state;
+  state.channels.resize(kStateChannels);
+
+  std::vector<double>& meta = state.channels[0];
+  meta.resize(kMetaFixed + 2 * dims);
+  meta[kMetaDims] = static_cast<double>(dims);
+  meta[kMetaBins] = static_cast<double>(params_.bins_per_dim);
+  meta[kMetaSmooth] = params_.smooth ? 1.0 : 0.0;
+  meta[kMetaTotal] = static_cast<double>(grid.total_objects());
+  meta[kMetaMean] = mean;
+  meta[kMetaSigma] = sigma;
+  for (std::size_t j = 0; j < dims; ++j) {
+    meta[kMetaFixed + j] = grid.lo(j);
+    meta[kMetaFixed + dims + j] = grid.width(j);
+  }
+
+  // Cells serialize in NonEmptyCells' ascending-key order, so a freshly
+  // fitted state and a save/load round trip are byte-identical and
+  // out-of-sample lookups can binary-search the key channel.
+  const auto cells = grid.NonEmptyCells();
+  std::vector<double>& key_pairs = state.channels[1];
+  std::vector<double>& counts = state.channels[2];
+  key_pairs.reserve(2 * cells.size());
+  counts.reserve(cells.size());
+  for (const auto& [key, count] : cells) {
+    key_pairs.push_back(static_cast<double>(key & 0xFFFFFFFFULL));
+    key_pairs.push_back(static_cast<double>(key >> 32));
+    counts.push_back(static_cast<double>(count));
+  }
+  return state;
+}
+
+double GridDensityScorer::ScoreOutOfSamplePoint(
+    std::span<const double> projected, const TrainedScorerState& state) const {
+  HICS_CHECK_EQ(state.channels.size(), kStateChannels);
+  const std::vector<double>& meta = state.channels[0];
+  const std::vector<double>& key_pairs = state.channels[1];
+  const std::vector<double>& counts = state.channels[2];
+
+  const std::size_t dims = static_cast<std::size_t>(meta[kMetaDims]);
+  HICS_CHECK_EQ(projected.size(), dims);
+  const std::size_t bins_per_dim =
+      static_cast<std::size_t>(meta[kMetaBins]);
+  const bool smooth = meta[kMetaSmooth] != 0.0;
+  const double mean = meta[kMetaMean];
+  const double sigma = meta[kMetaSigma];
+  if (!(sigma > 0.0)) return 0.0;
+
+  const double max_bin = static_cast<double>(bins_per_dim - 1);
+  const bool hashed = GridKeysHashed(bins_per_dim, dims);
+  std::vector<std::uint32_t> bins(dims);
+  for (std::size_t j = 0; j < dims; ++j) {
+    const double lo = meta[kMetaFixed + j];
+    const double width = meta[kMetaFixed + dims + j];
+    const double scale = static_cast<double>(bins_per_dim) / width;
+    bins[j] = simd::BinIndexOne(projected[j], lo, scale, max_bin);
+  }
+
+  const std::size_t num_cells = counts.size();
+  const auto count_for = [&](std::uint64_t key) -> double {
+    std::size_t lo_i = 0;
+    std::size_t hi_i = num_cells;
+    while (lo_i < hi_i) {
+      const std::size_t mid = lo_i + (hi_i - lo_i) / 2;
+      if (KeyAt(key_pairs, mid) < key) {
+        lo_i = mid + 1;
+      } else {
+        hi_i = mid;
+      }
+    }
+    if (lo_i < num_cells && KeyAt(key_pairs, lo_i) == key) {
+      return counts[lo_i];
+    }
+    return 0.0;
+  };
+
+  double f = count_for(GridCellKey(bins, bins_per_dim, hashed));
+  if (smooth) {
+    for (std::size_t j = 0; j < dims; ++j) {
+      const std::uint32_t center = bins[j];
+      if (center > 0) {
+        bins[j] = center - 1;
+        f += count_for(GridCellKey(bins, bins_per_dim, hashed));
+      }
+      if (center + 1 < bins_per_dim) {
+        bins[j] = center + 1;
+        f += count_for(GridCellKey(bins, bins_per_dim, hashed));
+      }
+      bins[j] = center;
+    }
+  }
+  return (mean - f) / sigma;
+}
+
+Status GridDensityScorer::ValidateTrainedState(const TrainedScorerState& state,
+                                               std::size_t dims,
+                                               std::size_t num_objects) {
+  if (state.channels.size() != kStateChannels) {
+    return Status::InvalidArgument(
+        "grid-density state must have " + std::to_string(kStateChannels) +
+        " channels, got " + std::to_string(state.channels.size()));
+  }
+  const std::vector<double>& meta = state.channels[0];
+  const std::vector<double>& key_pairs = state.channels[1];
+  const std::vector<double>& counts = state.channels[2];
+  if (meta.size() != kMetaFixed + 2 * dims) {
+    return Status::InvalidArgument(
+        "grid-density meta channel has " + std::to_string(meta.size()) +
+        " values, expected " + std::to_string(kMetaFixed + 2 * dims) +
+        " for a " + std::to_string(dims) + "-attribute subspace");
+  }
+  for (double v : meta) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "grid-density meta channel contains a non-finite value");
+    }
+  }
+  if (static_cast<std::size_t>(meta[kMetaDims]) != dims) {
+    return Status::InvalidArgument(
+        "grid-density state dimensionality " +
+        std::to_string(static_cast<std::size_t>(meta[kMetaDims])) +
+        " does not match subspace size " + std::to_string(dims));
+  }
+  if (!(meta[kMetaBins] >= 1.0)) {
+    return Status::InvalidArgument("grid-density state has bins_per_dim < 1");
+  }
+  if (meta[kMetaSmooth] != 0.0 && meta[kMetaSmooth] != 1.0) {
+    return Status::InvalidArgument(
+        "grid-density state smooth flag must be 0 or 1");
+  }
+  if (static_cast<std::size_t>(meta[kMetaTotal]) != num_objects) {
+    return Status::InvalidArgument(
+        "grid-density state was fitted on " +
+        std::to_string(static_cast<std::size_t>(meta[kMetaTotal])) +
+        " objects, model claims " + std::to_string(num_objects));
+  }
+  if (!(meta[kMetaSigma] >= 0.0)) {
+    return Status::InvalidArgument(
+        "grid-density state has negative density stddev");
+  }
+  for (std::size_t j = 0; j < dims; ++j) {
+    if (!(meta[kMetaFixed + dims + j] > 0.0)) {
+      return Status::InvalidArgument(
+          "grid-density state has non-positive width for axis " +
+          std::to_string(j));
+    }
+  }
+  if (key_pairs.size() != 2 * counts.size()) {
+    return Status::InvalidArgument(
+        "grid-density key channel length " +
+        std::to_string(key_pairs.size()) + " does not match " +
+        std::to_string(counts.size()) + " cell counts");
+  }
+  constexpr double kTwo32 = 4294967296.0;
+  for (double half : key_pairs) {
+    if (!(half >= 0.0 && half < kTwo32) ||
+        half != std::floor(half)) {
+      return Status::InvalidArgument(
+          "grid-density key channel contains a non-integral or "
+          "out-of-range half-key");
+    }
+  }
+  double count_sum = 0.0;
+  std::uint64_t prev_key = 0;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    const std::uint64_t key = KeyAt(key_pairs, c);
+    if (c > 0 && key <= prev_key) {
+      return Status::InvalidArgument(
+          "grid-density cell keys are not strictly ascending");
+    }
+    prev_key = key;
+    const double count = counts[c];
+    if (!(count >= 1.0) || count != std::floor(count)) {
+      return Status::InvalidArgument(
+          "grid-density cell counts must be positive integers");
+    }
+    count_sum += count;
+  }
+  if (count_sum != meta[kMetaTotal]) {
+    return Status::InvalidArgument(
+        "grid-density cell counts sum to " + std::to_string(count_sum) +
+        ", expected " + std::to_string(meta[kMetaTotal]));
+  }
+  return Status::OK();
+}
+
+}  // namespace hics

@@ -1,0 +1,101 @@
+#ifndef HICS_OUTLIER_GRID_DENSITY_H_
+#define HICS_OUTLIER_GRID_DENSITY_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/grid.h"
+#include "common/status.h"
+#include "outlier/outlier_scorer.h"
+
+namespace hics {
+
+struct GridDensityParams {
+  /// Equi-width bins per subspace axis.
+  std::size_t bins_per_dim = 16;
+  /// Von Neumann smoothing: a point's density is its cell count plus the
+  /// 2|S| face-adjacent cells', damping bin-edge discretization at the
+  /// cost of 2|S| extra O(1) probes per point.
+  bool smooth = false;
+  /// Parallelism of the binning/gather passes (1 = serial, 0 = hardware
+  /// concurrency); never changes scores.
+  std::size_t num_threads = 1;
+};
+
+/// O(N) histogram density scorer — the third scoring backend tier. One
+/// pass bins every projected point into the equi-width SubspaceGrid
+/// (src/cluster/grid.h), a point's density estimate f_i is its cell's
+/// occupancy (optionally neighbor-smoothed), and its score is the
+/// Z-score of *sparsity*:
+///
+///   score_i = (mean(f) - f_i) / stddev(f)
+///
+/// Points in sparse cells score high. The Z-standardization is the
+/// dimensionality normalization (after arXiv 2004.13550): raw occupancy
+/// shrinks as bins^|S| grows, but standardized scores stay comparable
+/// across subspaces of different dimensionality — exactly what
+/// HiCS-style averaging across subspaces needs.
+///
+/// Complexity: O(N·|S|) fit, O(1) per in-sample point, O(|S| + log C)
+/// per out-of-sample query (C = occupied cells) — no neighbor search
+/// anywhere, which is why the backend chooser hands large-N subspaces to
+/// this tier (ChooseScoringBackend, bench_density_backends).
+///
+/// Determinism: binning runs the canonical SIMD bin_index kernel, the
+/// moments run the canonical sum/sum_sq_dev kernels, and cell counts are
+/// exact integers, so scores are bit-identical across SIMD tiers, thread
+/// counts, dense/sparse grid layouts, and the cold/prepared paths.
+class GridDensityScorer : public OutlierScorer {
+ public:
+  /// Trained-state channel layout (BuildTrainedStatePrepared):
+  ///   0: meta [dims, bins, smooth, total, mean, sigma, lo..., width...]
+  ///   1: occupied cell keys, ascending, as (low32, high32) double pairs
+  ///   2: occupied cell counts, aligned with channel 1
+  static constexpr std::size_t kStateChannels = 3;
+
+  explicit GridDensityScorer(const GridDensityParams& params = {});
+
+  std::vector<double> ScoreSubspace(const Dataset& dataset,
+                                    const Subspace& subspace) const override;
+
+  std::vector<double> ScoreSubspacePrepared(
+      const PreparedDataset& prepared, const Subspace& subspace) const override;
+
+  std::string cache_key() const override;
+
+  bool SupportsOutOfSample() const override { return true; }
+  bool OutOfSampleNeedsNeighbors() const override { return false; }
+  std::size_t NeighborhoodSize() const override { return 0; }
+
+  TrainedScorerState BuildTrainedStatePrepared(
+      const PreparedDataset& prepared, const Subspace& subspace) const override;
+
+  double ScoreOutOfSamplePoint(std::span<const double> projected,
+                               const TrainedScorerState& state) const override;
+
+  /// Structural validation of a deserialized trained state for a
+  /// `dims`-attribute subspace over `num_objects` training objects:
+  /// channel count/lengths, ascending keys, positive counts summing to
+  /// the training total, finite meta. The serving layer calls this on
+  /// load so a tampered or truncated model file fails closed.
+  static Status ValidateTrainedState(const TrainedScorerState& state,
+                                     std::size_t dims,
+                                     std::size_t num_objects);
+
+  std::string name() const override { return "grid-density"; }
+
+  const GridDensityParams& params() const { return params_; }
+
+ private:
+  std::vector<double> ScoreWithGrid(const Dataset& dataset,
+                                    const Subspace& subspace,
+                                    const SubspaceGrid& grid) const;
+
+  GridDensityParams params_;
+};
+
+}  // namespace hics
+
+#endif  // HICS_OUTLIER_GRID_DENSITY_H_

@@ -38,6 +38,16 @@ double OutlierScorer::ScoreOutOfSample(std::span<const Neighbor> neighbors,
   return 0.0;
 }
 
+double OutlierScorer::ScoreOutOfSamplePoint(
+    std::span<const double> projected, const TrainedScorerState& state) const {
+  (void)projected;
+  (void)state;
+  HICS_CHECK(false) << "scorer '" << name()
+                    << "' does not support neighbor-free out-of-sample "
+                       "scoring";
+  return 0.0;
+}
+
 namespace {
 
 /// Validates one scorer output: right size, every value finite. Reports

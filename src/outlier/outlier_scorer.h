@@ -158,6 +158,33 @@ class OutlierScorer {
   virtual double ScoreOutOfSample(std::span<const Neighbor> neighbors,
                                   const TrainedScorerState& state) const;
 
+  /// True when ScoreOutOfSample consumes a neighbor list — the serving
+  /// layer then runs a kNN query per (query, subspace). Neighbor-free
+  /// scorers (the grid-density tier answers from histogram state alone)
+  /// return false, and serving skips the searcher entirely: O(1) per
+  /// query instead of a tree descent or brute scan.
+  virtual bool OutOfSampleNeedsNeighbors() const { return true; }
+
+  /// Builds the per-subspace trained state directly from the prepared
+  /// dataset — the fit path for scorers whose state is not a function of
+  /// a kNN table (OutOfSampleNeedsNeighbors() == false). The default
+  /// state is empty.
+  virtual TrainedScorerState BuildTrainedStatePrepared(
+      const PreparedDataset& prepared, const Subspace& subspace) const {
+    (void)prepared;
+    (void)subspace;
+    return {};
+  }
+
+  /// Scores one out-of-sample query from its projected coordinates
+  /// (`projected[j]` = query value of subspace attribute j) and the state
+  /// built at fit time — the neighbor-free counterpart of
+  /// ScoreOutOfSample, used when OutOfSampleNeedsNeighbors() is false.
+  /// Same independence contract: must not depend on other queries.
+  /// CHECK-fails on scorers that do not implement it.
+  virtual double ScoreOutOfSamplePoint(std::span<const double> projected,
+                                       const TrainedScorerState& state) const;
+
   /// Short identifier, e.g. "lof".
   virtual std::string name() const = 0;
 };

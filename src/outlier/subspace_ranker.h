@@ -13,15 +13,40 @@
 
 namespace hics {
 
-/// Ranking-layer policy: which neighbor-search backend the density scorers
-/// should use for an (N objects, |S| dimensions) subspace workload. Both
-/// backends return bit-identical results, so this is purely a crossover
-/// decision: the KD-tree's pruning wins only where the tree stays
-/// selective (very low |S|, enough objects to amortize the build), while
-/// the blocked brute-force kernel's all-pairs batch is flat in |S| and
-/// wins everywhere else. Crossover constants are calibrated by
-/// `bench_knn_backends` (committed record: BENCH_knn_backends.json);
-/// re-run it when changing the kernels or the build flags.
+/// The three scoring-backend tiers the ranking layer can hand an
+/// (N objects, |S| dimensions) subspace workload to.
+enum class ScoringBackend {
+  /// kNN via KD-tree (pruned search; wins at low |S| with enough objects
+  /// to amortize the build).
+  kKdTree,
+  /// kNN via the blocked brute-force SIMD kernel (flat in |S|; wins in
+  /// the mid-N band where the tree stops pruning).
+  kBruteSimd,
+  /// O(N) histogram density (GridDensityScorer): no neighbor search at
+  /// all, so past its crossover N it beats *both* kNN backends by
+  /// widening margins — the million-point tier.
+  kGrid,
+};
+
+/// Ranking-layer policy: which scoring backend fits an (N, |S|) subspace
+/// workload. The kNN backends return bit-identical scores to each other,
+/// so kKdTree vs kBruteSimd is purely a wall-clock crossover; kGrid is a
+/// *different estimator* (histogram density instead of kNN distances)
+/// that the caller may only adopt when the scorer semantics allow it —
+/// it is returned where the grid tier's O(N) fit beats batched all-kNN
+/// outright. Crossover constants are calibrated by
+/// `bench_density_backends` (committed record:
+/// BENCH_density_backends.json) and `bench_knn_backends`
+/// (BENCH_knn_backends.json); re-run them when changing the kernels or
+/// build flags.
+ScoringBackend ChooseScoringBackend(std::size_t num_objects,
+                                    std::size_t num_dimensions);
+
+/// kNN-only policy used by the neighbor-based scorers and the serving
+/// layer's searcher choice. Delegates to ChooseScoringBackend and maps
+/// its kGrid verdict back onto the better *kNN* backend for the workload
+/// (a caller asking for neighbors cannot use the grid tier), so large-N
+/// subspaces keep their calibrated KD-tree/brute choice.
 KnnBackend ChooseKnnBackend(std::size_t num_objects,
                             std::size_t num_dimensions);
 

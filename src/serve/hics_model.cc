@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "outlier/grid_density.h"
 #include "outlier/knn_outlier.h"
 #include "outlier/lof.h"
 
@@ -13,7 +14,8 @@ namespace hics {
 Result<std::unique_ptr<OutlierScorer>> MakeScorer(const ScorerSpec& spec) {
   if (spec.k == 0) {
     return Status::InvalidArgument(
-        "scorer neighborhood size k must be positive");
+        "scorer parameter k must be positive (neighborhood size; bins "
+        "per axis for grid-density)");
   }
   switch (spec.kind) {
     case ScorerKind::kLof: {
@@ -28,6 +30,12 @@ Result<std::unique_ptr<OutlierScorer>> MakeScorer(const ScorerSpec& spec) {
     case ScorerKind::kKnnAverage:
       return std::unique_ptr<OutlierScorer>(
           std::make_unique<KnnAverageScorer>(spec.k));
+    case ScorerKind::kGridDensity: {
+      GridDensityParams params;
+      params.bins_per_dim = spec.k;
+      return std::unique_ptr<OutlierScorer>(
+          std::make_unique<GridDensityScorer>(params));
+    }
   }
   return Status::InvalidArgument(
       "unknown scorer kind " +
@@ -40,7 +48,14 @@ namespace {
 /// The scorer-state channel count each kind serializes; pinned here so a
 /// tampered file cannot smuggle a mismatched state past FromParts.
 std::size_t ExpectedStateChannels(ScorerKind kind) {
-  return kind == ScorerKind::kLof ? 2 : 0;
+  switch (kind) {
+    case ScorerKind::kLof:
+      return 2;
+    case ScorerKind::kGridDensity:
+      return GridDensityScorer::kStateChannels;
+    default:
+      return 0;
+  }
 }
 
 std::vector<Subspace> PlainSubspaces(
@@ -116,21 +131,29 @@ Result<HicsModel> HicsModel::Fit(const Dataset& dataset,
       prepared, PlainSubspaces(trained), *scorer, config.aggregation,
       threads);
 
-  // Step 3: per-subspace trained scorer state from the same cached kNN
-  // tables the ranking pass used (or builds them if the scorer's
-  // internal path didn't need them).
-  const std::size_t k = ClampNeighborhoodSize(scorer->NeighborhoodSize(), n,
-                                              "serve.fit");
-  if (k == 0) {
-    return Status::InvalidArgument(
-        "cannot fit a servable model on fewer than 2 training objects");
-  }
-  for (TrainedSubspace& t : trained) {
-    const KnnBackend backend = ChooseKnnBackend(n, t.subspace.size());
-    const std::shared_ptr<const KnnResultTable> table =
-        prepared.cache().GetKnnTable(t.subspace, backend, k, threads,
-                                     /*use_batch_kernel=*/true);
-    t.scorer_state = scorer->BuildTrainedState(*table);
+  // Step 3: per-subspace trained scorer state. Neighbor-based scorers
+  // build it from the same cached kNN tables the ranking pass used (or
+  // the tables are built here if the scorer's internal path didn't need
+  // them); neighbor-free scorers (grid-density) build it straight from
+  // the prepared artifact — no kNN table ever exists for them.
+  if (scorer->OutOfSampleNeedsNeighbors()) {
+    const std::size_t k = ClampNeighborhoodSize(scorer->NeighborhoodSize(), n,
+                                                "serve.fit");
+    if (k == 0) {
+      return Status::InvalidArgument(
+          "cannot fit a servable model on fewer than 2 training objects");
+    }
+    for (TrainedSubspace& t : trained) {
+      const KnnBackend backend = ChooseKnnBackend(n, t.subspace.size());
+      const std::shared_ptr<const KnnResultTable> table =
+          prepared.cache().GetKnnTable(t.subspace, backend, k, threads,
+                                       /*use_batch_kernel=*/true);
+      t.scorer_state = scorer->BuildTrainedState(*table);
+    }
+  } else {
+    for (TrainedSubspace& t : trained) {
+      t.scorer_state = scorer->BuildTrainedStatePrepared(prepared, t.subspace);
+    }
   }
 
   return HicsModel(config, dataset, std::move(trained),
@@ -181,18 +204,28 @@ Result<HicsModel> HicsModel::FromParts(Parts parts) {
           std::to_string(t.scorer_state.channels.size()) +
           " channels, expected " + std::to_string(expected_channels));
     }
-    for (const std::vector<double>& channel : t.scorer_state.channels) {
-      if (channel.size() != n) {
-        return Status::DataLoss(
-            "scorer-state channel length " + std::to_string(channel.size()) +
-            " does not match the " + std::to_string(n) +
-            " training objects");
+    if (parts.config.scorer.kind == ScorerKind::kGridDensity) {
+      // Grid state channels are histogram-shaped (meta, keys, counts),
+      // not per-object; the scorer owns their structural validation.
+      const Status grid_state = GridDensityScorer::ValidateTrainedState(
+          t.scorer_state, t.subspace.size(), n);
+      if (!grid_state.ok()) {
+        return Status::DataLoss(grid_state.message());
       }
-      for (double v : channel) {
-        // +inf is a legitimate lrd for duplicate-heavy neighborhoods;
-        // NaN never is.
-        if (std::isnan(v)) {
-          return Status::DataLoss("NaN in trained scorer state");
+    } else {
+      for (const std::vector<double>& channel : t.scorer_state.channels) {
+        if (channel.size() != n) {
+          return Status::DataLoss(
+              "scorer-state channel length " +
+              std::to_string(channel.size()) + " does not match the " +
+              std::to_string(n) + " training objects");
+        }
+        for (double v : channel) {
+          // +inf is a legitimate lrd for duplicate-heavy neighborhoods;
+          // NaN never is.
+          if (std::isnan(v)) {
+            return Status::DataLoss("NaN in trained scorer state");
+          }
         }
       }
     }
@@ -237,7 +270,8 @@ Result<std::vector<double>> HicsModel::ScoreQueries(
         std::to_string(d) + " attributes");
   }
   ServeDiagnostics local;
-  const std::size_t k = EffectiveK();
+  const bool needs_neighbors = scorer_->OutOfSampleNeedsNeighbors();
+  const std::size_t k = needs_neighbors ? EffectiveK() : 0;
   const std::size_t num_subspaces = subspaces_.size();
 
   std::vector<double> scores;
@@ -275,10 +309,16 @@ Result<std::vector<double>> HicsModel::ScoreQueries(
       const Subspace& subspace = subspaces_[s].subspace;
       projected.clear();
       for (std::size_t dim : subspace) projected.push_back(queries[q * d + dim]);
-      SearcherFor(s).QueryKnnPoint(projected, k, &neighbors);
-      per_subspace.push_back(scorer_->ScoreOutOfSample(
-          std::span<const Neighbor>(neighbors.data(), neighbors.size()),
-          subspaces_[s].scorer_state));
+      if (needs_neighbors) {
+        SearcherFor(s).QueryKnnPoint(projected, k, &neighbors);
+        per_subspace.push_back(scorer_->ScoreOutOfSample(
+            std::span<const Neighbor>(neighbors.data(), neighbors.size()),
+            subspaces_[s].scorer_state));
+      } else {
+        // Neighbor-free tier: O(1) histogram lookup, no searcher at all.
+        per_subspace.push_back(scorer_->ScoreOutOfSamplePoint(
+            projected, subspaces_[s].scorer_state));
+      }
     }
 
     if (per_subspace.empty()) {

@@ -28,10 +28,17 @@ enum class ScorerKind : std::uint32_t {
   kLof = 0,
   kKnnDistance = 1,
   kKnnAverage = 2,
+  /// O(N) histogram density tier (GridDensityScorer). Neighbor-free:
+  /// fitting stores the per-subspace grid (edges + occupied-cell counts)
+  /// as trained state and every query is an O(1) histogram lookup — no
+  /// searcher, no kNN table.
+  kGridDensity = 3,
 };
 
-/// Serializable scorer configuration: the kind plus its neighborhood size
-/// (LOF's min_pts, the kNN scorers' k).
+/// Serializable scorer configuration: the kind plus its integer
+/// parameter `k` — the neighborhood size for the kNN-family scorers
+/// (LOF's min_pts, the kNN scorers' k), the bins per axis for
+/// kGridDensity.
 struct ScorerSpec {
   ScorerKind kind = ScorerKind::kLof;
   std::size_t k = 10;

@@ -238,6 +238,28 @@ double SumSqDevAvx2(const double* values, std::size_t n, double mean) {
   return Combine8(s);
 }
 
+void BinIndexAvx2(const double* values, std::size_t n, double lo,
+                  double scale, double max_bin, std::uint32_t* out) {
+  // Elementwise sub/mul/clamp/truncate, 4 doubles -> 4 uint32 per step.
+  // maxpd/minpd return the second operand when the first is NaN, which is
+  // exactly BinIndexOne's `t > 0.0 ? t : 0.0` clamp — so NaN lands in bin
+  // 0 and cvttpd never sees an out-of-range value.
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vmax = _mm256_set1_pd(max_bin);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256d t =
+        _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(values + j), vlo), vscale);
+    t = _mm256_max_pd(t, vzero);
+    t = _mm256_min_pd(t, vmax);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j),
+                     _mm256_cvttpd_epi32(t));
+  }
+  BinIndexTail(values, j, n, lo, scale, max_bin, out);
+}
+
 }  // namespace
 
 const SimdKernels& Avx2Kernels() {
@@ -250,6 +272,7 @@ const SimdKernels& Avx2Kernels() {
       CompactSelectedSortedAvx2,
       SumAvx2,
       SumSqDevAvx2,
+      BinIndexAvx2,
       "avx2",
   };
   return kernels;

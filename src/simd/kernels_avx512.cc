@@ -207,6 +207,27 @@ double SumSqDevAvx512(const double* values, std::size_t n, double mean) {
   return Combine8(s);
 }
 
+void BinIndexAvx512(const double* values, std::size_t n, double lo,
+                    double scale, double max_bin, std::uint32_t* out) {
+  // Elementwise, 8 doubles -> 8 uint32 per step; same NaN-to-bin-0 clamp
+  // semantics as the AVX2 tier (vmaxpd/vminpd return the second operand
+  // when the first is NaN).
+  const __m512d vlo = _mm512_set1_pd(lo);
+  const __m512d vscale = _mm512_set1_pd(scale);
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vmax = _mm512_set1_pd(max_bin);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m512d t =
+        _mm512_mul_pd(_mm512_sub_pd(_mm512_loadu_pd(values + j), vlo), vscale);
+    t = _mm512_max_pd(t, vzero);
+    t = _mm512_min_pd(t, vmax);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                        _mm512_cvttpd_epi32(t));
+  }
+  BinIndexTail(values, j, n, lo, scale, max_bin, out);
+}
+
 }  // namespace
 
 const SimdKernels& Avx512Kernels() {
@@ -219,6 +240,7 @@ const SimdKernels& Avx512Kernels() {
       CompactSelectedSortedAvx512,
       SumAvx512,
       SumSqDevAvx512,
+      BinIndexAvx512,
       "avx512",
   };
   return kernels;

@@ -10,6 +10,9 @@
 #define HICS_SIMD_KERNELS_COMMON_H_
 
 #include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.h"
 
 namespace hics::simd::internal {
 
@@ -53,6 +56,15 @@ inline double Combine8(const double* s) {
   const double t2 = s[2] + s[6];
   const double t3 = s[3] + s[7];
   return (t0 + t2) + (t1 + t3);
+}
+
+/// Tail of the bin-index mapping: elements [j, n) through the canonical
+/// single-element clamp (bin_index is purely elementwise, so the tail is
+/// just the reference mapping itself).
+inline void BinIndexTail(const double* values, std::size_t j, std::size_t n,
+                         double lo, double scale, double max_bin,
+                         std::uint32_t* out) {
+  for (; j < n; ++j) out[j] = BinIndexOne(values[j], lo, scale, max_bin);
 }
 
 }  // namespace hics::simd::internal

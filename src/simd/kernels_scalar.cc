@@ -170,6 +170,11 @@ double SumSqDevScalar(const double* values, std::size_t n, double mean) {
   return Combine8(s);
 }
 
+void BinIndexScalar(const double* values, std::size_t n, double lo,
+                    double scale, double max_bin, std::uint32_t* out) {
+  BinIndexTail(values, 0, n, lo, scale, max_bin, out);
+}
+
 }  // namespace
 
 const SimdKernels& ScalarKernels() {
@@ -182,6 +187,7 @@ const SimdKernels& ScalarKernels() {
       CompactSelectedSortedScalar,
       SumScalar,
       SumSqDevScalar,
+      BinIndexScalar,
       "scalar",
   };
   return kernels;

@@ -10,13 +10,13 @@
 //
 // Bit-identity contract. Kernels come in two classes:
 //
-//   CANONICAL — squared_distance(_bounded), mean, sum_sq_dev, and both
-//   compaction kernels define *the* result. Every tier computes the same
-//   partial-sum decomposition in the same combine order (see
-//   kernels_scalar.cc for the reference), so outputs are bit-identical
-//   across scalar/AVX2/AVX-512 and across machines. None of them may use
-//   FMA (the build pins -ffp-contract=off so inlined scalar code cannot
-//   silently contract either).
+//   CANONICAL — squared_distance(_bounded), mean, sum_sq_dev, both
+//   compaction kernels, and the grid bin_index kernel define *the*
+//   result. Every tier computes the same partial-sum decomposition in the
+//   same combine order (see kernels_scalar.cc for the reference), so
+//   outputs are bit-identical across scalar/AVX2/AVX-512 and across
+//   machines. None of them may use FMA (the build pins -ffp-contract=off
+//   so inlined scalar code cannot silently contract either).
 //
 //   SCREENING — screen_row_f64 / screen_row_f32 produce approximations
 //   whose error the caller covers with a slack margin before an exact
@@ -120,9 +120,37 @@ struct SimdKernels {
   /// scheme as sum(). No FMA.
   double (*sum_sq_dev)(const double* values, std::size_t n, double mean);
 
+  /// CANONICAL. Equi-width grid bin index per element:
+  ///   out[i] = uint32(clamp((values[i] - lo) * scale, 0.0, max_bin))
+  /// with the clamp performed entirely in the double domain *before* the
+  /// truncating conversion, in the exact order of BinIndexOne() below —
+  /// so NaN inputs and everything below the range land in bin 0, values
+  /// past the top edge cap at max_bin, and no tier ever performs an
+  /// out-of-range double->int conversion (UB in scalar code, saturation
+  /// on cvttpd). Purely elementwise: every tier applies the same IEEE
+  /// sub/mul/max/min/truncate per lane, so results are bit-identical
+  /// across tiers by construction. `max_bin` is bins_per_dim - 1 as a
+  /// double and must be < 2^31.
+  void (*bin_index)(const double* values, std::size_t n, double lo,
+                    double scale, double max_bin, std::uint32_t* out);
+
   /// Tier this table implements ("scalar", "avx2", "avx512").
   const char* name;
 };
+
+/// The canonical single-element bin mapping every bin_index tier (and any
+/// scalar caller that must agree with it, e.g. out-of-sample grid
+/// scoring) implements. The two-sided clamp mirrors the vector tiers'
+/// max_pd(t, 0) / min_pd(t, max_bin) semantics: maxpd returns its second
+/// operand when the first is NaN, so `t > 0.0 ? t : 0.0` (false for NaN
+/// and -0.0) is the exact scalar equivalent.
+inline std::uint32_t BinIndexOne(double v, double lo, double scale,
+                                 double max_bin) {
+  double t = (v - lo) * scale;
+  t = t > 0.0 ? t : 0.0;
+  t = t < max_bin ? t : max_bin;
+  return static_cast<std::uint32_t>(t);
+}
 
 /// Extra writable slots the compaction kernels may touch past the last
 /// selected element (full-width vector stores near the output cursor).

@@ -2,10 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
 
 #include "common/random.h"
 #include "data/synthetic.h"
+#include "engine/prepared_dataset.h"
 
 namespace hics {
 namespace {
@@ -96,6 +103,155 @@ TEST(GridInterestTest, XorCubeInterestOnlyInThreeDims) {
   EXPECT_LT(i02, 0.08);
   EXPECT_LT(i12, 0.08);
   EXPECT_GT(i012, 0.4);
+}
+
+Dataset RandomGridData(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      ds.Set(i, j, rng.UniformDouble() * 4.0 - 2.0);
+    }
+  }
+  return ds;
+}
+
+TEST(SubspaceGridTest, NonEmptyCellsAreAscendingByKey) {
+  const Dataset ds = RandomGridData(5000, 3, 21);
+  SubspaceGrid grid(ds, Subspace({0, 1, 2}), 8);
+  const auto cells = grid.NonEmptyCells();
+  ASSERT_EQ(cells.size(), grid.num_nonempty_cells());
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_LT(cells[i - 1].first, cells[i].first) << "position " << i;
+  }
+  // NonEmptyCellCounts is the count column of NonEmptyCells, same order.
+  const auto counts = grid.NonEmptyCellCounts();
+  ASSERT_EQ(counts.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(counts[i], cells[i].second);
+  }
+}
+
+TEST(SubspaceGridTest, DenseAndSparseLayoutsAreObservablyIdentical) {
+  const Dataset ds = RandomGridData(4000, 3, 22);
+  const Subspace subspace({0, 1, 2});
+  GridOptions dense_opts;
+  dense_opts.bins_per_dim = 10;
+  dense_opts.keep_point_keys = true;
+  GridOptions sparse_opts = dense_opts;
+  sparse_opts.dense_cell_cap = 0;  // force the hash-map layout
+  const SubspaceGrid dense(ds, subspace, dense_opts);
+  const SubspaceGrid sparse(ds, subspace, sparse_opts);
+  ASSERT_TRUE(dense.dense());
+  ASSERT_FALSE(sparse.dense());
+  EXPECT_EQ(dense.NonEmptyCells(), sparse.NonEmptyCells());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(dense.Entropy()),
+            std::bit_cast<std::uint64_t>(sparse.Entropy()));
+  EXPECT_EQ(dense.Coverage(3), sparse.Coverage(3));
+  const auto dk = dense.point_keys();
+  const auto sk = sparse.point_keys();
+  ASSERT_EQ(dk.size(), sk.size());
+  for (std::size_t i = 0; i < dk.size(); ++i) {
+    EXPECT_EQ(dk[i], sk[i]) << "object " << i;
+    EXPECT_EQ(dense.CountForKey(dk[i]), sparse.CountForKey(sk[i]));
+  }
+}
+
+TEST(SubspaceGridTest, PreparedOverloadMatchesDatasetOverload) {
+  const Dataset ds = RandomGridData(2000, 4, 23);
+  const Subspace subspace({0, 2, 3});
+  GridOptions options;
+  options.bins_per_dim = 12;
+  const SubspaceGrid from_dataset(ds, subspace, options);
+  // Cold prepared artifact: ranges come from a fresh scan.
+  PreparedDataset cold(ds);
+  const SubspaceGrid from_cold(cold, subspace, options);
+  // Warm prepared artifact: ranges come from the sorted-column ends.
+  PreparedDataset warm(ds);
+  warm.sorted_index();
+  const SubspaceGrid from_warm(warm, subspace, options);
+  for (const SubspaceGrid* grid : {&from_cold, &from_warm}) {
+    EXPECT_EQ(grid->NonEmptyCells(), from_dataset.NonEmptyCells());
+    for (std::size_t j = 0; j < subspace.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(grid->lo(j)),
+                std::bit_cast<std::uint64_t>(from_dataset.lo(j)));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(grid->width(j)),
+                std::bit_cast<std::uint64_t>(from_dataset.width(j)));
+    }
+  }
+}
+
+TEST(SubspaceGridTest, ThreadedBuildIsIdentical) {
+  const Dataset ds = RandomGridData(30000, 3, 24);
+  const Subspace subspace({0, 1, 2});
+  GridOptions serial;
+  serial.bins_per_dim = 16;
+  serial.keep_point_keys = true;
+  const SubspaceGrid reference(ds, subspace, serial);
+  for (std::size_t threads : {2u, 4u}) {
+    GridOptions parallel = serial;
+    parallel.num_threads = threads;
+    const SubspaceGrid grid(ds, subspace, parallel);
+    EXPECT_EQ(grid.NonEmptyCells(), reference.NonEmptyCells())
+        << "threads=" << threads;
+    const auto got = grid.point_keys();
+    const auto want = reference.point_keys();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "object " << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SubspaceGridTest, HashedKeysKickInWhenMixedRadixOverflows) {
+  EXPECT_FALSE(GridKeysHashed(16, 4));
+  EXPECT_FALSE(GridKeysHashed(2, 63));   // 2^63 fits in a uint64 key
+  EXPECT_TRUE(GridKeysHashed(2, 64));    // 2^64 does not
+  EXPECT_TRUE(GridKeysHashed(16, 17));   // 16^17 = 2^68
+  EXPECT_FALSE(GridKeysHashed(16, 15));  // 16^15 = 2^60
+
+  // A 20-attribute, 16-bin subspace needs hashed keys; the grid must
+  // still count consistently (CountForKey over point_keys sums to N).
+  const Dataset ds = RandomGridData(500, 20, 25);
+  std::vector<std::size_t> attrs(20);
+  std::iota(attrs.begin(), attrs.end(), std::size_t{0});
+  const Subspace subspace(attrs);
+  GridOptions options;
+  options.bins_per_dim = 16;
+  options.keep_point_keys = true;
+  const SubspaceGrid grid(ds, subspace, options);
+  EXPECT_TRUE(grid.hashed_keys());
+  std::size_t total = 0;
+  for (const auto& [key, count] : grid.NonEmptyCells()) {
+    EXPECT_EQ(grid.CountForKey(key), count);
+    total += count;
+  }
+  EXPECT_EQ(total, grid.total_objects());
+}
+
+TEST(SubspaceGridTest, BinOfMatchesCanonicalMapping) {
+  auto ds = *Dataset::FromColumns({{0.0, 1.0, 2.0, 3.0, 4.0}});
+  SubspaceGrid grid(ds, Subspace({0}), 4);
+  EXPECT_EQ(grid.BinOf(0.0, 0), 0u);
+  EXPECT_EQ(grid.BinOf(4.0, 0), 3u);          // top edge caps at the last bin
+  EXPECT_EQ(grid.BinOf(-100.0, 0), 0u);       // below range clamps low
+  EXPECT_EQ(grid.BinOf(100.0, 0), 3u);        // above range clamps high
+  EXPECT_EQ(grid.BinOf(std::numeric_limits<double>::quiet_NaN(), 0), 0u);
+  const std::uint32_t bins[] = {2};
+  EXPECT_EQ(grid.KeyOfBins(bins), 2u);
+  EXPECT_EQ(grid.CountForKey(2), 1u);  // the value 2.0 -> bin 2
+}
+
+TEST(SubspaceGridTest, SmoothedCountSumsFaceNeighbors) {
+  // 1-D line: cells {0: 2 objects, 1: 1, 3: 1} over 4 bins.
+  auto ds = *Dataset::FromColumns({{0.1, 0.2, 1.1, 3.0}});
+  SubspaceGrid grid(ds, Subspace({0}), 4);
+  const std::uint32_t cell0[] = {0u};
+  const std::uint32_t cell1[] = {1u};
+  const std::uint32_t cell3[] = {3u};
+  EXPECT_EQ(grid.SmoothedCount(cell0), 3u);  // 2 + neighbor bin 1
+  EXPECT_EQ(grid.SmoothedCount(cell1), 3u);  // 1 + bins 0 and 2
+  EXPECT_EQ(grid.SmoothedCount(cell3), 1u);  // edge: bin 4 doesn't exist
 }
 
 TEST(SubspaceGridDeathTest, InvalidArguments) {

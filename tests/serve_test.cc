@@ -78,7 +78,8 @@ TEST_P(FitIdentityTest, TrainingScoresMatchPipelineByteForByte) {
 INSTANTIATE_TEST_SUITE_P(AllScorers, FitIdentityTest,
                          ::testing::Values(ScorerKind::kLof,
                                            ScorerKind::kKnnDistance,
-                                           ScorerKind::kKnnAverage));
+                                           ScorerKind::kKnnAverage,
+                                           ScorerKind::kGridDensity));
 
 // ---------------------------------------------------------------------------
 // Out-of-sample scoring
@@ -158,6 +159,74 @@ TEST(ServeTest, MalformedBatchGetsTypedStatus) {
   auto result = model->ScoreQueries(queries, 4);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Grid-density models (neighbor-free serving)
+// ---------------------------------------------------------------------------
+
+TEST(ServeGridTest, ReloadedGridModelServesByteIdenticalScores) {
+  // The grid tier serializes its histogram (edges + occupied cells) as
+  // trained state; a reloaded model must answer training rescoring and
+  // out-of-sample queries bit for bit — with no searcher involved.
+  const Dataset ds = CorrelatedDataset(90, 4, 127);
+  auto model = HicsModel::Fit(ds, SmallConfig(ScorerKind::kGridDensity, 16));
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  auto reloaded = DeserializeHicsModel(SerializeHicsModel(*model));
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->training_scores(), model->training_scores());
+  const std::vector<double> queries = RandomQueries(11, 4, 128);
+  auto fresh = model->ScoreQueries(queries, 11);
+  auto restored = reloaded->ScoreQueries(queries, 11);
+  ASSERT_TRUE(fresh.ok() && restored.ok());
+  EXPECT_EQ(*fresh, *restored);
+  auto rescored = reloaded->RescoreTrainingSet();
+  ASSERT_TRUE(rescored.ok());
+  EXPECT_EQ(*rescored, model->training_scores());
+}
+
+TEST(ServeGridTest, GridQueriesAreDeterministicAndFinite) {
+  const Dataset ds = CorrelatedDataset(80, 4, 129);
+  auto model = HicsModel::Fit(ds, SmallConfig(ScorerKind::kGridDensity, 8));
+  ASSERT_TRUE(model.ok());
+  const std::vector<double> queries = RandomQueries(13, 4, 130);
+  auto first = model->ScoreQueries(queries, 13);
+  auto second = model->ScoreQueries(queries, 13);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, *second);
+  for (double s : *first) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(ServeGridTest, TamperedGridStateIsRejectedOnLoad) {
+  const Dataset ds = CorrelatedDataset(70, 4, 131);
+  auto model = HicsModel::Fit(ds, SmallConfig(ScorerKind::kGridDensity, 16));
+  ASSERT_TRUE(model.ok());
+  auto parts_of = [&]() {
+    HicsModel::Parts parts;
+    parts.config = model->config();
+    parts.training_data = model->training_data();
+    parts.subspaces = model->subspaces();
+    parts.training_scores = model->training_scores();
+    return parts;
+  };
+  // Untampered parts reassemble fine.
+  ASSERT_TRUE(HicsModel::FromParts(parts_of()).ok());
+  // Inflating one occupied-cell count breaks the counts-sum-to-N invariant.
+  {
+    HicsModel::Parts parts = parts_of();
+    ASSERT_FALSE(parts.subspaces.empty());
+    auto& channels = parts.subspaces[0].scorer_state.channels;
+    ASSERT_EQ(channels.size(), 3u);
+    ASSERT_FALSE(channels[2].empty());
+    channels[2][0] += 1.0;
+    EXPECT_FALSE(HicsModel::FromParts(std::move(parts)).ok());
+  }
+  // Dropping a state channel is a structural mismatch.
+  {
+    HicsModel::Parts parts = parts_of();
+    parts.subspaces[0].scorer_state.channels.pop_back();
+    EXPECT_FALSE(HicsModel::FromParts(std::move(parts)).ok());
+  }
 }
 
 // ---------------------------------------------------------------------------

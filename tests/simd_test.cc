@@ -205,6 +205,65 @@ TEST(SimdKernelTest, MomentKernelsIdenticalAcrossTiers) {
   }
 }
 
+TEST(SimdKernelTest, BinIndexIdenticalAcrossTiers) {
+  // The grid tier's canonical kernel: every tier must produce the exact
+  // uint32 bin of BinIndexOne per element, on hostile inputs too (NaN and
+  // inf planted by HostileValues, plus explicit edge probes below).
+  const simd::SimdKernels& scalar = KernelsForTier(SimdTier::kScalar);
+  const double lo = -50.0;
+  const double scale = 16.0 / 100.0;
+  const double max_bin = 15.0;
+  for (std::size_t n : kLengths) {
+    for (bool specials : {false, true}) {
+      const std::vector<double> v = HostileValues(n, 41 + n, specials);
+      std::vector<std::uint32_t> expected(n + 1, 0xDEADBEEF);
+      scalar.bin_index(v.data(), n, lo, scale, max_bin, expected.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(expected[i], simd::BinIndexOne(v[i], lo, scale, max_bin))
+            << "scalar kernel disagrees with BinIndexOne at " << i;
+      }
+      for (SimdTier tier : AvailableTiers()) {
+        std::vector<std::uint32_t> out(n + 1, 0xDEADBEEF);
+        KernelsForTier(tier).bin_index(v.data(), n, lo, scale, max_bin,
+                                       out.data());
+        EXPECT_EQ(out[n], 0xDEADBEEFu) << "tier wrote past n";
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(expected[i], out[i])
+              << "n=" << n << " i=" << i
+              << " tier=" << simd::SimdTierName(tier)
+              << " specials=" << specials;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, BinIndexEdgeSemantics) {
+  // The documented clamp order: NaN, -inf, and everything below `lo` land
+  // in bin 0; +inf and everything past the top edge cap at max_bin; exact
+  // interior edges truncate downward.
+  const double lo = 0.0;
+  const double scale = 4.0;  // 4 bins over [0, 1), max_bin = 3
+  const double max_bin = 3.0;
+  const std::vector<double> v = {
+      std::numeric_limits<double>::quiet_NaN(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity(),
+      -1e300, 1e300, -0.0, 0.0, 0.2499, 0.25, 0.5, 0.75, 0.999, 1.0, 2.0,
+  };
+  const std::vector<std::uint32_t> want = {0, 0, 3, 0, 3, 0, 0,
+                                           0, 1, 2, 3, 3, 3, 3};
+  for (SimdTier tier : AvailableTiers()) {
+    std::vector<std::uint32_t> out(v.size(), 99);
+    KernelsForTier(tier).bin_index(v.data(), v.size(), lo, scale, max_bin,
+                                   out.data());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_EQ(out[i], want[i])
+          << "value " << v[i] << " tier=" << simd::SimdTierName(tier);
+    }
+  }
+}
+
 TEST(SimdKernelTest, ScreeningRowsStayWithinSlack) {
   // Screening is approximate by contract; the invariant the searcher
   // depends on is |screen - exact| <= the slack margin it adds to the heap

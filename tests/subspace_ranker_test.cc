@@ -126,5 +126,33 @@ TEST(RankWithSubspacesTest, IrrelevantSubspacesDiluteTheSignal) {
   EXPECT_GT(margin(good), margin(blurred));
 }
 
+TEST(ChooseScoringBackendTest, GridTierTakesOverAtLargeN) {
+  // Exact constants are calibration-dependent (BENCH_density_backends.json);
+  // the shape invariants: the grid tier is chosen at and past its floor
+  // regardless of dimensionality, and below the floor the verdicts are the
+  // original kNN-band choices.
+  for (std::size_t d : {1u, 2u, 4u, 8u, 16u}) {
+    EXPECT_EQ(ChooseScoringBackend(32768, d), ScoringBackend::kGrid) << d;
+    EXPECT_EQ(ChooseScoringBackend(1u << 20, d), ScoringBackend::kGrid) << d;
+    EXPECT_NE(ChooseScoringBackend(32767, d), ScoringBackend::kGrid) << d;
+  }
+  EXPECT_EQ(ChooseScoringBackend(10000, 2), ScoringBackend::kKdTree);
+  EXPECT_EQ(ChooseScoringBackend(10000, 8), ScoringBackend::kBruteSimd);
+  EXPECT_EQ(ChooseScoringBackend(100, 2), ScoringBackend::kBruteSimd);
+}
+
+TEST(ChooseScoringBackendTest, KnnDelegationNeverReturnsGrid) {
+  // A caller that needs neighbors maps the grid verdict back onto the
+  // better kNN backend, so large-N kNN workloads keep their KD-tree wins.
+  for (std::size_t n : {10u, 1000u, 32768u, 1u << 20}) {
+    for (std::size_t d : {1u, 2u, 4u, 8u, 16u}) {
+      const KnnBackend choice = ChooseKnnBackend(n, d);
+      EXPECT_NE(choice, KnnBackend::kAuto) << "n " << n << " d " << d;
+    }
+  }
+  EXPECT_EQ(ChooseKnnBackend(1u << 20, 2), KnnBackend::kKdTree);
+  EXPECT_EQ(ChooseKnnBackend(1u << 20, 16), KnnBackend::kBruteForce);
+}
+
 }  // namespace
 }  // namespace hics
