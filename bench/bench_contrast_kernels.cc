@@ -208,6 +208,7 @@ int Run() {
              static_cast<std::uint64_t>(kContrastsPerRun));
   bench::WriteBuildInfo(json);
   bench::WriteSimdInfo(json);
+  bench::WriteMachineInfo(json);
   WriteDeviationKernelThroughput(json);
   json.BeginArray("grid");
   for (const Cell& c : cells) {

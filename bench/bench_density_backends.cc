@@ -260,6 +260,7 @@ int Run() {
       .Field("bins_per_dim", static_cast<std::uint64_t>(kBins));
   bench::WriteBuildInfo(json);
   bench::WriteSimdInfo(json);
+  bench::WriteMachineInfo(json);
   json.BeginArray("grid");
   for (const Cell& c : cells) {
     json.BeginObject()

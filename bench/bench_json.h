@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "simd/simd.h"
@@ -180,6 +181,21 @@ inline JsonWriter& WriteSimdInfo(JsonWriter& json) {
       .Field("avx512vl", f.avx512vl)
       .Field("detected_tier", simd::SimdTierName(simd::DetectedTier()))
       .Field("active_tier", simd::SimdTierName(simd::ActiveTier()))
+      .EndObject();
+}
+
+/// Appends a "machine" object (hardware concurrency and the shard count
+/// the record was produced with) to the record under construction.
+/// `num_shards` is 1 for unsharded benchmarks; sharded records
+/// (BENCH_sharded.json) pass the fit-time shard count so scaling numbers
+/// name both the parallel budget of the host and the partitioning they
+/// ran under.
+inline JsonWriter& WriteMachineInfo(JsonWriter& json,
+                                    std::uint64_t num_shards = 1) {
+  return json.BeginObject("machine")
+      .Field("hardware_concurrency",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .Field("num_shards", num_shards)
       .EndObject();
 }
 

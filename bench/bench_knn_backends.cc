@@ -142,6 +142,7 @@ int Run() {
       .Field("k", static_cast<std::uint64_t>(kK));
   bench::WriteBuildInfo(json);
   bench::WriteSimdInfo(json);
+  bench::WriteMachineInfo(json);
   json.BeginArray("grid");
   for (const Cell& c : cells) {
     json.BeginObject()

@@ -508,6 +508,7 @@ void WritePipelineStageReport() {
              static_cast<std::uint64_t>(DefaultNumThreads()));
   bench::WriteBuildInfo(json);
   bench::WriteSimdInfo(json);
+  bench::WriteMachineInfo(json);
   json.BeginObject("dataset")
       .Field("num_objects", static_cast<std::uint64_t>(data.num_objects()))
       .Field("num_attributes",

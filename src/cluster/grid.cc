@@ -120,6 +120,93 @@ SubspaceGrid::SubspaceGrid(const PreparedDataset& prepared,
   Build(prepared.dataset(), subspace, options);
 }
 
+SubspaceGrid::SubspaceGrid(const Dataset& dataset, const Subspace& subspace,
+                           std::span<const std::pair<double, double>> ranges,
+                           const GridOptions& options)
+    : bins_per_dim_(options.bins_per_dim) {
+  HICS_CHECK_GT(bins_per_dim_, 0u);
+  HICS_CHECK(!subspace.empty());
+  HICS_CHECK_EQ(ranges.size(), subspace.size());
+  lo_.resize(subspace.size());
+  width_.resize(subspace.size());
+  for (std::size_t j = 0; j < subspace.size(); ++j) {
+    lo_[j] = ranges[j].first;
+    width_[j] = ranges[j].second - ranges[j].first;
+    if (width_[j] <= 0.0) width_[j] = 1.0;
+  }
+  Build(dataset, subspace, options);
+}
+
+SubspaceGrid SubspaceGrid::MergeShards(
+    std::span<const SubspaceGrid* const> shards) {
+  HICS_CHECK(!shards.empty());
+  const SubspaceGrid& first = *shards[0];
+  SubspaceGrid merged;
+  merged.bins_per_dim_ = first.bins_per_dim_;
+  merged.dense_ = first.dense_;
+  merged.hashed_ = first.hashed_;
+  merged.lo_ = first.lo_;
+  merged.width_ = first.width_;
+  merged.scale_ = first.scale_;
+  const std::size_t dims = first.dimensionality();
+
+  bool keys = true;
+  std::size_t total = 0;
+  for (const SubspaceGrid* shard : shards) {
+    // Identical geometry is the merge precondition: same binning = same
+    // cell keys. Shards built against per-shard ranges would silently
+    // count different cells — refuse loudly instead.
+    HICS_CHECK_EQ(shard->bins_per_dim_, merged.bins_per_dim_);
+    HICS_CHECK_EQ(shard->dimensionality(), dims);
+    HICS_CHECK(shard->dense_ == merged.dense_);
+    HICS_CHECK(shard->hashed_ == merged.hashed_);
+    for (std::size_t j = 0; j < dims; ++j) {
+      HICS_CHECK(shard->lo_[j] == merged.lo_[j]);
+      HICS_CHECK(shard->width_[j] == merged.width_[j]);
+    }
+    keys = keys && shard->kept_point_keys_;
+    total += shard->total_;
+  }
+
+  merged.total_ = total;
+  if (merged.dense_) {
+    HICS_CHECK_LT(total,
+                  std::size_t{std::numeric_limits<std::uint32_t>::max()});
+    merged.counts_dense_.assign(first.counts_dense_.size(), 0);
+    for (const SubspaceGrid* shard : shards) {
+      HICS_CHECK_EQ(shard->counts_dense_.size(),
+                    merged.counts_dense_.size());
+      for (std::size_t key = 0; key < merged.counts_dense_.size(); ++key) {
+        merged.counts_dense_[key] += shard->counts_dense_[key];
+      }
+    }
+    merged.nonempty_ = 0;
+    for (std::uint32_t count : merged.counts_dense_) {
+      if (count != 0) ++merged.nonempty_;
+    }
+  } else {
+    for (const SubspaceGrid* shard : shards) {
+      for (const auto& [key, count] : shard->counts_sparse_) {
+        merged.counts_sparse_[key] += count;
+      }
+    }
+    merged.nonempty_ = merged.counts_sparse_.size();
+  }
+
+  // Shard order is object-id order (the partition is contiguous), so
+  // concatenating per-shard keys restores the full dataset's point_keys.
+  if (keys) {
+    merged.point_keys_.reserve(total);
+    for (const SubspaceGrid* shard : shards) {
+      merged.point_keys_.insert(merged.point_keys_.end(),
+                                shard->point_keys_.begin(),
+                                shard->point_keys_.end());
+    }
+    merged.kept_point_keys_ = true;
+  }
+  return merged;
+}
+
 void SubspaceGrid::Build(const Dataset& dataset, const Subspace& subspace,
                          const GridOptions& options) {
   // The canonical bin kernel truncates into int32 lanes; bins past 2^31

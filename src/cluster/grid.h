@@ -81,6 +81,30 @@ class SubspaceGrid {
   SubspaceGrid(const PreparedDataset& prepared, const Subspace& subspace,
                const GridOptions& options);
 
+  /// Explicit-range overload: bins `dataset` against caller-supplied
+  /// (min, max) ranges (one per subspace axis, in subspace order) instead
+  /// of scanning the data. The sharded scoring path builds every shard's
+  /// grid against the GLOBAL attribute ranges this way, which makes
+  /// per-point cell keys — and therefore cell counts — mergeable across
+  /// shards exactly. A (0, 0) range collapses to width 1.0 like a
+  /// constant attribute.
+  SubspaceGrid(const Dataset& dataset, const Subspace& subspace,
+               std::span<const std::pair<double, double>> ranges,
+               const GridOptions& options);
+
+  /// Merges per-shard grids (in shard order) into the grid the full
+  /// dataset would have produced. Cell counts are additive, so the merge
+  /// is exact: if every shard was built with the explicit-range overload
+  /// against identical ranges (and identical GridOptions), the merged
+  /// grid's cells, counts, entropy, coverage, and — when the shards kept
+  /// point keys — its concatenated point_keys() are bit-identical to one
+  /// grid built over the row-concatenation of the shards. CHECK-enforced:
+  /// at least one shard; all shards agree on bins_per_dim, dimensionality,
+  /// lo/width per axis, and layout; merged total stays under the dense
+  /// layout's uint32 count limit.
+  static SubspaceGrid MergeShards(
+      std::span<const SubspaceGrid* const> shards);
+
   std::size_t bins_per_dim() const { return bins_per_dim_; }
   std::size_t num_nonempty_cells() const;
   std::size_t total_objects() const { return total_; }
@@ -139,10 +163,12 @@ class SubspaceGrid {
   std::span<const std::uint64_t> point_keys() const;
 
  private:
+  SubspaceGrid() = default;  // MergeShards assembles the state directly
+
   void Build(const Dataset& dataset, const Subspace& subspace,
              const GridOptions& options);
 
-  std::size_t bins_per_dim_;
+  std::size_t bins_per_dim_ = 0;
   std::size_t total_ = 0;
   std::size_t nonempty_ = 0;
   bool dense_ = false;

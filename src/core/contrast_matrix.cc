@@ -1,10 +1,12 @@
 #include "core/contrast_matrix.h"
 
+#include <memory>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/subspace.h"
+#include "engine/sharded_dataset.h"
 #include "stats/two_sample_test.h"
 
 namespace hics {
@@ -59,6 +61,77 @@ Result<Matrix> ComputeContrastMatrix(const PreparedDataset& prepared,
   for (std::size_t t = 0; t < pairs.size(); ++t) {
     result(pairs[t].first, pairs[t].second) = values[t];
     result(pairs[t].second, pairs[t].first) = values[t];
+  }
+  return result;
+}
+
+Result<Matrix> ComputeContrastMatrix(const ShardedDataset& sharded,
+                                     const ContrastMatrixParams& params) {
+  const Dataset& dataset = sharded.dataset();
+  HICS_RETURN_NOT_OK(params.contrast.Validate());
+  const auto test = stats::MakeTwoSampleTest(params.statistical_test);
+  if (test == nullptr) {
+    return Status::InvalidArgument("unknown statistical_test '" +
+                                   params.statistical_test + "'");
+  }
+  const std::size_t d = dataset.num_attributes();
+  if (d < 2) return Status::InvalidArgument("need at least 2 attributes");
+  if (dataset.num_objects() < 2) {
+    return Status::InvalidArgument("need at least 2 objects");
+  }
+
+  const std::size_t num_threads =
+      params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
+  const std::size_t num_shards = sharded.num_shards();
+
+  // Same per-shard estimator setup as the sharded search, so matrix
+  // entries equal its level-2 scores under the same seed.
+  std::vector<std::unique_ptr<ContrastEstimator>> estimators(num_shards);
+  ParallelFor(0, num_shards, num_threads, [&](std::size_t s) {
+    const ContrastParams shard_params{
+        ShardIterations(params.contrast.num_iterations, num_shards, s),
+        params.contrast.alpha, params.contrast.use_rank_space_kernel};
+    estimators[s] = std::make_unique<ContrastEstimator>(sharded.shard(s),
+                                                        *test, shard_params);
+  });
+  std::vector<double> weights(num_shards);
+  double weight_sum = 0.0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    weights[s] = static_cast<double>(sharded.shard_size(s));
+    weight_sum += weights[s];
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(d * (d - 1) / 2);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) pairs.emplace_back(i, j);
+  }
+
+  // Task t = pair t/S on shard t%S; per-task slots keep the merge's
+  // floating-point reduction in shard-ordinal order regardless of which
+  // worker computed what.
+  const std::size_t tasks = pairs.size() * num_shards;
+  std::vector<double> values(tasks);
+  std::vector<ContrastScratch> scratches(
+      ParallelWorkerCount(tasks, num_threads));
+  ParallelForWorker(
+      0, tasks, num_threads, [&](std::size_t t, std::size_t worker) {
+        const std::size_t p = t / num_shards;
+        const std::size_t shard = t % num_shards;
+        const Subspace s{pairs[p].first, pairs[p].second};
+        Rng rng(ShardStreamSeed(params.seed, SubspaceHash{}(s), shard));
+        values[t] = estimators[shard]->Contrast(s, &rng, &scratches[worker]);
+      });
+
+  Matrix result(d, d);
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    double value_sum = 0.0;
+    for (std::size_t shard = 0; shard < num_shards; ++shard) {
+      value_sum += weights[shard] * values[p * num_shards + shard];
+    }
+    const double merged = value_sum / weight_sum;
+    result(pairs[p].first, pairs[p].second) = merged;
+    result(pairs[p].second, pairs[p].first) = merged;
   }
   return result;
 }

@@ -10,6 +10,8 @@
 
 namespace hics {
 
+class ShardedDataset;  // engine/sharded_dataset.h
+
 /// Pairwise contrast matrix: entry (i, j) is the HiCS contrast of the 2-D
 /// subspace {i, j} (symmetric; the diagonal is 0 — one-dimensional
 /// subspaces have no contrast). A compact, model-free dependence map of
@@ -37,6 +39,18 @@ Result<Matrix> ComputeContrastMatrix(const Dataset& dataset,
 /// instead of rebuilding them — the second index build the matrix used to
 /// pay is gone. Bit-identical to the Dataset overload.
 Result<Matrix> ComputeContrastMatrix(const PreparedDataset& prepared,
+                                     const ContrastMatrixParams& params = {});
+
+/// Sharded variant: every pair's estimate fans out over the shards (shard
+/// s runs ShardIterations(M, S, s) iterations on its own rows with stream
+/// ShardStreamSeed(seed, pair, s)) and the matrix entry is the row-count-
+/// weighted average of the per-shard estimates, reduced in shard-ordinal
+/// order. Bit-identical for a fixed effective shard count across thread
+/// counts and shard completion orders, and entry (i, j) equals the
+/// sharded RunHicsSearch's level-2 score of {i, j} under the same seed —
+/// but it is a different estimator than the unsharded matrix (agreement
+/// within Monte Carlo noise, not bit-equality).
+Result<Matrix> ComputeContrastMatrix(const ShardedDataset& sharded,
                                      const ContrastMatrixParams& params = {});
 
 }  // namespace hics

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <optional>
 
 #include "common/parallel.h"
 #include "common/random.h"
+#include "engine/sharded_dataset.h"
 #include "simd/simd.h"
 #include "stats/two_sample_test.h"
 
@@ -278,6 +280,206 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(
     KeepTopK(&completed, params.candidate_cutoff);
 
     // Survivors seed the next level and enter the output pool.
+    std::vector<Subspace> survivors;
+    survivors.reserve(completed.size());
+    for (const ScoredSubspace& s : completed) survivors.push_back(s.subspace);
+    std::sort(survivors.begin(), survivors.end());
+    for (ScoredSubspace& s : completed) pool.push_back(std::move(s));
+
+    if (!level_status.ok()) {
+      record_interruption(level_status);
+      break;
+    }
+    const Status after_level = ctx.CheckProgress();
+    if (!after_level.ok()) {
+      record_interruption(after_level);
+      break;
+    }
+    level = internal::GenerateCandidates(survivors);
+  }
+
+  if (params.prune_redundant) {
+    local_stats.pruned_redundant = internal::PruneRedundant(&pool);
+  }
+  KeepTopK(&pool, params.output_top_k);
+
+  if (stats != nullptr) *stats = local_stats;
+  return pool;
+}
+
+Result<std::vector<ScoredSubspace>> RunHicsSearch(
+    const ShardedDataset& sharded, const HicsParams& params,
+    HicsRunStats* stats) {
+  return RunHicsSearch(sharded, params, RunContext(), stats);
+}
+
+Result<std::vector<ScoredSubspace>> RunHicsSearch(
+    const ShardedDataset& sharded, const HicsParams& params,
+    const RunContext& ctx, HicsRunStats* stats) {
+  const Dataset& dataset = sharded.dataset();
+  HICS_RETURN_NOT_OK(params.Validate());
+  if (dataset.num_attributes() < 2) {
+    return Status::InvalidArgument(
+        "HiCS requires at least 2 attributes, got " +
+        std::to_string(dataset.num_attributes()));
+  }
+  if (dataset.num_objects() < 2) {
+    return Status::InvalidArgument("HiCS requires at least 2 objects");
+  }
+  HICS_RETURN_NOT_OK(ctx.InjectFault("hics.search"));
+
+  std::optional<simd::ScopedSimdTier> tier_scope;
+  if (params.simd_tier != "auto") {
+    simd::SimdTier requested = simd::DetectedTier();
+    simd::ParseSimdTier(params.simd_tier, &requested);  // validated above
+    tier_scope.emplace(requested);
+  }
+
+  const auto test = stats::MakeTwoSampleTest(params.statistical_test);
+  HICS_CHECK(test != nullptr);
+  const std::size_t num_threads =
+      params.num_threads == 0 ? DefaultNumThreads() : params.num_threads;
+  const std::size_t num_shards = sharded.num_shards();
+
+  // One estimator per shard, each with its slice of the iteration budget.
+  // Building them forces the per-shard lazy rank artifacts, so fan the
+  // construction out — the artifact content is build-order-invariant.
+  std::vector<std::unique_ptr<ContrastEstimator>> estimators(num_shards);
+  ParallelFor(0, num_shards, num_threads, [&](std::size_t s) {
+    const ContrastParams shard_params{
+        ShardIterations(params.num_iterations, num_shards, s), params.alpha,
+        params.use_rank_space_kernel};
+    estimators[s] = std::make_unique<ContrastEstimator>(sharded.shard(s),
+                                                        *test, shard_params);
+  });
+  std::vector<double> weights(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    weights[s] = static_cast<double>(sharded.shard_size(s));
+  }
+
+  HicsRunStats local_stats;
+  auto record_interruption = [&local_stats](const Status& st) {
+    if (st.code() == StatusCode::kCancelled) local_stats.cancelled = true;
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      local_stats.deadline_exceeded = true;
+    }
+  };
+
+  std::vector<ScoredSubspace> pool;
+  std::vector<Subspace> level = internal::AllTwoDimensionalSubspaces(
+      dataset.num_attributes());
+  std::uint64_t eval_base = 0;  // subspace-granular, like the unsharded path
+
+  // Per-(subspace, shard) slot states for one level.
+  enum : char { kNotRun = 0, kOk = 1, kFailed = 2 };
+
+  while (!level.empty()) {
+    const Status progress = ctx.CheckProgress();
+    if (!progress.ok()) {
+      record_interruption(progress);
+      break;
+    }
+    const std::size_t dims = level.front().size();
+    if (params.max_dimensionality != 0 &&
+        dims > params.max_dimensionality) {
+      break;
+    }
+    ++local_stats.levels_processed;
+
+    // Fan out over (subspace, shard) tasks: task t = subspace t/S, shard
+    // t%S. Results land in per-task slots; the weighted merge below reads
+    // them in shard-ordinal order, so neither thread count nor completion
+    // order can reorder a single floating-point operation.
+    const std::size_t tasks = level.size() * num_shards;
+    std::vector<double> values(tasks, 0.0);
+    std::vector<char> state(tasks, kNotRun);
+    std::vector<ContrastScratch> scratches(
+        ParallelWorkerCount(tasks, num_threads));
+    const Status level_status = ParallelTryForWorker(
+        0, tasks, num_threads,
+        [&](std::size_t t, std::size_t worker) -> Status {
+          const std::size_t i = t / num_shards;
+          const std::size_t shard = t % num_shards;
+          // The sharded estimate ordinal: evaluation (eval_base + i)'s
+          // shard block, shard-major. "shard.contrast" is probed with the
+          // bare shard ordinal so FailNthCall(site, k) poisons shard k-1
+          // on every subspace — the "one poisoned shard" drill.
+          const std::uint64_t ordinal =
+              (eval_base + i) * num_shards + shard + 1;
+          Status injected = ctx.InjectFault(
+              "shard.contrast", static_cast<std::uint64_t>(shard) + 1);
+          if (injected.ok()) {
+            injected = ctx.InjectFault("contrast.estimate", ordinal);
+          }
+          Result<double> contrast =
+              injected.ok()
+                  ? [&]() -> Result<double> {
+                      Rng rng(ShardStreamSeed(
+                          params.seed, SubspaceHash{}(level[i]), shard));
+                      return estimators[shard]->Contrast(
+                          level[i], &rng, &scratches[worker], ctx, ordinal);
+                    }()
+                  : Result<double>(std::move(injected));
+          if (contrast.ok()) {
+            values[t] = *contrast;
+            state[t] = kOk;
+            return Status::OK();
+          }
+          const StatusCode code = contrast.status().code();
+          if (code == StatusCode::kCancelled ||
+              code == StatusCode::kDeadlineExceeded) {
+            return contrast.status();
+          }
+          state[t] = kFailed;  // isolated: one shard of one subspace
+          return Status::OK();
+        },
+        [&ctx] { return ctx.ShouldStop(); });
+    eval_base += level.size();
+
+    // Merge: weighted average over the surviving shards, weights
+    // renormalized when shards dropped out. A subspace with an unevaluated
+    // shard slot (interrupted level) is not merged — partial merges would
+    // make interrupted results depend on scheduling.
+    std::vector<ScoredSubspace> completed;
+    completed.reserve(level.size());
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      bool all_run = true;
+      bool any_ok = false;
+      std::size_t shard_failures = 0;
+      double weight_sum = 0.0;
+      double value_sum = 0.0;
+      for (std::size_t shard = 0; shard < num_shards; ++shard) {
+        const std::size_t t = i * num_shards + shard;
+        if (state[t] == kNotRun) {
+          all_run = false;
+          break;
+        }
+        if (state[t] == kOk) {
+          any_ok = true;
+          value_sum += weights[shard] * values[t];
+          weight_sum += weights[shard];
+        } else {
+          ++shard_failures;
+        }
+      }
+      if (!all_run) continue;
+      local_stats.failed_shard_evaluations += shard_failures;
+      if (!any_ok) {
+        ++local_stats.failed_contrast_evaluations;
+        continue;
+      }
+      completed.push_back({std::move(level[i]), value_sum / weight_sum});
+    }
+    local_stats.contrast_evaluations += completed.size();
+    if (!completed.empty()) {
+      local_stats.max_level_reached =
+          std::max(local_stats.max_level_reached, dims);
+    }
+    if (completed.size() > params.candidate_cutoff) {
+      ++local_stats.cutoff_applications;
+    }
+    KeepTopK(&completed, params.candidate_cutoff);
+
     std::vector<Subspace> survivors;
     survivors.reserve(completed.size());
     for (const ScoredSubspace& s : completed) survivors.push_back(s.subspace);

@@ -13,6 +13,8 @@
 
 namespace hics {
 
+class ShardedDataset;  // engine/sharded_dataset.h
+
 /// Full configuration of the HiCS subspace search.
 struct HicsParams {
   /// Monte Carlo iterations per contrast estimate (the paper's M).
@@ -70,8 +72,14 @@ struct HicsRunStats {
 
   /// Contrast evaluations that failed (fault injection or data errors) and
   /// were skipped; the affected subspaces neither enter the result nor seed
-  /// the next lattice level.
+  /// the next lattice level. In a sharded search a subspace fails only when
+  /// EVERY shard's estimate failed.
   std::size_t failed_contrast_evaluations = 0;
+  /// Sharded search only: shard-level contrast estimates that failed. A
+  /// failed shard is absorbed by renormalizing the merge weights over the
+  /// surviving shards (the subspace still gets a score unless all shards
+  /// failed), so this counts degradation, not data loss.
+  std::size_t failed_shard_evaluations = 0;
   /// The run stopped early because the RunContext deadline expired; the
   /// returned subspaces are the best found up to that point.
   bool deadline_exceeded = false;
@@ -128,6 +136,38 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(
 /// for the interruption/fault contract.
 Result<std::vector<ScoredSubspace>> RunHicsSearch(
     const PreparedDataset& prepared, const HicsParams& params,
+    const RunContext& ctx, HicsRunStats* stats = nullptr);
+
+/// Sharded search (DESIGN.md §5i): each lattice-level contrast estimate
+/// fans out over the shards — shard s runs ShardIterations(M, S, s) Monte
+/// Carlo iterations on its own rows with its own RNG stream
+/// (ShardStreamSeed(seed, subspace, s)) — and the per-shard estimates are
+/// merged by a row-count-weighted average before the cutoff / candidate
+/// generation, which runs once on the merged scores. Total slice work per
+/// subspace drops to ~M*N/S rows, which is where the sharded speedup
+/// comes from.
+///
+/// Determinism: for a fixed effective shard count the result is
+/// bit-identical across thread counts and shard completion orders (every
+/// (subspace, shard) stream is derived, never shared; the merge reduces
+/// in shard-ordinal order). It is intentionally a *different* estimator
+/// than the unsharded search — expect agreement within Monte Carlo noise,
+/// not bit-equality, between the two.
+///
+/// Degradation: a failed shard estimate (fault site "shard.contrast",
+/// probed with ordinal shard+1, or "contrast.estimate" at the sharded
+/// ordinal (eval_ordinal-1)*S + shard + 1) is absorbed by renormalizing
+/// the merge weights over the surviving shards and counted in
+/// stats->failed_shard_evaluations; the subspace fails only when every
+/// shard failed. Interruption (deadline/cancel) keeps best-so-far like
+/// the unsharded overloads.
+Result<std::vector<ScoredSubspace>> RunHicsSearch(
+    const ShardedDataset& sharded, const HicsParams& params,
+    HicsRunStats* stats = nullptr);
+
+/// Context-aware sharded search; see above for the shard fault contract.
+Result<std::vector<ScoredSubspace>> RunHicsSearch(
+    const ShardedDataset& sharded, const HicsParams& params,
     const RunContext& ctx, HicsRunStats* stats = nullptr);
 
 /// Exposed lattice utilities (used internally and unit-tested directly).

@@ -8,6 +8,53 @@
 
 namespace hics {
 
+namespace {
+
+// Size models behind ApproxMemoryBytes (see the header doc): estimates
+// of the dominant slabs, not allocator-exact accounting.
+std::size_t SearcherBytes(const NeighborSearcher& searcher) {
+  return searcher.num_objects() *
+         (searcher.dimensionality() * sizeof(double) +
+          2 * sizeof(std::size_t));
+}
+
+std::size_t KnnTableBytes(std::size_t num_objects, std::size_t k) {
+  return num_objects * k * sizeof(Neighbor) +
+         num_objects * sizeof(std::size_t);
+}
+
+std::size_t ScoresBytes(std::size_t num_objects) {
+  return num_objects * sizeof(double);
+}
+
+}  // namespace
+
+bool ArtifactCache::AdmitBytes(std::size_t bytes) {
+  const std::size_t budget = byte_budget_.load(std::memory_order_relaxed);
+  if (budget == 0) {
+    approx_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return true;
+  }
+  // Charge-or-reject atomically: concurrent admissions from the three
+  // per-kind insert paths must not conspire to blow past the budget.
+  std::size_t current = approx_bytes_.load(std::memory_order_relaxed);
+  while (true) {
+    if (bytes > budget || current > budget - bytes) return false;
+    if (approx_bytes_.compare_exchange_weak(current, current + bytes,
+                                            std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void ArtifactCache::SetByteBudget(std::size_t bytes) {
+  byte_budget_.store(bytes, std::memory_order_relaxed);
+}
+
+std::size_t ArtifactCache::ApproxMemoryBytes() const {
+  return approx_bytes_.load(std::memory_order_relaxed);
+}
+
 std::shared_ptr<const NeighborSearcher> ArtifactCache::GetSearcher(
     const Subspace& subspace, KnnBackend backend) {
   HICS_CHECK(backend != KnnBackend::kAuto);
@@ -27,8 +74,13 @@ std::shared_ptr<const NeighborSearcher> ArtifactCache::GetSearcher(
   std::shared_ptr<const NeighborSearcher> built =
       MakeSearcher(dataset_, subspace, backend);
   std::lock_guard<std::mutex> lock(searcher_mutex_);
-  auto [it, inserted] = searchers_.emplace(key, std::move(built));
-  return it->second;
+  auto it = searchers_.find(key);
+  if (it != searchers_.end()) return it->second;  // racing builder won
+  if (!AdmitBytes(SearcherBytes(*built))) {
+    budget_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return built;  // identical bits, just not memoized
+  }
+  return searchers_.emplace(key, std::move(built)).first->second;
 }
 
 std::shared_ptr<const KnnResultTable> ArtifactCache::GetKnnTable(
@@ -53,9 +105,15 @@ std::shared_ptr<const KnnResultTable> ArtifactCache::GetKnnTable(
     searcher->QueryAllKnnPerQuery(k, table.get(), num_threads);
   }
   std::lock_guard<std::mutex> lock(knn_mutex_);
-  auto [it, inserted] =
-      knn_tables_.emplace(key, std::shared_ptr<const KnnResultTable>(table));
-  return it->second;
+  auto it = knn_tables_.find(key);
+  if (it != knn_tables_.end()) return it->second;
+  if (!AdmitBytes(KnnTableBytes(dataset_.num_objects(), k))) {
+    budget_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return table;
+  }
+  return knn_tables_
+      .emplace(key, std::shared_ptr<const KnnResultTable>(std::move(table)))
+      .first->second;
 }
 
 std::shared_ptr<const std::vector<double>> ArtifactCache::FindScores(
@@ -83,9 +141,14 @@ std::shared_ptr<const std::vector<double>> ArtifactCache::InsertScores(
   auto entry =
       std::make_shared<const std::vector<double>>(std::move(scores));
   std::lock_guard<std::mutex> lock(score_mutex_);
-  auto [it, inserted] =
-      scores_.emplace(ScoreKey{scorer_key, subspace}, std::move(entry));
-  return it->second;
+  const ScoreKey key{scorer_key, subspace};
+  auto it = scores_.find(key);
+  if (it != scores_.end()) return it->second;
+  if (!AdmitBytes(ScoresBytes(dataset_.num_objects()))) {
+    budget_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return entry;
+  }
+  return scores_.emplace(key, std::move(entry)).first->second;
 }
 
 ArtifactCacheStats ArtifactCache::stats() const {
@@ -96,6 +159,9 @@ ArtifactCacheStats ArtifactCache::stats() const {
   s.knn_table_misses = knn_misses_.load(std::memory_order_relaxed);
   s.score_hits = score_hits_.load(std::memory_order_relaxed);
   s.score_misses = score_misses_.load(std::memory_order_relaxed);
+  s.approx_bytes = approx_bytes_.load(std::memory_order_relaxed);
+  s.budget_rejections =
+      budget_rejections_.load(std::memory_order_relaxed);
   return s;
 }
 

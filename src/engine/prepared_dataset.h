@@ -29,6 +29,12 @@ struct ArtifactCacheStats {
   std::uint64_t knn_table_misses = 0;
   std::uint64_t score_hits = 0;
   std::uint64_t score_misses = 0;
+  /// Estimated bytes held by the cached artifacts (the documented
+  /// per-kind estimates of ArtifactCache::ApproxMemoryBytes).
+  std::uint64_t approx_bytes = 0;
+  /// Artifacts built but returned uncached because admitting them would
+  /// have exceeded the byte budget.
+  std::uint64_t budget_rejections = 0;
 
   std::uint64_t hits() const {
     return searcher_hits + knn_table_hits + score_hits;
@@ -115,7 +121,31 @@ class ArtifactCache {
   std::size_t num_knn_tables() const;
   std::size_t num_score_vectors() const;
 
+  /// Caps the cache's estimated footprint at `bytes` (0 = unbounded, the
+  /// default). Admission control, not eviction: an artifact whose
+  /// estimated size would push ApproxMemoryBytes past the budget is
+  /// built, returned to the caller, and simply not cached — the caller
+  /// observes identical bits either way, only later lookups re-miss.
+  /// Nothing already cached is ever evicted mid-run, so every previously
+  /// returned shared_ptr stays canonical. Intended to be set right after
+  /// construction; lowering it below the current footprint only blocks
+  /// future inserts.
+  void SetByteBudget(std::size_t bytes);
+
+  /// Estimated bytes held by the cached artifacts, from per-kind size
+  /// models (not allocator-exact): a searcher counts its projected SoA
+  /// point slab plus per-point index bookkeeping
+  /// (n * (dims * 8 + 16) bytes), a kNN table its neighbor slab plus
+  /// per-row counts (n * k * sizeof(Neighbor) + n * 8), a score vector
+  /// its doubles (n * 8). Container/node overhead is excluded; treat the
+  /// budget as a sizing knob, not an accounting ledger.
+  std::size_t ApproxMemoryBytes() const;
+
  private:
+  /// Charges `bytes` against the budget. Returns false — charging
+  /// nothing — when a budget is set and the charge would exceed it.
+  bool AdmitBytes(std::size_t bytes);
+
   using SearcherKey = std::pair<int, Subspace>;
   using KnnKey = std::pair<std::size_t, Subspace>;
   using ScoreKey = std::pair<std::string, Subspace>;
@@ -137,6 +167,10 @@ class ArtifactCache {
   mutable std::atomic<std::uint64_t> knn_misses_{0};
   mutable std::atomic<std::uint64_t> score_hits_{0};
   mutable std::atomic<std::uint64_t> score_misses_{0};
+
+  std::atomic<std::size_t> byte_budget_{0};
+  std::atomic<std::size_t> approx_bytes_{0};
+  mutable std::atomic<std::uint64_t> budget_rejections_{0};
 };
 
 /// One immutable prepared artifact per dataset: the shared derived state

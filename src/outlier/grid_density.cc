@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "engine/sharded_dataset.h"
 #include "simd/simd.h"
 #include "stats/descriptive.h"
 
@@ -115,6 +117,37 @@ std::vector<double> GridDensityScorer::ScoreSubspace(
   options.keep_point_keys = !params_.smooth;
   const SubspaceGrid grid(dataset, subspace, options);
   return ScoreWithGrid(dataset, subspace, grid);
+}
+
+std::vector<double> GridDensityScorer::ScoreSubspaceSharded(
+    const ShardedDataset& sharded, const Subspace& subspace) const {
+  GridOptions options;
+  options.bins_per_dim = params_.bins_per_dim;
+  options.num_threads = params_.num_threads;
+  options.keep_point_keys = !params_.smooth;
+
+  // Every shard bins against the GLOBAL ranges, so a row's cell key is
+  // the same one the full-dataset grid would assign it; shard grids then
+  // merge by pure integer count addition.
+  std::vector<std::pair<double, double>> ranges(subspace.size());
+  for (std::size_t j = 0; j < subspace.size(); ++j) {
+    ranges[j] = sharded.GlobalAttributeRange(subspace[j]);
+  }
+
+  const std::size_t num_shards = sharded.num_shards();
+  std::vector<std::unique_ptr<SubspaceGrid>> shard_grids(num_shards);
+  ParallelFor(0, num_shards, params_.num_threads, [&](std::size_t s) {
+    shard_grids[s] = std::make_unique<SubspaceGrid>(
+        sharded.shard(s).dataset(), subspace,
+        std::span<const std::pair<double, double>>(ranges), options);
+  });
+  std::vector<const SubspaceGrid*> grid_ptrs(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    grid_ptrs[s] = shard_grids[s].get();
+  }
+  const SubspaceGrid merged = SubspaceGrid::MergeShards(
+      std::span<const SubspaceGrid* const>(grid_ptrs));
+  return ScoreWithGrid(sharded.dataset(), subspace, merged);
 }
 
 std::vector<double> GridDensityScorer::ScoreSubspacePrepared(

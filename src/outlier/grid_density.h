@@ -63,6 +63,17 @@ class GridDensityScorer : public OutlierScorer {
   std::vector<double> ScoreSubspacePrepared(
       const PreparedDataset& prepared, const Subspace& subspace) const override;
 
+  /// Exact histogram merge (DESIGN.md §5i): every shard builds its grid
+  /// against the sharded plane's GLOBAL attribute ranges, so per-point
+  /// cell keys match the unsharded grid's; the per-shard cell counts are
+  /// then summed (SubspaceGrid::MergeShards) and the usual
+  /// gather/moments/Z-score pass runs over the full dataset. Cell counts
+  /// are additive integers, so the result is bit-identical to
+  /// ScoreSubspacePrepared on the full dataset for any shard count.
+  bool SupportsExactShardedMerge() const override { return true; }
+  std::vector<double> ScoreSubspaceSharded(
+      const ShardedDataset& sharded, const Subspace& subspace) const override;
+
   std::string cache_key() const override;
 
   bool SupportsOutOfSample() const override { return true; }

@@ -6,6 +6,8 @@
 #include <set>
 #include <utility>
 
+#include "engine/sharded_dataset.h"
+
 namespace hics {
 
 std::size_t ClampNeighborhoodSize(std::size_t k, std::size_t num_objects,
@@ -27,6 +29,24 @@ std::size_t ClampNeighborhoodSize(std::size_t k, std::size_t num_objects,
     }
   }
   return max_k;
+}
+
+std::vector<double> OutlierScorer::ScoreSubspaceSharded(
+    const ShardedDataset& sharded, const Subspace& subspace) const {
+  // Per-shard approximation: score each shard against its own rows only
+  // and concatenate in shard order (= object-id order; the partition is
+  // contiguous). Every shard's vector is deterministic on its own, so the
+  // concatenation is too — but it is a different estimator than scoring
+  // the full dataset; see the header contract.
+  std::vector<double> scores;
+  scores.reserve(sharded.num_objects());
+  for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
+    const std::vector<double> shard_scores =
+        ScoreSubspacePrepared(sharded.shard(s), subspace);
+    HICS_CHECK_EQ(shard_scores.size(), sharded.shard_size(s));
+    scores.insert(scores.end(), shard_scores.begin(), shard_scores.end());
+  }
+  return scores;
 }
 
 double OutlierScorer::ScoreOutOfSample(std::span<const Neighbor> neighbors,

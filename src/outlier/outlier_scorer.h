@@ -15,6 +15,8 @@
 
 namespace hics {
 
+class ShardedDataset;  // engine/sharded_dataset.h
+
 /// Clamps a neighborhood size `k` to the `num_objects - 1` possible
 /// neighbors an in-sample query has, logging a one-line stderr diagnostic
 /// the first time a given caller clamps (so a misconfigured k >= N is
@@ -78,6 +80,33 @@ class OutlierScorer {
   std::vector<double> ScoreFullSpace(const Dataset& dataset) const {
     return ScoreSubspace(dataset, dataset.FullSpace());
   }
+
+  /// True when ScoreSubspaceSharded merges per-shard state *exactly*: its
+  /// output is bit-identical to ScoreSubspacePrepared over the full
+  /// dataset. The grid-density scorer merges histogram cell counts
+  /// additively and qualifies; neighbor-based scorers (a point's kNN can
+  /// cross shard boundaries) do not, and keep the default.
+  virtual bool SupportsExactShardedMerge() const { return false; }
+
+  /// Scores every object of the sharded dataset's full data against
+  /// `subspace`, size sharded.num_objects(), in object-id order.
+  ///
+  /// Exact-merge scorers (SupportsExactShardedMerge() == true) override
+  /// this to fit per-shard state against the sharded plane's GLOBAL
+  /// attribute ranges and merge it exactly — bit-identical to the
+  /// unsharded prepared path for any shard count.
+  ///
+  /// The default is the documented *per-shard approximation*: each shard
+  /// is scored locally (ScoreSubspacePrepared on the shard's artifact,
+  /// drawing on its own cache) and the vectors are concatenated in shard
+  /// order. For neighborhood scorers this means a point's neighbors —
+  /// and the normalization of its score — come from its own shard only;
+  /// scores approach the unsharded ones as shards grow and are a
+  /// legitimate estimator per shard, but they are NOT comparable to
+  /// unsharded scores bit-for-bit. Callers opt in through
+  /// ShardedScoringPolicy (subspace_ranker.h).
+  virtual std::vector<double> ScoreSubspaceSharded(
+      const ShardedDataset& sharded, const Subspace& subspace) const;
 
   /// Fallible entry point used by the degraded-execution pipeline: honors
   /// the context (cancellation/deadline checked up front), exposes the

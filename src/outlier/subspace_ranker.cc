@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "engine/sharded_dataset.h"
 
 namespace hics {
 
@@ -157,6 +158,41 @@ std::vector<double> RankWithSubspaces(
   plain.reserve(subspaces.size());
   for (const ScoredSubspace& s : subspaces) plain.push_back(s.subspace);
   return RankWithSubspaces(prepared, plain, scorer, aggregation, num_threads);
+}
+
+Result<std::vector<double>> RankWithSubspacesSharded(
+    const ShardedDataset& sharded, const std::vector<Subspace>& subspaces,
+    const OutlierScorer& scorer, ScoreAggregation aggregation,
+    ShardedScoringPolicy policy, std::size_t num_threads) {
+  if (policy == ShardedScoringPolicy::kRequireExactMerge &&
+      !scorer.SupportsExactShardedMerge()) {
+    return Status::InvalidArgument(
+        "scorer '" + scorer.name() +
+        "' cannot merge per-shard scores exactly; sharded ranking with it "
+        "is a per-shard approximation — pass "
+        "ShardedScoringPolicy::kAllowApproximation to opt in");
+  }
+  if (subspaces.empty()) {
+    return scorer.ScoreSubspaceSharded(sharded,
+                                       sharded.dataset().FullSpace());
+  }
+  std::vector<std::vector<double>> per_subspace(subspaces.size());
+  ParallelFor(0, subspaces.size(), num_threads, [&](std::size_t i) {
+    per_subspace[i] = scorer.ScoreSubspaceSharded(sharded, subspaces[i]);
+  });
+  return AggregateScores(per_subspace, aggregation);
+}
+
+Result<std::vector<double>> RankWithSubspacesSharded(
+    const ShardedDataset& sharded,
+    const std::vector<ScoredSubspace>& subspaces, const OutlierScorer& scorer,
+    ScoreAggregation aggregation, ShardedScoringPolicy policy,
+    std::size_t num_threads) {
+  std::vector<Subspace> plain;
+  plain.reserve(subspaces.size());
+  for (const ScoredSubspace& s : subspaces) plain.push_back(s.subspace);
+  return RankWithSubspacesSharded(sharded, plain, scorer, aggregation, policy,
+                                  num_threads);
 }
 
 namespace {

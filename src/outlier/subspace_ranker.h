@@ -113,6 +113,39 @@ std::vector<double> RankWithSubspaces(
     ScoreAggregation aggregation = ScoreAggregation::kAverage,
     std::size_t num_threads = 1);
 
+/// Caller consent for sharded scoring semantics (DESIGN.md §5i). Sharded
+/// scoring is exact only for scorers that merge per-shard state without
+/// approximation (OutlierScorer::SupportsExactShardedMerge — the
+/// grid-density tier); for neighbor-based scorers the sharded path falls
+/// back to the per-shard approximation, which is a *different estimator*
+/// than unsharded scoring. That semantic change must be an explicit
+/// caller decision, never a silent fallback.
+enum class ShardedScoringPolicy {
+  /// Error (InvalidArgument) unless the scorer merges exactly — the
+  /// ranking is then bit-identical to the unsharded prepared path.
+  kRequireExactMerge,
+  /// Permit the per-shard approximation for non-merging scorers (each
+  /// shard scored against its own rows, concatenated in shard order).
+  kAllowApproximation,
+};
+
+/// Sharded ranking: scores each subspace through
+/// OutlierScorer::ScoreSubspaceSharded and aggregates in subspace order,
+/// byte-identical for every thread count. With an empty subspace list,
+/// scores the full space. Fails (never silently degrades) when `policy`
+/// is kRequireExactMerge and the scorer cannot merge exactly.
+Result<std::vector<double>> RankWithSubspacesSharded(
+    const ShardedDataset& sharded, const std::vector<Subspace>& subspaces,
+    const OutlierScorer& scorer, ScoreAggregation aggregation,
+    ShardedScoringPolicy policy, std::size_t num_threads = 1);
+
+/// Sharded convenience overload for scored subspaces.
+Result<std::vector<double>> RankWithSubspacesSharded(
+    const ShardedDataset& sharded,
+    const std::vector<ScoredSubspace>& subspaces, const OutlierScorer& scorer,
+    ScoreAggregation aggregation, ShardedScoringPolicy policy,
+    std::size_t num_threads = 1);
+
 /// One isolated per-subspace failure observed during degraded ranking.
 struct SubspaceFailure {
   Subspace subspace;

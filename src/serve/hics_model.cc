@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "engine/sharded_dataset.h"
 #include "outlier/grid_density.h"
 #include "outlier/knn_outlier.h"
 #include "outlier/lof.h"
@@ -90,6 +91,9 @@ std::size_t HicsModel::EffectiveK() const {
 Result<HicsModel> HicsModel::Fit(const Dataset& dataset,
                                  const HicsModelConfig& config) {
   HICS_RETURN_NOT_OK(config.search_params.Validate());
+  if (config.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
   // Serving needs at least one real neighborhood; Validate also rejects
   // non-finite cells, which would otherwise round-trip through the model
   // file and poison queries forever.
@@ -106,12 +110,24 @@ Result<HicsModel> HicsModel::Fit(const Dataset& dataset,
   const std::size_t threads = config.search_params.num_threads;
   PreparedDataset prepared(dataset, threads);
 
-  // Step 1: subspace search — the same prepared-path call the pipeline
-  // makes, so the selected subspaces are identical.
+  // Step 1: subspace search. Unsharded fits make the same prepared-path
+  // call the pipeline makes, so the selected subspaces are identical to
+  // RunHicsPipeline's. Sharded fits select through the sharded search —
+  // the fast path on large N — and only the selection differs: steps 2
+  // and 3 below always run on the full prepared dataset, so training
+  // scores, trained state, and serving stay byte-reproducible.
   HicsRunStats stats;
-  HICS_ASSIGN_OR_RETURN(
-      std::vector<ScoredSubspace> scored,
-      RunHicsSearch(prepared, config.search_params, &stats));
+  std::vector<ScoredSubspace> scored;
+  if (config.num_shards > 1) {
+    const ShardedDataset sharded(dataset, config.num_shards, threads);
+    HICS_ASSIGN_OR_RETURN(scored,
+                          RunHicsSearch(sharded, config.search_params,
+                                        &stats));
+  } else {
+    HICS_ASSIGN_OR_RETURN(scored,
+                          RunHicsSearch(prepared, config.search_params,
+                                        &stats));
+  }
 
   std::vector<TrainedSubspace> trained;
   if (scored.empty()) {
@@ -164,6 +180,9 @@ Result<HicsModel> HicsModel::FromParts(Parts parts) {
   HICS_ASSIGN_OR_RETURN(std::unique_ptr<OutlierScorer> scorer,
                         MakeScorer(parts.config.scorer));
   HICS_RETURN_NOT_OK(parts.config.search_params.Validate());
+  if (parts.config.num_shards == 0) {
+    return Status::DataLoss("model config has num_shards = 0");
+  }
   HICS_RETURN_NOT_OK(
       parts.training_data.Validate(/*require_non_constant=*/false));
   const std::size_t n = parts.training_data.num_objects();

@@ -60,6 +60,18 @@ struct HicsModelConfig {
   HicsParams search_params;
   ScorerSpec scorer;
   ScoreAggregation aggregation = ScoreAggregation::kAverage;
+  /// Shards of the fit-time data plane (DESIGN.md §5i). 1 (default) is
+  /// the classic unsharded fit. Above 1, Fit partitions the training
+  /// rows into a ShardedDataset and selects subspaces through the
+  /// sharded search (per-shard Monte Carlo streams, row-count-weighted
+  /// contrast merge) — typically the fastest fit on large N. Training
+  /// scores and trained scorer state are always computed on the full
+  /// dataset, so serving and RescoreTrainingSet stay byte-reproducible
+  /// regardless of this knob; it changes *which* subspaces get selected
+  /// (a different, ensemble-averaged contrast estimator), never the
+  /// scoring semantics of the selected set. Persisted in the model
+  /// header (format v2) for provenance.
+  std::size_t num_shards = 1;
 };
 
 /// One selected subspace with its contrast and the scorer's trained state

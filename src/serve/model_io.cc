@@ -148,6 +148,7 @@ std::vector<std::uint8_t> EncodeConfig(const HicsModelConfig& config) {
   w.U32(static_cast<std::uint32_t>(config.scorer.kind));
   w.U64(config.scorer.k);
   w.U32(static_cast<std::uint32_t>(config.aggregation));
+  w.U64(config.num_shards);  // v2
   return w.Take();
 }
 
@@ -182,6 +183,11 @@ Status DecodeConfig(Reader* r, HicsModelConfig* config) {
     return Status::DataLoss("invalid aggregation id " + std::to_string(u32));
   }
   config->aggregation = static_cast<ScoreAggregation>(u32);
+  HICS_RETURN_NOT_OK(r->U64(&u64));  // v2: fit-time shard count
+  if (u64 == 0) {
+    return Status::DataLoss("config section has num_shards = 0");
+  }
+  config->num_shards = u64;
   return Status::OK();
 }
 

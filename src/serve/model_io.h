@@ -12,7 +12,7 @@
 
 namespace hics {
 
-/// Binary model-file format (version 1):
+/// Binary model-file format (version 2):
 ///
 ///   [8]  magic "HICSMODL"
 ///   [u32] format version
@@ -29,11 +29,19 @@ namespace hics {
 /// non-OK Status (DataLoss for corruption, InvalidArgument for
 /// wrong-magic / version-skewed files) — never undefined behavior, and
 /// never a silently wrong model.
-inline constexpr std::uint32_t kHicsModelFormatVersion = 1;
+///
+/// Version history:
+///   v1 — initial format (PR 6).
+///   v2 — config section gains num_shards (u64, appended after the
+///        aggregation id): the fit-time shard count, persisted for
+///        provenance. Readers of this build reject v1 files rather than
+///        guess at a default — models are cheap to refit and a silent
+///        default would misreport how a model was produced.
+inline constexpr std::uint32_t kHicsModelFormatVersion = 2;
 inline constexpr std::size_t kHicsModelMagicSize = 8;
 inline constexpr char kHicsModelMagic[kHicsModelMagicSize + 1] = "HICSMODL";
 
-/// Section ids of format version 1. All four sections are required,
+/// Section ids of the model format. All four sections are required,
 /// each exactly once, in this order.
 enum class ModelSection : std::uint32_t {
   kConfig = 1,     ///< search params + scorer spec + aggregation
@@ -46,7 +54,7 @@ enum class ModelSection : std::uint32_t {
 /// can forge / verify checksums directly.
 std::uint32_t Crc32(std::span<const std::uint8_t> data);
 
-/// Serializes a model to the version-1 byte format.
+/// Serializes a model to the current (version-2) byte format.
 std::vector<std::uint8_t> SerializeHicsModel(const HicsModel& model);
 
 /// Parses a model from bytes, validating magic, version, section

@@ -52,6 +52,7 @@ void ExpectModelsEqual(const HicsModel& a, const HicsModel& b) {
   }
   EXPECT_EQ(a.config().scorer, b.config().scorer);
   EXPECT_EQ(a.config().aggregation, b.config().aggregation);
+  EXPECT_EQ(a.config().num_shards, b.config().num_shards);
   EXPECT_EQ(a.config().search_params.seed, b.config().search_params.seed);
   EXPECT_EQ(a.num_training_objects(), b.num_training_objects());
   EXPECT_EQ(a.num_attributes(), b.num_attributes());
@@ -124,12 +125,25 @@ TEST(ModelIoTest, EveryBitFlipIsRejected) {
 TEST(ModelIoTest, VersionSkewIsRejectedWithPreciseStatus) {
   const HicsModel model = FitSmallModel(ScorerKind::kLof, 4, 11);
   std::vector<std::uint8_t> bytes = SerializeHicsModel(model);
-  bytes[kHicsModelMagicSize] = 2;  // format version 2 from "the future"
+  bytes[kHicsModelMagicSize] = 3;  // format version 3 from "the future"
   auto result = DeserializeHicsModel(bytes);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("version 3"), std::string::npos)
+      << result.status().message();
   EXPECT_NE(result.status().message().find("version 2"), std::string::npos)
       << result.status().message();
+}
+
+TEST(ModelIoTest, OlderFormatVersionIsRejected) {
+  // v1 files predate the num_shards field; this build refuses to guess a
+  // default and rejects them with the version pair in the message.
+  const HicsModel model = FitSmallModel(ScorerKind::kLof, 4, 11);
+  std::vector<std::uint8_t> bytes = SerializeHicsModel(model);
+  bytes[kHicsModelMagicSize] = 1;
+  auto result = DeserializeHicsModel(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(result.status().message().find("version 1"), std::string::npos)
       << result.status().message();
 }

@@ -506,5 +506,109 @@ TEST(DeadlineCacheRaceTest, DeadlineRacingParallelRankingNeverPoisonsCache) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Satellite: byte-budgeted admission control
+
+TEST(ArtifactCacheBudgetTest, UnboundedCacheAccountsApproximateBytes) {
+  const Dataset ds = ClusteredDataset(80, 4, 51);
+  const PreparedDataset prepared(ds);
+  EXPECT_EQ(prepared.cache().ApproxMemoryBytes(), 0u);
+
+  const LofScorer scorer({.min_pts = 8});
+  scorer.ScoreSubspaceCached(prepared, Subspace{0, 1});
+  const ArtifactCacheStats stats = prepared.cache().stats();
+  // Searcher + kNN table + score vector were all admitted and accounted.
+  EXPECT_GT(stats.approx_bytes, 0u);
+  EXPECT_EQ(stats.approx_bytes, prepared.cache().ApproxMemoryBytes());
+  EXPECT_EQ(stats.budget_rejections, 0u);
+  // The score vector alone is n doubles; the total must cover at least
+  // that plus the searcher's point slab (n * 2 dims * 8).
+  const std::size_t n = ds.num_objects();
+  EXPECT_GE(stats.approx_bytes, n * sizeof(double) + n * 2 * sizeof(double));
+}
+
+TEST(ArtifactCacheBudgetTest, RejectsWhenFullButReturnsIdenticalBits) {
+  const Dataset ds = ClusteredDataset(80, 4, 53);
+  const auto subspaces = SomeSubspaces();
+  const LofScorer scorer({.min_pts = 8});
+  const std::vector<double> reference =
+      RankWithSubspaces(ds, subspaces, scorer);
+
+  const PreparedDataset prepared(ds);
+  prepared.cache().SetByteBudget(1);  // nothing fits
+  const auto scores = RankWithSubspaces(prepared, subspaces, scorer);
+  EXPECT_EQ(scores, reference);  // admission never changes results
+  EXPECT_EQ(prepared.cache().num_score_vectors(), 0u);
+  EXPECT_EQ(prepared.cache().num_searchers(), 0u);
+  EXPECT_EQ(prepared.cache().num_knn_tables(), 0u);
+  EXPECT_EQ(prepared.cache().ApproxMemoryBytes(), 0u);
+  EXPECT_GT(prepared.cache().stats().budget_rejections, 0u);
+
+  // A repeat run re-misses (nothing was cached) but still agrees.
+  EXPECT_EQ(RankWithSubspaces(prepared, subspaces, scorer), reference);
+}
+
+TEST(ArtifactCacheBudgetTest, AdmitsUntilFullAndNeverEvicts) {
+  const Dataset ds = ClusteredDataset(64, 4, 55);
+  const std::size_t n = ds.num_objects();
+  const PreparedDataset prepared(ds);
+  // Room for exactly one score vector (n doubles) and nothing else.
+  prepared.cache().SetByteBudget(n * sizeof(double));
+
+  const std::vector<double> v(n, 1.0);
+  const auto first =
+      prepared.cache().InsertScores("k", Subspace{0, 1}, v);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(prepared.cache().num_score_vectors(), 1u);
+  EXPECT_EQ(prepared.cache().ApproxMemoryBytes(), n * sizeof(double));
+
+  // The second vector is rejected — but the caller still gets its bits.
+  const auto second =
+      prepared.cache().InsertScores("k", Subspace{2, 3}, v);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*second, v);
+  EXPECT_EQ(prepared.cache().num_score_vectors(), 1u);
+  EXPECT_EQ(prepared.cache().stats().budget_rejections, 1u);
+  EXPECT_EQ(prepared.cache().FindScores("k", Subspace{2, 3}), nullptr);
+
+  // The admitted entry was never evicted to make room.
+  EXPECT_NE(prepared.cache().FindScores("k", Subspace{0, 1}), nullptr);
+  EXPECT_EQ(prepared.cache().ApproxMemoryBytes(), n * sizeof(double));
+}
+
+TEST(ArtifactCacheBudgetTest, DuplicateInsertIsNotDoubleCharged) {
+  const Dataset ds = ClusteredDataset(48, 3, 57);
+  const std::size_t n = ds.num_objects();
+  const PreparedDataset prepared(ds);
+  const std::vector<double> v(n, 2.0);
+  const auto a = prepared.cache().InsertScores("k", Subspace{0, 1}, v);
+  const auto b = prepared.cache().InsertScores("k", Subspace{0, 1}, v);
+  EXPECT_EQ(a.get(), b.get());  // first insert stays canonical
+  EXPECT_EQ(prepared.cache().ApproxMemoryBytes(), n * sizeof(double));
+  EXPECT_EQ(prepared.cache().stats().budget_rejections, 0u);
+}
+
+TEST(ArtifactCacheBudgetTest, RejectedSearcherStillAnswersQueries) {
+  const Dataset ds = ClusteredDataset(60, 4, 59);
+  const PreparedDataset prepared(ds);
+  prepared.cache().SetByteBudget(1);
+  const auto searcher =
+      prepared.cache().GetSearcher(Subspace{0, 1}, KnnBackend::kBruteForce);
+  ASSERT_NE(searcher, nullptr);
+  EXPECT_EQ(prepared.cache().num_searchers(), 0u);
+  EXPECT_EQ(searcher->num_objects(), ds.num_objects());
+  // Uncached answers match a budget-free cache's answers exactly.
+  const PreparedDataset roomy(ds);
+  const auto cached =
+      roomy.cache().GetSearcher(Subspace{0, 1}, KnnBackend::kBruteForce);
+  const auto lhs = searcher->QueryKnn(5, 3);
+  const auto rhs = cached->QueryKnn(5, 3);
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].id, rhs[i].id);
+    EXPECT_EQ(lhs[i].distance, rhs[i].distance);
+  }
+}
+
 }  // namespace
 }  // namespace hics
