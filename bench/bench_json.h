@@ -199,6 +199,22 @@ inline JsonWriter& WriteMachineInfo(JsonWriter& json,
       .EndObject();
 }
 
+/// Streaming variant: records the sliding-window geometry next to the
+/// hardware facts so BENCH_streaming.json numbers name the window and
+/// slide they were measured under (a slide latency is meaningless without
+/// both).
+inline JsonWriter& WriteMachineInfo(JsonWriter& json, std::uint64_t num_shards,
+                                    std::uint64_t window,
+                                    std::uint64_t slide) {
+  return json.BeginObject("machine")
+      .Field("hardware_concurrency",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .Field("num_shards", num_shards)
+      .Field("window", window)
+      .Field("slide", slide)
+      .EndObject();
+}
+
 /// Writes the document (plus a trailing newline) to `path`; returns false
 /// and prints to stderr when the file cannot be written.
 inline bool WriteJsonFile(const std::string& path, const JsonWriter& json) {

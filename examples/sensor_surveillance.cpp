@@ -17,6 +17,13 @@
 // partitioned into N shards, the subspace search fans its Monte Carlo
 // budget out per shard, and the grid ranking merges per-shard histograms
 // exactly. Exits nonzero unless both planted contradictions rank top-2.
+//
+// `--window N --slide K` instead replays the archive as a stream through
+// the sliding-window data plane (DESIGN.md §5j): a StreamingDataset holds
+// the most recent N readings, slides forward K readings at a time, and
+// after every slide re-runs the subspace search + grid ranking against
+// the warm epoch-keyed artifact caches. Exits nonzero unless each planted
+// contradiction ranks top-2 every time it is inside the window.
 
 #include <chrono>
 #include <cstdio>
@@ -28,6 +35,8 @@
 #include "core/pipeline.h"
 #include "engine/prepared_dataset.h"
 #include "engine/sharded_dataset.h"
+#include "engine/streaming_dataset.h"
+#include "engine/streaming_search.h"
 #include "outlier/grid_density.h"
 #include "outlier/lof.h"
 #include "outlier/subspace_ranker.h"
@@ -286,6 +295,144 @@ bool RunArchiveScaleSharded(std::size_t num_shards) {
   return top2;
 }
 
+/// The archive replayed as a stream through the sliding-window data
+/// plane. Returns false when a planted contradiction fails to rank top-2
+/// while inside the window.
+bool RunArchiveStream(std::size_t window, std::size_t slide) {
+  constexpr std::size_t kNumReadings = 500000;
+  constexpr std::size_t kPlanted[] = {123456, 424242};
+  std::printf("\n-- archive replay, streaming data plane "
+              "(window %zu, slide %zu) --\n",
+              window, slide);
+
+  auto start = std::chrono::steady_clock::now();
+  const hics::Dataset archive = SimulateSensorArchive(kNumReadings);
+  std::printf("  simulate %zu readings x %zu attributes   %7.3f s\n",
+              archive.num_objects(), archive.num_attributes(),
+              SecondsSince(start));
+
+  hics::StreamingOptions stream_options;
+  stream_options.capacity = window;
+  stream_options.num_shards = 4;
+  stream_options.build_threads = 0;
+  hics::StreamingDataset streaming(archive.num_attributes(), stream_options);
+
+  hics::HicsParams params;
+  params.num_iterations = 20;
+  params.output_top_k = 2;
+  params.max_dimensionality = 2;
+  params.num_threads = 0;
+
+  hics::GridDensityParams grid_params;
+  grid_params.bins_per_dim = 32;
+  grid_params.smooth = true;
+  grid_params.num_threads = 0;
+  const hics::GridDensityScorer grid(grid_params);
+
+  const auto rows_in = [&](std::size_t begin, std::size_t count) {
+    std::vector<std::vector<double>> rows(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      rows[i].resize(archive.num_attributes());
+      for (std::size_t a = 0; a < archive.num_attributes(); ++a) {
+        rows[i][a] = archive.Column(a)[begin + i];
+      }
+    }
+    return rows;
+  };
+
+  std::size_t fed = 0;         // archive rows consumed so far
+  std::size_t ranked = 0;      // re-rankings performed
+  std::size_t verified[] = {std::size_t{0}, std::size_t{0}};
+  bool ok = true;
+  double rank_seconds = 0.0;
+  start = std::chrono::steady_clock::now();
+  while (fed < kNumReadings && ok) {
+    const std::size_t batch =
+        std::min(fed == 0 ? window : slide, kNumReadings - fed);
+    const auto admitted = streaming.Admit(rows_in(fed, batch));
+    if (!admitted.ok()) {
+      std::fprintf(stderr, "slide failed: %s\n",
+                   admitted.status().ToString().c_str());
+      return false;
+    }
+    fed += batch;
+    const std::size_t window_begin = fed - streaming.size();
+
+    // Re-rank the current window from the streaming plane: the search
+    // and ranking read through the epoch-keyed caches, so artifacts of
+    // shards the slide did not touch are served warm.
+    const auto rank_start = std::chrono::steady_clock::now();
+    const auto found = hics::RunHicsSearch(streaming, params);
+    if (!found.ok()) {
+      std::fprintf(stderr, "streaming search failed: %s\n",
+                   found.status().ToString().c_str());
+      return false;
+    }
+    const auto scores = hics::RankWithSubspaces(
+        streaming, *found, grid, hics::ScoreAggregation::kMax,
+        hics::ShardedScoringPolicy::kRequireExactMerge, /*num_threads=*/0);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "streaming ranking failed: %s\n",
+                   scores.status().ToString().c_str());
+      return false;
+    }
+    rank_seconds += SecondsSince(rank_start);
+    ++ranked;
+
+    // Every planted contradiction currently inside the window must be at
+    // the very top of the alert ranking.
+    const auto ranking = hics::RankingFromScores(*scores);
+    for (std::size_t p = 0; p < 2; ++p) {
+      if (kPlanted[p] < window_begin || kPlanted[p] >= fed) continue;
+      const std::size_t in_window = kPlanted[p] - window_begin;
+      std::size_t rank = ranking.size();
+      for (std::size_t r = 0; r < ranking.size(); ++r) {
+        if (ranking[r] == in_window) {
+          rank = r;
+          break;
+        }
+      }
+      ++verified[p];
+      if (rank >= 2) {
+        std::printf("  epoch %llu: planted reading %zu ranked %zu / %zu "
+                    "(expected top-2)\n",
+                    static_cast<unsigned long long>(streaming.epoch()),
+                    kPlanted[p], rank + 1, ranking.size());
+        ok = false;
+      }
+    }
+  }
+  const double total_seconds = SecondsSince(start);
+
+  std::printf("  replayed %zu readings in %zu windows  %7.3f s "
+              "(rank %7.3f s, %.1f ms/window)\n",
+              fed, ranked, total_seconds, rank_seconds,
+              1e3 * rank_seconds / static_cast<double>(ranked));
+  const hics::ArtifactCacheStats window_stats =
+      streaming.window_cache_stats();
+  std::uint64_t shard_hits = 0, shard_misses = 0;
+  for (std::size_t s = 0; s < streaming.num_shards(); ++s) {
+    shard_hits += streaming.shard_cache_stats(s).hits();
+    shard_misses += streaming.shard_cache_stats(s).misses();
+  }
+  std::printf("  artifact caches: window %llu hits / %llu misses, shards "
+              "%llu hits / %llu misses\n",
+              static_cast<unsigned long long>(window_stats.hits()),
+              static_cast<unsigned long long>(window_stats.misses()),
+              static_cast<unsigned long long>(shard_hits),
+              static_cast<unsigned long long>(shard_misses));
+  std::printf("  outlier1 verified in %zu windows, outlier2 in %zu\n",
+              verified[0], verified[1]);
+  if (verified[0] == 0 || verified[1] == 0) {
+    std::fprintf(stderr, "a planted contradiction never entered the window "
+                         "(window/slide too small?)\n");
+    return false;
+  }
+  std::printf("  planted contradictions surfaced while in-window: %s\n",
+              ok ? "yes" : "NO");
+  return ok;
+}
+
 int RunDefault() {
   const hics::Dataset data = SimulateSensorNetwork();
   std::printf("sensor network: %zu sensors x %zu attributes\n",
@@ -339,6 +486,7 @@ int RunDefault() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  long window = 0, slide = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       const long shards = std::atol(argv[i + 1]);
@@ -350,6 +498,23 @@ int main(int argc, char** argv) {
       return RunArchiveScaleSharded(static_cast<std::size_t>(shards)) ? 0
                                                                       : 1;
     }
+    if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      window = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--slide") == 0 && i + 1 < argc) {
+      slide = std::atol(argv[++i]);
+    }
+  }
+  if (window > 0 || slide > 0) {
+    if (window < 2 || slide < 1 || slide > window) {
+      std::fprintf(stderr, "--window N --slide K wants N >= 2 and "
+                           "1 <= K <= N (got N=%ld, K=%ld)\n",
+                   window, slide);
+      return 1;
+    }
+    return RunArchiveStream(static_cast<std::size_t>(window),
+                            static_cast<std::size_t>(slide))
+               ? 0
+               : 1;
   }
   return RunDefault();
 }

@@ -109,6 +109,27 @@ void Dataset::AppendRow(const std::vector<double>& row, bool label) {
   ++num_objects_;
 }
 
+void Dataset::SlideWindow(std::size_t evict,
+                          const std::vector<std::vector<double>>& admitted) {
+  HICS_CHECK_LE(evict, num_objects_);
+  const std::size_t d = num_attributes();
+  for (auto& column : columns_) {
+    column.erase(column.begin(),
+                 column.begin() + static_cast<std::ptrdiff_t>(evict));
+  }
+  if (!labels_.empty()) {
+    labels_.erase(labels_.begin(),
+                  labels_.begin() + static_cast<std::ptrdiff_t>(evict));
+  }
+  num_objects_ -= evict;
+  for (const auto& row : admitted) {
+    HICS_CHECK_EQ(row.size(), d);
+    for (std::size_t j = 0; j < d; ++j) columns_[j].push_back(row[j]);
+    if (!labels_.empty()) labels_.push_back(false);
+    ++num_objects_;
+  }
+}
+
 Status Dataset::Validate(bool require_non_constant) const {
   if (num_objects_ < 2) {
     return Status::InvalidArgument(

@@ -87,6 +87,18 @@ class Dataset {
   /// Appends one row (size must be D; label optional when labeled).
   void AppendRow(const std::vector<double>& row, bool label = false);
 
+  /// Sliding-window mutation: drops the `evict` OLDEST rows (object ids
+  /// 0 .. evict-1; surviving rows shift down by `evict`) and appends
+  /// `admitted` rows (each of size D, labeled false when labels exist) at
+  /// the tail, in order. O((N + |admitted|) * D) memmove — no
+  /// reallocation churn beyond vector growth. This is the one sanctioned
+  /// in-place mutation of a dataset that prepared state exists for, and
+  /// only the streaming plane (engine/streaming_dataset.h) may use it
+  /// that way: it rebuilds/invalidates every derived artifact under its
+  /// epoch protocol before any consumer can observe the new rows.
+  void SlideWindow(std::size_t evict,
+                   const std::vector<std::vector<double>>& admitted);
+
   /// Sanity-checks the dataset before analysis, reporting the first
   /// violation with its row/column:
   ///  - every value finite (NaN/inf poison contrast and LOF math),

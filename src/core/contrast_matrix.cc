@@ -65,7 +65,7 @@ Result<Matrix> ComputeContrastMatrix(const PreparedDataset& prepared,
   return result;
 }
 
-Result<Matrix> ComputeContrastMatrix(const ShardedDataset& sharded,
+Result<Matrix> ComputeContrastMatrix(const ShardPlane& sharded,
                                      const ContrastMatrixParams& params) {
   const Dataset& dataset = sharded.dataset();
   HICS_RETURN_NOT_OK(params.contrast.Validate());

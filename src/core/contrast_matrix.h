@@ -10,7 +10,7 @@
 
 namespace hics {
 
-class ShardedDataset;  // engine/sharded_dataset.h
+class ShardPlane;  // engine/shard_plane.h
 
 /// Pairwise contrast matrix: entry (i, j) is the HiCS contrast of the 2-D
 /// subspace {i, j} (symmetric; the diagonal is 0 — one-dimensional
@@ -50,7 +50,7 @@ Result<Matrix> ComputeContrastMatrix(const PreparedDataset& prepared,
 /// sharded RunHicsSearch's level-2 score of {i, j} under the same seed —
 /// but it is a different estimator than the unsharded matrix (agreement
 /// within Monte Carlo noise, not bit-equality).
-Result<Matrix> ComputeContrastMatrix(const ShardedDataset& sharded,
+Result<Matrix> ComputeContrastMatrix(const ShardPlane& sharded,
                                      const ContrastMatrixParams& params = {});
 
 }  // namespace hics

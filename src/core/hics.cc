@@ -308,13 +308,13 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(
 }
 
 Result<std::vector<ScoredSubspace>> RunHicsSearch(
-    const ShardedDataset& sharded, const HicsParams& params,
+    const ShardPlane& sharded, const HicsParams& params,
     HicsRunStats* stats) {
   return RunHicsSearch(sharded, params, RunContext(), stats);
 }
 
 Result<std::vector<ScoredSubspace>> RunHicsSearch(
-    const ShardedDataset& sharded, const HicsParams& params,
+    const ShardPlane& sharded, const HicsParams& params,
     const RunContext& ctx, HicsRunStats* stats) {
   const Dataset& dataset = sharded.dataset();
   HICS_RETURN_NOT_OK(params.Validate());

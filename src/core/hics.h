@@ -13,7 +13,7 @@
 
 namespace hics {
 
-class ShardedDataset;  // engine/sharded_dataset.h
+class ShardPlane;  // engine/shard_plane.h
 
 /// Full configuration of the HiCS subspace search.
 struct HicsParams {
@@ -162,12 +162,12 @@ Result<std::vector<ScoredSubspace>> RunHicsSearch(
 /// shard failed. Interruption (deadline/cancel) keeps best-so-far like
 /// the unsharded overloads.
 Result<std::vector<ScoredSubspace>> RunHicsSearch(
-    const ShardedDataset& sharded, const HicsParams& params,
+    const ShardPlane& sharded, const HicsParams& params,
     HicsRunStats* stats = nullptr);
 
 /// Context-aware sharded search; see above for the shard fault contract.
 Result<std::vector<ScoredSubspace>> RunHicsSearch(
-    const ShardedDataset& sharded, const HicsParams& params,
+    const ShardPlane& sharded, const HicsParams& params,
     const RunContext& ctx, HicsRunStats* stats = nullptr);
 
 /// Exposed lattice utilities (used internally and unit-tested directly).

@@ -35,8 +35,8 @@ bool ArtifactCache::AdmitBytes(std::size_t bytes) {
     approx_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     return true;
   }
-  // Charge-or-reject atomically: concurrent admissions from the three
-  // per-kind insert paths must not conspire to blow past the budget.
+  // Charge-or-reject atomically: concurrent admissions from the per-kind
+  // insert paths must not conspire to blow past the budget.
   std::size_t current = approx_bytes_.load(std::memory_order_relaxed);
   while (true) {
     if (bytes > budget || current > budget - bytes) return false;
@@ -47,24 +47,151 @@ bool ArtifactCache::AdmitBytes(std::size_t bytes) {
   }
 }
 
+void ArtifactCache::AccountEviction(std::size_t bytes) {
+  approx_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  evicted_artifacts_.fetch_add(1, std::memory_order_relaxed);
+  invalidated_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void ArtifactCache::ReclaimToBudget(std::size_t budget) {
+  // Deterministic reclaim order — cheapest-to-rebuild kinds first, each
+  // kind in its map's ascending key order — so the surviving contents
+  // after a budget drop are a pure function of (cache contents, budget),
+  // never of timing. Every evicted artifact is a pure derivation of the
+  // dataset; a later miss rebuilds identical bits.
+  const auto over = [&] {
+    return approx_bytes_.load(std::memory_order_relaxed) > budget;
+  };
+  {
+    std::lock_guard<std::mutex> lock(score_mutex_);
+    for (auto it = scores_.begin(); over() && it != scores_.end();) {
+      AccountEviction(it->second.bytes);
+      it = scores_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(knn_mutex_);
+    for (auto it = knn_tables_.begin(); over() && it != knn_tables_.end();) {
+      AccountEviction(it->second.bytes);
+      it = knn_tables_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(grid_mutex_);
+    for (auto it = grids_.begin(); over() && it != grids_.end();) {
+      AccountEviction(it->second.bytes);
+      it = grids_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(searcher_mutex_);
+    for (auto it = searchers_.begin(); over() && it != searchers_.end();) {
+      AccountEviction(it->second.bytes);
+      it = searchers_.erase(it);
+    }
+  }
+}
+
 void ArtifactCache::SetByteBudget(std::size_t bytes) {
   byte_budget_.store(bytes, std::memory_order_relaxed);
+  if (bytes != 0 &&
+      approx_bytes_.load(std::memory_order_relaxed) > bytes) {
+    ReclaimToBudget(bytes);
+  }
 }
 
 std::size_t ArtifactCache::ApproxMemoryBytes() const {
   return approx_bytes_.load(std::memory_order_relaxed);
 }
 
+void ArtifactCache::AdvanceEpoch(std::uint64_t new_epoch,
+                                 const GridCarryFn& carry) {
+  const std::uint64_t old_epoch = epoch_.load(std::memory_order_relaxed);
+  HICS_CHECK(new_epoch > old_epoch)
+      << "epoch must advance monotonically: " << old_epoch << " -> "
+      << new_epoch;
+  epoch_.store(new_epoch, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(searcher_mutex_);
+    for (auto it = searchers_.begin(); it != searchers_.end();) {
+      if (it->second.epoch != new_epoch) {
+        AccountEviction(it->second.bytes);
+        it = searchers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(knn_mutex_);
+    for (auto it = knn_tables_.begin(); it != knn_tables_.end();) {
+      if (it->second.epoch != new_epoch) {
+        AccountEviction(it->second.bytes);
+        it = knn_tables_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(score_mutex_);
+    for (auto it = scores_.begin(); it != scores_.end();) {
+      if (it->second.epoch != new_epoch) {
+        AccountEviction(it->second.bytes);
+        it = scores_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(grid_mutex_);
+    for (auto it = grids_.begin(); it != grids_.end();) {
+      if (it->second.epoch == new_epoch) {
+        ++it;
+        continue;
+      }
+      if (carry) {
+        std::size_t bytes = it->second.bytes;
+        std::shared_ptr<const void> replacement =
+            carry(it->first.first, it->first.second, it->second.value, &bytes);
+        if (replacement) {
+          // Carried forward: swap the value, restamp, and re-charge the
+          // byte delta (the footprint can change when occupancy shifts a
+          // sparse grid's cell population).
+          approx_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+          approx_bytes_.fetch_sub(it->second.bytes,
+                                  std::memory_order_relaxed);
+          it->second.value = std::move(replacement);
+          it->second.epoch = new_epoch;
+          it->second.bytes = bytes;
+          ++it;
+          continue;
+        }
+      }
+      AccountEviction(it->second.bytes);
+      it = grids_.erase(it);
+    }
+  }
+}
+
 std::shared_ptr<const NeighborSearcher> ArtifactCache::GetSearcher(
     const Subspace& subspace, KnnBackend backend) {
   HICS_CHECK(backend != KnnBackend::kAuto);
   const SearcherKey key{static_cast<int>(backend), subspace};
+  const std::uint64_t now = epoch();
   {
     std::lock_guard<std::mutex> lock(searcher_mutex_);
     auto it = searchers_.find(key);
     if (it != searchers_.end()) {
-      searcher_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      if (it->second.epoch == now) {
+        searcher_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.value;
+      }
+      // Stale stamp (defense-in-depth; AdvanceEpoch normally sweeps):
+      // evict and fall through to a rebuild at the current epoch.
+      AccountEviction(it->second.bytes);
+      searchers_.erase(it);
     }
   }
   searcher_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -72,27 +199,36 @@ std::shared_ptr<const NeighborSearcher> ArtifactCache::GetSearcher(
   // must not serialize unrelated subspaces. A racing builder loses to the
   // first insert; both products are equivalent (identical query answers).
   std::shared_ptr<const NeighborSearcher> built =
-      MakeSearcher(dataset_, subspace, backend);
+      MakeSearcher(*dataset_, subspace, backend);
   std::lock_guard<std::mutex> lock(searcher_mutex_);
   auto it = searchers_.find(key);
-  if (it != searchers_.end()) return it->second;  // racing builder won
-  if (!AdmitBytes(SearcherBytes(*built))) {
+  if (it != searchers_.end()) return it->second.value;  // racing builder won
+  const std::size_t bytes = SearcherBytes(*built);
+  if (!AdmitBytes(bytes)) {
     budget_rejections_.fetch_add(1, std::memory_order_relaxed);
     return built;  // identical bits, just not memoized
   }
-  return searchers_.emplace(key, std::move(built)).first->second;
+  return searchers_
+      .emplace(key, Entry<const NeighborSearcher>{std::move(built), now,
+                                                  bytes})
+      .first->second.value;
 }
 
 std::shared_ptr<const KnnResultTable> ArtifactCache::GetKnnTable(
     const Subspace& subspace, KnnBackend backend, std::size_t k,
     std::size_t num_threads, bool use_batch_kernel) {
   const KnnKey key{k, subspace};
+  const std::uint64_t now = epoch();
   {
     std::lock_guard<std::mutex> lock(knn_mutex_);
     auto it = knn_tables_.find(key);
     if (it != knn_tables_.end()) {
-      knn_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      if (it->second.epoch == now) {
+        knn_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.value;
+      }
+      AccountEviction(it->second.bytes);
+      knn_tables_.erase(it);
     }
   }
   knn_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -106,27 +242,36 @@ std::shared_ptr<const KnnResultTable> ArtifactCache::GetKnnTable(
   }
   std::lock_guard<std::mutex> lock(knn_mutex_);
   auto it = knn_tables_.find(key);
-  if (it != knn_tables_.end()) return it->second;
-  if (!AdmitBytes(KnnTableBytes(dataset_.num_objects(), k))) {
+  if (it != knn_tables_.end()) return it->second.value;
+  const std::size_t bytes = KnnTableBytes(dataset_->num_objects(), k);
+  if (!AdmitBytes(bytes)) {
     budget_rejections_.fetch_add(1, std::memory_order_relaxed);
     return table;
   }
   return knn_tables_
-      .emplace(key, std::shared_ptr<const KnnResultTable>(std::move(table)))
-      .first->second;
+      .emplace(key, Entry<const KnnResultTable>{
+                        std::shared_ptr<const KnnResultTable>(std::move(table)),
+                        now, bytes})
+      .first->second.value;
 }
 
 std::shared_ptr<const std::vector<double>> ArtifactCache::FindScores(
     const std::string& scorer_key, const Subspace& subspace) {
   HICS_DCHECK(!scorer_key.empty());
+  const std::uint64_t now = epoch();
   std::lock_guard<std::mutex> lock(score_mutex_);
   auto it = scores_.find(ScoreKey{scorer_key, subspace});
+  if (it != scores_.end() && it->second.epoch != now) {
+    AccountEviction(it->second.bytes);
+    scores_.erase(it);
+    it = scores_.end();
+  }
   if (it == scores_.end()) {
     score_misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   score_hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  return it->second.value;
 }
 
 std::shared_ptr<const std::vector<double>> ArtifactCache::InsertScores(
@@ -137,18 +282,60 @@ std::shared_ptr<const std::vector<double>> ArtifactCache::InsertScores(
   // partial result (scorer interrupted mid-pass, deadline racing the
   // insert) must never become the canonical cache entry, because later
   // hits would serve it as if it were complete.
-  HICS_CHECK_EQ(scores.size(), dataset_.num_objects());
+  HICS_CHECK_EQ(scores.size(), dataset_->num_objects());
   auto entry =
       std::make_shared<const std::vector<double>>(std::move(scores));
+  const std::uint64_t now = epoch();
   std::lock_guard<std::mutex> lock(score_mutex_);
   const ScoreKey key{scorer_key, subspace};
   auto it = scores_.find(key);
-  if (it != scores_.end()) return it->second;
-  if (!AdmitBytes(ScoresBytes(dataset_.num_objects()))) {
+  if (it != scores_.end()) return it->second.value;
+  const std::size_t bytes = ScoresBytes(dataset_->num_objects());
+  if (!AdmitBytes(bytes)) {
     budget_rejections_.fetch_add(1, std::memory_order_relaxed);
     return entry;
   }
-  return scores_.emplace(key, std::move(entry)).first->second;
+  return scores_
+      .emplace(key, Entry<const std::vector<double>>{std::move(entry), now,
+                                                     bytes})
+      .first->second.value;
+}
+
+std::shared_ptr<const void> ArtifactCache::FindGridErased(
+    const std::string& grid_key, const Subspace& subspace) {
+  HICS_DCHECK(!grid_key.empty());
+  const std::uint64_t now = epoch();
+  std::lock_guard<std::mutex> lock(grid_mutex_);
+  auto it = grids_.find(GridKey{grid_key, subspace});
+  if (it != grids_.end() && it->second.epoch != now) {
+    AccountEviction(it->second.bytes);
+    grids_.erase(it);
+    it = grids_.end();
+  }
+  if (it == grids_.end()) {
+    grid_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  grid_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.value;
+}
+
+std::shared_ptr<const void> ArtifactCache::InsertGridErased(
+    const std::string& grid_key, const Subspace& subspace,
+    std::shared_ptr<const void> grid, std::size_t bytes) {
+  HICS_DCHECK(!grid_key.empty());
+  HICS_CHECK(grid != nullptr);
+  const std::uint64_t now = epoch();
+  std::lock_guard<std::mutex> lock(grid_mutex_);
+  const GridKey key{grid_key, subspace};
+  auto it = grids_.find(key);
+  if (it != grids_.end()) return it->second.value;
+  if (!AdmitBytes(bytes)) {
+    budget_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return grid;
+  }
+  return grids_.emplace(key, Entry<const void>{std::move(grid), now, bytes})
+      .first->second.value;
 }
 
 ArtifactCacheStats ArtifactCache::stats() const {
@@ -159,9 +346,15 @@ ArtifactCacheStats ArtifactCache::stats() const {
   s.knn_table_misses = knn_misses_.load(std::memory_order_relaxed);
   s.score_hits = score_hits_.load(std::memory_order_relaxed);
   s.score_misses = score_misses_.load(std::memory_order_relaxed);
+  s.grid_hits = grid_hits_.load(std::memory_order_relaxed);
+  s.grid_misses = grid_misses_.load(std::memory_order_relaxed);
   s.approx_bytes = approx_bytes_.load(std::memory_order_relaxed);
   s.budget_rejections =
       budget_rejections_.load(std::memory_order_relaxed);
+  s.evicted_artifacts =
+      evicted_artifacts_.load(std::memory_order_relaxed);
+  s.invalidated_bytes =
+      invalidated_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -180,9 +373,37 @@ std::size_t ArtifactCache::num_score_vectors() const {
   return scores_.size();
 }
 
+std::size_t ArtifactCache::num_grids() const {
+  std::lock_guard<std::mutex> lock(grid_mutex_);
+  return grids_.size();
+}
+
+PreparedDataset::PreparedDataset(const Dataset& dataset,
+                                 PreparedDatasetOptions options)
+    : dataset_(dataset),
+      build_threads_(options.build_threads),
+      epoch_(options.epoch),
+      pending_orders_(std::move(options.sorted_orders)),
+      cache_(options.cache ? std::move(options.cache)
+                           : std::make_shared<ArtifactCache>(dataset)) {
+  if (!pending_orders_.empty()) {
+    HICS_CHECK_EQ(pending_orders_.size(), dataset_.num_attributes());
+  }
+}
+
 void PreparedDataset::EnsureRankArtifacts() const {
   std::call_once(rank_artifacts_once_, [this] {
-    index_ = std::make_unique<SortedAttributeIndex>(dataset_, build_threads_);
+    if (!pending_orders_.empty()) {
+      // Adopt the caller-maintained orders (the streaming plane's
+      // incremental merge product, bit-identical to a stable sort by
+      // contract) instead of re-sorting.
+      index_ = std::make_unique<SortedAttributeIndex>(
+          dataset_.num_objects(), std::move(pending_orders_));
+      pending_orders_.clear();
+    } else {
+      index_ =
+          std::make_unique<SortedAttributeIndex>(dataset_, build_threads_);
+    }
     const std::size_t d = dataset_.num_attributes();
     sorted_columns_.reserve(d);
     marginal_means_.reserve(d);

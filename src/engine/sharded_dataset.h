@@ -10,6 +10,7 @@
 
 #include "common/dataset.h"
 #include "engine/prepared_dataset.h"
+#include "engine/shard_plane.h"
 
 namespace hics {
 
@@ -58,7 +59,7 @@ std::size_t ShardIterations(std::size_t total_iterations,
 ///
 /// Labels are not propagated to shards: shard datasets exist for
 /// estimation, while evaluation (labels) stays a whole-dataset concern.
-class ShardedDataset {
+class ShardedDataset : public ShardPlane {
  public:
   /// Partitions `dataset` into (at most) `num_shards` contiguous shards.
   /// `build_threads` parallelizes the shard copies (and is forwarded to
@@ -73,21 +74,19 @@ class ShardedDataset {
   ShardedDataset& operator=(const ShardedDataset&) = delete;
 
   /// Effective shard count after the N/2 clamp (>= 1).
-  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_shards() const override { return shards_.size(); }
 
   /// The full (unpartitioned) dataset.
-  const Dataset& dataset() const { return dataset_; }
-  std::size_t num_objects() const { return dataset_.num_objects(); }
-  std::size_t num_attributes() const { return dataset_.num_attributes(); }
+  const Dataset& dataset() const override { return dataset_; }
 
   /// Shard `s`'s prepared artifact (its dataset is the owned row copy).
-  const PreparedDataset& shard(std::size_t s) const;
+  const PreparedDataset& shard(std::size_t s) const override;
 
   /// First full-dataset row of shard `s`: (s * N) / num_shards().
-  std::size_t shard_begin(std::size_t s) const;
+  std::size_t shard_begin(std::size_t s) const override;
 
   /// Row count of shard `s`: shard_begin(s + 1) - shard_begin(s).
-  std::size_t shard_size(std::size_t s) const;
+  std::size_t shard_size(std::size_t s) const override;
 
   /// (min, max) of attribute `attribute`'s finite values over the FULL
   /// dataset; (0, 0) when the column is empty or all-NaN — bit-identical
@@ -97,7 +96,8 @@ class ShardedDataset {
   /// exactly. Computed by one memoized NaN-ignoring pass over the full
   /// columns (never by merging per-shard ranges: the (0, 0) all-NaN
   /// sentinel would be ambiguous with a real [0, 0] range).
-  std::pair<double, double> GlobalAttributeRange(std::size_t attribute) const;
+  std::pair<double, double> GlobalAttributeRange(
+      std::size_t attribute) const override;
 
  private:
   const Dataset& dataset_;

@@ -29,6 +29,23 @@ SortedAttributeIndex::SortedAttributeIndex(const Dataset& dataset,
   });
 }
 
+SortedAttributeIndex::SortedAttributeIndex(
+    std::size_t num_objects, std::vector<std::vector<std::size_t>> orders)
+    : num_objects_(num_objects),
+      order_(std::move(orders)),
+      rank_(order_.size()) {
+  for (std::size_t a = 0; a < order_.size(); ++a) {
+    const auto& order = order_[a];
+    HICS_CHECK_EQ(order.size(), num_objects_);
+    auto& rank = rank_[a];
+    rank.resize(num_objects_);
+    for (std::size_t pos = 0; pos < num_objects_; ++pos) {
+      HICS_DCHECK(order[pos] < num_objects_);
+      rank[order[pos]] = pos;
+    }
+  }
+}
+
 std::span<const std::size_t> SortedAttributeIndex::Block(
     std::size_t attribute, std::size_t start, std::size_t length) const {
   HICS_CHECK_LT(attribute, order_.size());

@@ -23,6 +23,16 @@ class SortedAttributeIndex {
   explicit SortedAttributeIndex(const Dataset& dataset,
                                 std::size_t num_threads = 1);
 
+  /// Adopts caller-computed sorted orders (one permutation of
+  /// [0, num_objects) per attribute) and derives the inverse-permutation
+  /// ranks. The orders must be exactly what the sorting constructor would
+  /// have produced — ascending by value with ties in ascending id order
+  /// (std::stable_sort) — which is the contract the streaming plane's
+  /// incremental merge maintenance upholds, so an adopted index is
+  /// bit-identical to a cold rebuild over the same rows.
+  SortedAttributeIndex(std::size_t num_objects,
+                       std::vector<std::vector<std::size_t>> orders);
+
   std::size_t num_objects() const { return num_objects_; }
   std::size_t num_attributes() const { return order_.size(); }
 

@@ -39,7 +39,7 @@ std::vector<double> GatherDensities(const Dataset& dataset,
   const std::size_t n = dataset.num_objects();
   std::vector<double> density(n, 0.0);
   const std::size_t num_chunks = (n + kGatherChunk - 1) / kGatherChunk;
-  if (!smooth) {
+  if (!smooth && grid.has_point_keys()) {
     const std::span<const std::uint64_t> keys = grid.point_keys();
     ParallelFor(0, num_chunks, num_threads, [&](std::size_t c) {
       const std::size_t begin = c * kGatherChunk;
@@ -48,6 +48,30 @@ std::vector<double> GatherDensities(const Dataset& dataset,
         density[i] = static_cast<double>(grid.CountForKey(keys[i]));
       }
     });
+    return density;
+  }
+  if (!smooth) {
+    // Keyless grid (the cached/streaming-carried form): re-bin each point
+    // through the same canonical per-axis bin mapping the build used.
+    // Lands on the identical cell key the retained point_keys() would
+    // have held, so the densities — and every downstream score — are
+    // bit-identical to the keyed gather's.
+    const std::size_t dims = subspace.size();
+    const std::size_t workers = ParallelWorkerCount(num_chunks, num_threads);
+    std::vector<std::uint32_t> scratch(workers * dims);
+    ParallelForWorker(
+        0, num_chunks, num_threads, [&](std::size_t c, std::size_t w) {
+          std::uint32_t* bins = scratch.data() + w * dims;
+          const std::size_t begin = c * kGatherChunk;
+          const std::size_t end = std::min(n, begin + kGatherChunk);
+          for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t j = 0; j < dims; ++j) {
+              bins[j] = grid.BinOf(dataset.Column(subspace[j])[i], j);
+            }
+            density[i] = static_cast<double>(grid.CountForKey(grid.KeyOfBins(
+                std::span<const std::uint32_t>(bins, dims))));
+          }
+        });
     return density;
   }
   const std::size_t dims = subspace.size();
@@ -120,26 +144,43 @@ std::vector<double> GridDensityScorer::ScoreSubspace(
 }
 
 std::vector<double> GridDensityScorer::ScoreSubspaceSharded(
-    const ShardedDataset& sharded, const Subspace& subspace) const {
+    const ShardPlane& sharded, const Subspace& subspace) const {
   GridOptions options;
   options.bins_per_dim = params_.bins_per_dim;
   options.num_threads = params_.num_threads;
-  options.keep_point_keys = !params_.smooth;
+  // Cached grids never retain point keys: the cache outlives the call,
+  // and on a streaming plane object ids shift with every slide, so only
+  // the keyless form can survive (and be carried). The gather re-bins per
+  // point, landing on identical densities.
+  options.keep_point_keys = false;
 
   // Every shard bins against the GLOBAL ranges, so a row's cell key is
   // the same one the full-dataset grid would assign it; shard grids then
-  // merge by pure integer count addition.
+  // merge by pure integer count addition. The cache key encodes the
+  // range bits (GridArtifactKey), so a cached shard grid can only ever
+  // be served against the exact bounds it was binned with.
   std::vector<std::pair<double, double>> ranges(subspace.size());
   for (std::size_t j = 0; j < subspace.size(); ++j) {
     ranges[j] = sharded.GlobalAttributeRange(subspace[j]);
   }
+  const std::string grid_key =
+      GridArtifactKey(params_.bins_per_dim, false, ranges);
 
   const std::size_t num_shards = sharded.num_shards();
-  std::vector<std::unique_ptr<SubspaceGrid>> shard_grids(num_shards);
+  std::vector<std::shared_ptr<const SubspaceGrid>> shard_grids(num_shards);
   ParallelFor(0, num_shards, params_.num_threads, [&](std::size_t s) {
-    shard_grids[s] = std::make_unique<SubspaceGrid>(
+    ArtifactCache& cache = sharded.shard(s).cache();
+    if (std::shared_ptr<const void> hit =
+            cache.FindGridErased(grid_key, subspace)) {
+      shard_grids[s] = std::static_pointer_cast<const SubspaceGrid>(hit);
+      return;
+    }
+    auto built = std::make_shared<const SubspaceGrid>(
         sharded.shard(s).dataset(), subspace,
         std::span<const std::pair<double, double>>(ranges), options);
+    shard_grids[s] = std::static_pointer_cast<const SubspaceGrid>(
+        cache.InsertGridErased(grid_key, subspace, built,
+                               built->ApproxMemoryBytes()));
   });
   std::vector<const SubspaceGrid*> grid_ptrs(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
@@ -155,11 +196,33 @@ std::vector<double> GridDensityScorer::ScoreSubspacePrepared(
   GridOptions options;
   options.bins_per_dim = params_.bins_per_dim;
   options.num_threads = params_.num_threads;
-  options.keep_point_keys = !params_.smooth;
+  // Keyless, like the sharded path: the grid is published to the
+  // prepared artifact's cache, where the streaming plane can carry it
+  // across a window slide by exact retire/admit (only possible without
+  // retained point keys — ids shift). Densities are identical either way.
+  options.keep_point_keys = false;
   // Ranges come from the prepared artifact (no column rescan); the grid
   // — and therefore every score — is identical to the cold path's.
-  const SubspaceGrid grid(prepared, subspace, options);
-  return ScoreWithGrid(prepared.dataset(), subspace, grid);
+  std::vector<std::pair<double, double>> ranges(subspace.size());
+  for (std::size_t j = 0; j < subspace.size(); ++j) {
+    ranges[j] = prepared.AttributeRange(subspace[j]);
+  }
+  const std::string grid_key =
+      GridArtifactKey(params_.bins_per_dim, false, ranges);
+  ArtifactCache& cache = prepared.cache();
+  std::shared_ptr<const SubspaceGrid> grid;
+  if (std::shared_ptr<const void> hit =
+          cache.FindGridErased(grid_key, subspace)) {
+    grid = std::static_pointer_cast<const SubspaceGrid>(hit);
+  } else {
+    auto built = std::make_shared<const SubspaceGrid>(
+        prepared.dataset(), subspace,
+        std::span<const std::pair<double, double>>(ranges), options);
+    grid = std::static_pointer_cast<const SubspaceGrid>(
+        cache.InsertGridErased(grid_key, subspace, built,
+                               built->ApproxMemoryBytes()));
+  }
+  return ScoreWithGrid(prepared.dataset(), subspace, *grid);
 }
 
 std::string GridDensityScorer::cache_key() const {

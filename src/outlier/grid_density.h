@@ -72,7 +72,7 @@ class GridDensityScorer : public OutlierScorer {
   /// ScoreSubspacePrepared on the full dataset for any shard count.
   bool SupportsExactShardedMerge() const override { return true; }
   std::vector<double> ScoreSubspaceSharded(
-      const ShardedDataset& sharded, const Subspace& subspace) const override;
+      const ShardPlane& sharded, const Subspace& subspace) const override;
 
   std::string cache_key() const override;
 

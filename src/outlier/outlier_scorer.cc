@@ -32,7 +32,7 @@ std::size_t ClampNeighborhoodSize(std::size_t k, std::size_t num_objects,
 }
 
 std::vector<double> OutlierScorer::ScoreSubspaceSharded(
-    const ShardedDataset& sharded, const Subspace& subspace) const {
+    const ShardPlane& sharded, const Subspace& subspace) const {
   // Per-shard approximation: score each shard against its own rows only
   // and concatenate in shard order (= object-id order; the partition is
   // contiguous). Every shard's vector is deterministic on its own, so the
@@ -41,8 +41,12 @@ std::vector<double> OutlierScorer::ScoreSubspaceSharded(
   std::vector<double> scores;
   scores.reserve(sharded.num_objects());
   for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
+    // Cached variant: per-shard score vectors are memoized in each
+    // shard's own ArtifactCache (bit-identical to the uncached compute by
+    // the determinism discipline), so a streaming plane's untouched
+    // shards serve their vectors as hits after a slide.
     const std::vector<double> shard_scores =
-        ScoreSubspacePrepared(sharded.shard(s), subspace);
+        ScoreSubspaceCached(sharded.shard(s), subspace);
     HICS_CHECK_EQ(shard_scores.size(), sharded.shard_size(s));
     scores.insert(scores.end(), shard_scores.begin(), shard_scores.end());
   }

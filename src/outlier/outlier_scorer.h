@@ -15,7 +15,7 @@
 
 namespace hics {
 
-class ShardedDataset;  // engine/sharded_dataset.h
+class ShardPlane;  // engine/shard_plane.h
 
 /// Clamps a neighborhood size `k` to the `num_objects - 1` possible
 /// neighbors an in-sample query has, logging a one-line stderr diagnostic
@@ -106,7 +106,7 @@ class OutlierScorer {
   /// unsharded scores bit-for-bit. Callers opt in through
   /// ShardedScoringPolicy (subspace_ranker.h).
   virtual std::vector<double> ScoreSubspaceSharded(
-      const ShardedDataset& sharded, const Subspace& subspace) const;
+      const ShardPlane& sharded, const Subspace& subspace) const;
 
   /// Fallible entry point used by the degraded-execution pipeline: honors
   /// the context (cancellation/deadline checked up front), exposes the

@@ -161,7 +161,7 @@ std::vector<double> RankWithSubspaces(
 }
 
 Result<std::vector<double>> RankWithSubspacesSharded(
-    const ShardedDataset& sharded, const std::vector<Subspace>& subspaces,
+    const ShardPlane& sharded, const std::vector<Subspace>& subspaces,
     const OutlierScorer& scorer, ScoreAggregation aggregation,
     ShardedScoringPolicy policy, std::size_t num_threads) {
   if (policy == ShardedScoringPolicy::kRequireExactMerge &&
@@ -184,7 +184,7 @@ Result<std::vector<double>> RankWithSubspacesSharded(
 }
 
 Result<std::vector<double>> RankWithSubspacesSharded(
-    const ShardedDataset& sharded,
+    const ShardPlane& sharded,
     const std::vector<ScoredSubspace>& subspaces, const OutlierScorer& scorer,
     ScoreAggregation aggregation, ShardedScoringPolicy policy,
     std::size_t num_threads) {

@@ -135,13 +135,13 @@ enum class ShardedScoringPolicy {
 /// scores the full space. Fails (never silently degrades) when `policy`
 /// is kRequireExactMerge and the scorer cannot merge exactly.
 Result<std::vector<double>> RankWithSubspacesSharded(
-    const ShardedDataset& sharded, const std::vector<Subspace>& subspaces,
+    const ShardPlane& sharded, const std::vector<Subspace>& subspaces,
     const OutlierScorer& scorer, ScoreAggregation aggregation,
     ShardedScoringPolicy policy, std::size_t num_threads = 1);
 
 /// Sharded convenience overload for scored subspaces.
 Result<std::vector<double>> RankWithSubspacesSharded(
-    const ShardedDataset& sharded,
+    const ShardPlane& sharded,
     const std::vector<ScoredSubspace>& subspaces, const OutlierScorer& scorer,
     ScoreAggregation aggregation, ShardedScoringPolicy policy,
     std::size_t num_threads = 1);

@@ -12,6 +12,7 @@
 #include "core/contrast_matrix.h"
 #include "core/hics.h"
 #include "core/pipeline.h"
+#include "outlier/grid_density.h"
 #include "outlier/knn_outlier.h"
 #include "outlier/lof.h"
 #include "outlier/subspace_ranker.h"
@@ -608,6 +609,125 @@ TEST(ArtifactCacheBudgetTest, RejectedSearcherStillAnswersQueries) {
     EXPECT_EQ(lhs[i].id, rhs[i].id);
     EXPECT_EQ(lhs[i].distance, rhs[i].distance);
   }
+}
+
+
+// ---------------------------------------------------------------------------
+// Satellite: epoch-keyed invalidation accounting
+
+TEST(ArtifactCacheEpochTest, AdvanceSweepsEveryKindAndAccountsIt) {
+  const Dataset ds = ClusteredDataset(60, 4, 61);
+  const PreparedDataset prepared(ds);
+  ArtifactCache& cache = prepared.cache();
+  ASSERT_EQ(cache.epoch(), 0u);
+
+  // Populate one artifact of every kind: searcher + kNN table + score
+  // vector (via the LOF cached path) and a type-erased grid.
+  const LofScorer scorer({.min_pts = 8});
+  scorer.ScoreSubspaceCached(prepared, Subspace{0, 1});
+  const GridDensityScorer grids(GridDensityParams{});
+  grids.ScoreSubspaceCached(prepared, Subspace{2, 3});
+  const std::size_t entries = cache.num_searchers() + cache.num_knn_tables() +
+                              cache.num_score_vectors() + cache.num_grids();
+  ASSERT_GE(entries, 4u);
+  const std::size_t footprint = cache.ApproxMemoryBytes();
+  ASSERT_GT(footprint, 0u);
+
+  cache.AdvanceEpoch(1);
+  EXPECT_EQ(cache.epoch(), 1u);
+  EXPECT_EQ(cache.num_searchers(), 0u);
+  EXPECT_EQ(cache.num_knn_tables(), 0u);
+  EXPECT_EQ(cache.num_score_vectors(), 0u);
+  EXPECT_EQ(cache.num_grids(), 0u);
+  EXPECT_EQ(cache.ApproxMemoryBytes(), 0u);
+
+  const ArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evicted_artifacts, entries);
+  EXPECT_EQ(stats.invalidated_bytes, footprint);
+}
+
+TEST(ArtifactCacheEpochTest, AccountingAccumulatesAcrossAdvances) {
+  const Dataset ds = ClusteredDataset(48, 3, 63);
+  const PreparedDataset prepared(ds);
+  ArtifactCache& cache = prepared.cache();
+  const std::size_t n = ds.num_objects();
+  const std::vector<double> v(n, 1.0);
+
+  cache.InsertScores("k", Subspace{0, 1}, v);
+  cache.AdvanceEpoch(1);
+  EXPECT_EQ(cache.stats().evicted_artifacts, 1u);
+  EXPECT_EQ(cache.stats().invalidated_bytes, n * sizeof(double));
+
+  cache.InsertScores("k", Subspace{0, 1}, v);
+  cache.InsertScores("k", Subspace{1, 2}, v);
+  cache.AdvanceEpoch(2);
+  EXPECT_EQ(cache.stats().evicted_artifacts, 3u);
+  EXPECT_EQ(cache.stats().invalidated_bytes, 3 * n * sizeof(double));
+}
+
+TEST(ArtifactCacheEpochTest, CurrentEpochEntriesSurviveAnAdvance) {
+  const Dataset ds = ClusteredDataset(40, 3, 65);
+  const PreparedDataset prepared(ds);
+  ArtifactCache& cache = prepared.cache();
+  cache.AdvanceEpoch(1);  // stale nothing — the cache is empty
+  EXPECT_EQ(cache.stats().evicted_artifacts, 0u);
+
+  // An entry inserted AT the new epoch is current and must survive the
+  // defense-in-depth staleness checks on lookup.
+  const std::vector<double> v(ds.num_objects(), 2.0);
+  cache.InsertScores("k", Subspace{0, 1}, v);
+  EXPECT_NE(cache.FindScores("k", Subspace{0, 1}), nullptr);
+  EXPECT_EQ(cache.stats().evicted_artifacts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: SetByteBudget below the current footprint must
+// reclaim down to the budget instead of wedging admissions forever.
+
+TEST(ArtifactCacheBudgetTest, ShrinkingBudgetReclaimsDeterministically) {
+  const Dataset ds = ClusteredDataset(48, 4, 67);
+  const std::size_t n = ds.num_objects();
+  const PreparedDataset prepared(ds);
+  ArtifactCache& cache = prepared.cache();
+
+  const std::vector<double> v(n, 1.0);
+  cache.InsertScores("a", Subspace{0, 1}, v);
+  cache.InsertScores("b", Subspace{2, 3}, v);
+  ASSERT_EQ(cache.ApproxMemoryBytes(), 2 * n * sizeof(double));
+
+  // Room for one vector: the reclaim sweep walks score entries in
+  // ascending map-key order, so the "a"-keyed entry goes first and the
+  // "b"-keyed one survives.
+  cache.SetByteBudget(n * sizeof(double));
+  EXPECT_EQ(cache.ApproxMemoryBytes(), n * sizeof(double));
+  EXPECT_EQ(cache.num_score_vectors(), 1u);
+  EXPECT_EQ(cache.FindScores("a", Subspace{0, 1}), nullptr);
+  EXPECT_NE(cache.FindScores("b", Subspace{2, 3}), nullptr);
+  EXPECT_GT(cache.stats().evicted_artifacts, 0u);
+
+  // The regression: admissions must work again within the new budget.
+  cache.AdvanceEpoch(1);  // clear the survivor (stats persist)
+  ASSERT_EQ(cache.ApproxMemoryBytes(), 0u);
+  const auto admitted = cache.InsertScores("c", Subspace{0, 2}, v);
+  ASSERT_NE(admitted, nullptr);
+  EXPECT_EQ(cache.num_score_vectors(), 1u);
+  EXPECT_NE(cache.FindScores("c", Subspace{0, 2}), nullptr);
+}
+
+TEST(ArtifactCacheBudgetTest, ShrinkToZeroDisablesTheBudget) {
+  const Dataset ds = ClusteredDataset(32, 3, 69);
+  const PreparedDataset prepared(ds);
+  ArtifactCache& cache = prepared.cache();
+  const std::vector<double> v(ds.num_objects(), 3.0);
+  cache.SetByteBudget(1);
+  // The rejected insert still hands the caller its bits, but nothing is
+  // admitted.
+  EXPECT_NE(cache.InsertScores("k", Subspace{0, 1}, v), nullptr);
+  EXPECT_EQ(cache.num_score_vectors(), 0u);
+  EXPECT_EQ(cache.FindScores("k", Subspace{0, 1}), nullptr);
+  cache.SetByteBudget(0);  // 0 = unbounded again
+  EXPECT_NE(cache.InsertScores("k", Subspace{0, 1}, v), nullptr);
+  EXPECT_NE(cache.FindScores("k", Subspace{0, 1}), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,690 @@
+#include "engine/streaming_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <deque>
+#include <vector>
+
+#include "cluster/grid.h"
+#include "common/random.h"
+#include "common/run_context.h"
+#include "core/hics.h"
+#include "engine/prepared_dataset.h"
+#include "engine/sharded_dataset.h"
+#include "engine/streaming_search.h"
+#include "outlier/grid_density.h"
+#include "outlier/lof.h"
+#include "outlier/subspace_ranker.h"
+
+namespace hics {
+namespace {
+
+/// One random row with every value strictly inside (0.05, 0.95) — inside
+/// the 0.05/0.95 extreme rows the grid-carry test plants, so admissions
+/// never move the global ranges unless a test wants them to.
+std::vector<double> InteriorRow(Rng& rng, std::size_t d) {
+  std::vector<double> row(d);
+  for (std::size_t a = 0; a < d; ++a) {
+    row[a] = 0.06 + 0.88 * rng.UniformDouble();
+  }
+  return row;
+}
+
+std::vector<std::vector<double>> InteriorRows(Rng& rng, std::size_t n,
+                                              std::size_t d) {
+  std::vector<std::vector<double>> rows(n);
+  for (auto& row : rows) row = InteriorRow(rng, d);
+  return rows;
+}
+
+/// The reference replay: what the window must contain after the same
+/// mutation sequence, maintained naively.
+class ReferenceWindow {
+ public:
+  explicit ReferenceWindow(std::size_t d) : d_(d) {}
+
+  void Slide(std::size_t evict, const std::vector<std::vector<double>>& rows) {
+    for (std::size_t i = 0; i < evict; ++i) rows_.pop_front();
+    for (const auto& row : rows) rows_.push_back(row);
+  }
+
+  Dataset AsDataset() const {
+    std::vector<std::vector<double>> columns(d_);
+    for (auto& c : columns) c.reserve(rows_.size());
+    for (const auto& row : rows_) {
+      for (std::size_t a = 0; a < d_; ++a) columns[a].push_back(row[a]);
+    }
+    Result<Dataset> built = Dataset::FromColumns(std::move(columns));
+    EXPECT_TRUE(built.ok());
+    return std::move(built).ValueOrDie();
+  }
+
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::size_t d_;
+  std::deque<std::vector<double>> rows_;
+};
+
+void ExpectWindowEquals(const StreamingDataset& streaming,
+                        const Dataset& expected) {
+  ASSERT_EQ(streaming.size(), expected.num_objects());
+  for (std::size_t a = 0; a < expected.num_attributes(); ++a) {
+    for (std::size_t i = 0; i < expected.num_objects(); ++i) {
+      ASSERT_EQ(streaming.window().Column(a)[i], expected.Column(a)[i])
+          << "row " << i << " attribute " << a;
+    }
+  }
+}
+
+void ExpectSameScored(const std::vector<ScoredSubspace>& a,
+                      const std::vector<ScoredSubspace>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].subspace, b[i].subspace) << "rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Window mechanics and the epoch protocol
+
+TEST(StreamingWindowTest, AdmitFillsThenEvictsOldestAtCapacity) {
+  Rng rng(11);
+  StreamingDataset streaming(3, {.capacity = 10});
+  EXPECT_EQ(streaming.epoch(), 0u);
+  EXPECT_EQ(streaming.size(), 0u);
+
+  auto evicted = streaming.Admit(InteriorRows(rng, 6, 3));
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_EQ(*evicted, 0u);
+  EXPECT_EQ(streaming.size(), 6u);
+  EXPECT_EQ(streaming.epoch(), 1u);
+
+  // 6 + 7 > 10: exactly the 3 oldest rows must go.
+  evicted = streaming.Admit(InteriorRows(rng, 7, 3));
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_EQ(*evicted, 3u);
+  EXPECT_EQ(streaming.size(), 10u);
+  EXPECT_EQ(streaming.epoch(), 2u);
+  EXPECT_EQ(streaming.prepared().epoch(), 2u);
+  EXPECT_EQ(streaming.window_cache_stats().evicted_artifacts, 0u);  // empty
+}
+
+TEST(StreamingWindowTest, NoOpSlideDoesNotAdvanceTheEpoch) {
+  Rng rng(13);
+  StreamingDataset streaming(2, {.capacity = 8});
+  ASSERT_TRUE(streaming.Admit(InteriorRows(rng, 5, 2)).ok());
+  const std::uint64_t epoch = streaming.epoch();
+  const auto result = streaming.Slide(0, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 0u);
+  EXPECT_EQ(streaming.epoch(), epoch);
+}
+
+TEST(StreamingWindowTest, InvalidMutationsAreRejectedAtomically) {
+  Rng rng(17);
+  StreamingDataset streaming(3, {.capacity = 8});
+  ASSERT_TRUE(streaming.Admit(InteriorRows(rng, 6, 3)).ok());
+  const std::uint64_t epoch = streaming.epoch();
+  const Dataset before = streaming.window();
+
+  // Wrong arity.
+  EXPECT_FALSE(streaming.Slide(1, {{0.5, 0.5}}).ok());
+  // Non-finite value.
+  std::vector<double> bad = {0.5, 0.5, 0.5};
+  bad[1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(streaming.Slide(1, {bad}).ok());
+  // Evicting more rows than the window holds.
+  EXPECT_FALSE(streaming.Slide(7, {}).ok());
+  // Overflowing the capacity.
+  EXPECT_FALSE(streaming.Slide(0, InteriorRows(rng, 3, 3)).ok());
+  // Admitting more rows than fit at all.
+  EXPECT_FALSE(streaming.Admit(InteriorRows(rng, 9, 3)).ok());
+
+  // Every rejection left the window, the epoch, and the plane untouched.
+  EXPECT_EQ(streaming.epoch(), epoch);
+  ExpectWindowEquals(streaming, before);
+}
+
+TEST(StreamingWindowTest, RandomizedSlidesMatchAReferenceReplay) {
+  Rng rng(19);
+  const std::size_t d = 4;
+  StreamingDataset streaming(d, {.capacity = 30, .num_shards = 3});
+  ReferenceWindow reference(d);
+  std::uint64_t expected_epoch = 0;
+
+  for (int step = 0; step < 40; ++step) {
+    const std::size_t admit = 1 + rng.UniformIndex(6);
+    std::size_t evict =
+        streaming.size() > 0 ? rng.UniformIndex(streaming.size() / 2 + 1) : 0;
+    const std::size_t incoming = streaming.size() - evict + admit;
+    if (incoming > 30) evict += incoming - 30;
+    const auto rows = InteriorRows(rng, admit, d);
+    ASSERT_TRUE(streaming.Slide(evict, rows, nullptr).ok()) << "step " << step;
+    reference.Slide(evict, rows);
+    ++expected_epoch;
+    EXPECT_EQ(streaming.epoch(), expected_epoch);
+    ExpectWindowEquals(streaming, reference.AsDataset());
+  }
+}
+
+TEST(StreamingWindowTest, MaintainedSortedOrdersMatchAColdStableSort) {
+  Rng rng(23);
+  const std::size_t d = 3;
+  StreamingDataset streaming(d, {.capacity = 25});
+  ReferenceWindow reference(d);
+  for (int step = 0; step < 12; ++step) {
+    const auto rows = InteriorRows(rng, 4, d);
+    const std::size_t evict = streaming.size() >= 22 ? 4 : 0;
+    ASSERT_TRUE(streaming.Slide(evict, rows).ok());
+    reference.Slide(evict, rows);
+
+    const Dataset cold_ds = reference.AsDataset();
+    const PreparedDataset cold(cold_ds);
+    for (std::size_t a = 0; a < d; ++a) {
+      const auto streamed = streaming.prepared().sorted_index().SortedOrder(a);
+      const auto sorted = cold.sorted_index().SortedOrder(a);
+      ASSERT_EQ(std::vector<std::size_t>(streamed.begin(), streamed.end()),
+                std::vector<std::size_t>(sorted.begin(), sorted.end()))
+          << "step " << step << " attribute " << a;
+    }
+  }
+}
+
+TEST(StreamingWindowTest, PartitionFollowsTheCanonicalShardedRule) {
+  Rng rng(29);
+  StreamingDataset streaming(3, {.capacity = 40, .num_shards = 4});
+  ASSERT_TRUE(streaming.Admit(InteriorRows(rng, 3, 3)).ok());
+  // 3 rows: clamp to max(1, 3/2) = 1 shard.
+  EXPECT_EQ(streaming.num_shards(), 1u);
+  ASSERT_TRUE(streaming.Admit(InteriorRows(rng, 37, 3)).ok());
+  ASSERT_EQ(streaming.num_shards(), 4u);
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(streaming.shard_begin(s), covered);
+    EXPECT_EQ(streaming.shard_begin(s), (s * streaming.size()) / 4);
+    EXPECT_EQ(streaming.shard(s).num_objects(), streaming.shard_size(s));
+    covered += streaming.shard_size(s);
+  }
+  EXPECT_EQ(covered, streaming.size());
+}
+
+// ---------------------------------------------------------------------------
+// Slide-vs-cold byte identity (the acceptance criterion): after any
+// sequence of slides, searching and ranking the plane is byte-identical
+// to a cold rebuild over the identical window — PreparedDataset when
+// unsharded, ShardedDataset at the same shard count otherwise — at every
+// thread count.
+
+class StreamingIdentityTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StreamingIdentityTest, SlidesMatchColdRebuildAcrossThreadCounts) {
+  const std::size_t shards = GetParam();
+  Rng rng(31 + shards);
+  const std::size_t d = 4;
+  const std::size_t capacity = 36;
+  StreamingDataset streaming(
+      d, {.capacity = capacity, .num_shards = shards, .build_threads = 2});
+  ReferenceWindow reference(d);
+
+  HicsParams params;
+  params.num_iterations = 10;
+  params.output_top_k = 6;
+  GridDensityParams grid_params;
+  grid_params.bins_per_dim = 6;
+  const GridDensityScorer grid_scorer(grid_params);
+  const LofScorer lof_scorer({.min_pts = 5});
+
+  for (int step = 0; step < 8; ++step) {
+    const std::size_t admit = 3 + rng.UniformIndex(5);
+    std::size_t evict =
+        streaming.size() >= 10 ? 1 + rng.UniformIndex(5) : 0;
+    const std::size_t incoming = streaming.size() - evict + admit;
+    if (incoming > capacity) evict += incoming - capacity;
+    const auto rows = InteriorRows(rng, admit, d);
+    ASSERT_TRUE(streaming.Slide(evict, rows).ok());
+    reference.Slide(evict, rows);
+    if (streaming.size() < 8) continue;
+
+    const Dataset cold_ds = reference.AsDataset();
+    ExpectWindowEquals(streaming, cold_ds);
+
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}}) {
+      params.num_threads = threads;
+      const auto streamed_search = RunHicsSearch(streaming, params);
+      ASSERT_TRUE(streamed_search.ok());
+      const auto streamed_rank = RankWithSubspaces(
+          streaming, *streamed_search, grid_scorer, ScoreAggregation::kAverage,
+          ShardedScoringPolicy::kRequireExactMerge, threads);
+      ASSERT_TRUE(streamed_rank.ok());
+
+      if (streaming.num_shards() == 1) {
+        const PreparedDataset cold(cold_ds);
+        const auto cold_search = RunHicsSearch(cold, params);
+        ASSERT_TRUE(cold_search.ok());
+        ExpectSameScored(*streamed_search, *cold_search);
+        EXPECT_EQ(*streamed_rank,
+                  RankWithSubspaces(cold, *cold_search, grid_scorer,
+                                    ScoreAggregation::kAverage, threads));
+        // Neighbor-based scorers take the prepared path too when the
+        // plane is unsharded.
+        const auto streamed_lof = RankWithSubspaces(
+            streaming, *streamed_search, lof_scorer,
+            ScoreAggregation::kAverage,
+            ShardedScoringPolicy::kAllowApproximation, threads);
+        ASSERT_TRUE(streamed_lof.ok());
+        EXPECT_EQ(*streamed_lof,
+                  RankWithSubspaces(cold, *cold_search, lof_scorer,
+                                    ScoreAggregation::kAverage, threads));
+      } else {
+        const ShardedDataset cold(cold_ds, shards, threads);
+        ASSERT_EQ(cold.num_shards(), streaming.num_shards());
+        const auto cold_search = RunHicsSearch(cold, params);
+        ASSERT_TRUE(cold_search.ok());
+        ExpectSameScored(*streamed_search, *cold_search);
+        const auto cold_rank = RankWithSubspacesSharded(
+            cold, *cold_search, grid_scorer, ScoreAggregation::kAverage,
+            ShardedScoringPolicy::kRequireExactMerge, threads);
+        ASSERT_TRUE(cold_rank.ok());
+        EXPECT_EQ(*streamed_rank, *cold_rank);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, StreamingIdentityTest,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{4}));
+
+TEST(StreamingIdentityWarmTest, RepeatQueriesAfterASlideHitAndAgree) {
+  Rng rng(37);
+  const std::size_t d = 4;
+  StreamingDataset streaming(d, {.capacity = 32, .num_shards = 2});
+  ASSERT_TRUE(streaming.Admit(InteriorRows(rng, 32, d)).ok());
+
+  GridDensityParams grid_params;
+  grid_params.bins_per_dim = 5;
+  const GridDensityScorer scorer(grid_params);
+  const std::vector<Subspace> subspaces = {Subspace{0, 1}, Subspace{2, 3}};
+
+  ASSERT_TRUE(streaming.Slide(4, InteriorRows(rng, 4, d)).ok());
+  const auto first =
+      RankWithSubspaces(streaming, subspaces, scorer,
+                        ScoreAggregation::kAverage,
+                        ShardedScoringPolicy::kRequireExactMerge, 2);
+  ASSERT_TRUE(first.ok());
+  std::uint64_t hits_before = 0;
+  for (std::size_t s = 0; s < streaming.num_shards(); ++s) {
+    hits_before += streaming.shard_cache_stats(s).hits();
+  }
+  const auto second =
+      RankWithSubspaces(streaming, subspaces, scorer,
+                        ScoreAggregation::kAverage,
+                        ShardedScoringPolicy::kRequireExactMerge, 2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  std::uint64_t hits_after = 0;
+  for (std::size_t s = 0; s < streaming.num_shards(); ++s) {
+    hits_after += streaming.shard_cache_stats(s).hits();
+  }
+  EXPECT_GT(hits_after, hits_before);  // warm pass served from the caches
+}
+
+// ---------------------------------------------------------------------------
+// Shard-precise invalidation: a slide aligned to the shard width moves
+// every surviving block wholesale, so exactly one slot is rebuilt and
+// the untouched slots' artifacts keep serving hits.
+
+TEST(StreamingShardReuseTest, AlignedSlideRebuildsOnlyTheNewSlot) {
+  Rng rng(41);
+  const std::size_t d = 3;
+  const std::size_t capacity = 40;
+  const std::size_t shards = 4;  // shard width 10
+  StreamingDataset streaming(d,
+                             {.capacity = capacity, .num_shards = shards});
+  ASSERT_TRUE(streaming.Admit(InteriorRows(rng, capacity, d)).ok());
+  ASSERT_EQ(streaming.num_shards(), shards);
+
+  // Warm every shard's cache (LOF per-shard vectors: searcher + kNN
+  // table + score vector each).
+  const LofScorer scorer({.min_pts = 4});
+  const std::vector<Subspace> subspaces = {Subspace{0, 1}, Subspace{1, 2}};
+  ASSERT_TRUE(RankWithSubspaces(streaming, subspaces, scorer,
+                                ScoreAggregation::kAverage,
+                                ShardedScoringPolicy::kAllowApproximation, 2)
+                  .ok());
+
+  std::vector<std::uint64_t> content_epochs(shards);
+  std::vector<ArtifactCacheStats> stats_before(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    content_epochs[s] = streaming.shard_content_epoch(s);
+    stats_before[s] = streaming.shard_cache_stats(s);
+    EXPECT_GT(stats_before[s].misses(), 0u);  // the warmup populated it
+  }
+
+  // Slide exactly one shard width: blocks re-align, slots shift one
+  // position, only the tail slot holds new rows.
+  ASSERT_TRUE(streaming.Slide(10, InteriorRows(rng, 10, d)).ok());
+  ASSERT_EQ(streaming.num_shards(), shards);
+  for (std::size_t s = 0; s + 1 < shards; ++s) {
+    // Surviving slots carried their content epoch from position s + 1.
+    EXPECT_EQ(streaming.shard_content_epoch(s), content_epochs[s + 1])
+        << "slot " << s << " was rebuilt by an aligned slide";
+  }
+  EXPECT_EQ(streaming.shard_content_epoch(shards - 1), streaming.epoch());
+
+  // Re-rank: surviving slots answer purely from their caches (no new
+  // misses); only the rebuilt slot computes.
+  ASSERT_TRUE(RankWithSubspaces(streaming, subspaces, scorer,
+                                ScoreAggregation::kAverage,
+                                ShardedScoringPolicy::kAllowApproximation, 2)
+                  .ok());
+  for (std::size_t s = 0; s + 1 < shards; ++s) {
+    const ArtifactCacheStats after = streaming.shard_cache_stats(s);
+    EXPECT_EQ(after.misses(), stats_before[s + 1].misses())
+        << "surviving slot " << s << " rebuilt an artifact";
+    EXPECT_GT(after.hits(), stats_before[s + 1].hits())
+        << "surviving slot " << s << " did not serve from cache";
+    EXPECT_EQ(after.evicted_artifacts, stats_before[s + 1].evicted_artifacts);
+  }
+  // The rebuilt slot recycled the retired slot 0's cache: its artifacts
+  // were swept (counted) and fresh ones were built.
+  const ArtifactCacheStats rebuilt = streaming.shard_cache_stats(shards - 1);
+  EXPECT_GT(rebuilt.evicted_artifacts,
+            stats_before[0].evicted_artifacts);
+  EXPECT_GT(rebuilt.invalidated_bytes, stats_before[0].invalidated_bytes);
+  EXPECT_GT(rebuilt.misses(), stats_before[0].misses());
+}
+
+// ---------------------------------------------------------------------------
+// Window-grid carry: a slide that keeps the attribute ranges bit-stable
+// slides the cached whole-window grid by exact retire/admit instead of
+// rebuilding it; a range-moving slide evicts it (the key changed).
+
+TEST(StreamingGridCarryTest, RangeStableSlideCarriesTheWindowGrid) {
+  Rng rng(43);
+  const std::size_t d = 3;
+  StreamingDataset streaming(d, {.capacity = 24, .num_shards = 1});
+  // Pin the global range of every attribute with two extreme rows
+  // admitted LAST (so the tested slide never evicts them).
+  auto rows = InteriorRows(rng, 22, d);
+  rows.push_back(std::vector<double>(d, 0.05));
+  rows.push_back(std::vector<double>(d, 0.95));
+  ASSERT_TRUE(streaming.Admit(rows).ok());
+
+  GridDensityParams grid_params;
+  grid_params.bins_per_dim = 6;
+  const GridDensityScorer scorer(grid_params);
+  const std::vector<Subspace> subspaces = {Subspace{0, 1}};
+
+  ASSERT_TRUE(RankWithSubspaces(streaming, subspaces, scorer).ok());
+  ArtifactCacheStats stats = streaming.window_cache_stats();
+  EXPECT_EQ(stats.grid_misses, 1u);
+  EXPECT_EQ(stats.grid_hits, 0u);
+
+  // Interior slide: ranges survive bit-for-bit => the grid is carried.
+  ASSERT_TRUE(streaming.Slide(4, InteriorRows(rng, 4, d)).ok());
+  const auto ranked = RankWithSubspaces(streaming, subspaces, scorer);
+  ASSERT_TRUE(ranked.ok());
+  stats = streaming.window_cache_stats();
+  EXPECT_EQ(stats.grid_misses, 1u);  // never rebuilt
+  EXPECT_EQ(stats.grid_hits, 1u);    // served the carried grid
+
+  // The carried grid scores byte-identically to a cold rebuild.
+  const Dataset cold_ds = streaming.window();
+  const PreparedDataset cold(cold_ds);
+  EXPECT_EQ(*ranked, RankWithSubspaces(cold, subspaces, scorer));
+
+  // Range-moving slide (a value above the pinned max): the old key can
+  // no longer match — the stale grid is evicted, the next rank re-bins.
+  std::vector<double> outlier(d, 0.99);
+  ASSERT_TRUE(streaming.Slide(1, {outlier}).ok());
+  ASSERT_TRUE(RankWithSubspaces(streaming, subspaces, scorer).ok());
+  stats = streaming.window_cache_stats();
+  EXPECT_EQ(stats.grid_misses, 2u);  // rebuilt against the new ranges
+  EXPECT_GT(stats.evicted_artifacts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected slides: a failed slide degrades (the previous window
+// keeps serving, byte-identically) and never poisons a cache.
+
+TEST(StreamingFaultTest, FailedSlideLeavesThePlaneServingTheOldWindow) {
+  Rng rng(47);
+  const std::size_t d = 3;
+  StreamingDataset streaming(d, {.capacity = 20, .num_shards = 2});
+  ASSERT_TRUE(streaming.Admit(InteriorRows(rng, 20, d)).ok());
+  const std::uint64_t epoch = streaming.epoch();
+
+  GridDensityParams grid_params;
+  grid_params.bins_per_dim = 5;
+  const GridDensityScorer scorer(grid_params);
+  const std::vector<Subspace> subspaces = {Subspace{0, 1}, Subspace{1, 2}};
+  const auto before = RankWithSubspaces(streaming, subspaces, scorer);
+  ASSERT_TRUE(before.ok());
+
+  FaultInjector injector;
+  injector.FailNthCall("stream.slide", epoch + 1,
+                       Status::Internal("injected slide fault"));
+  RunContext ctx;
+  ctx.SetFaultInjector(&injector);
+
+  const auto rows = InteriorRows(rng, 5, d);
+  const auto failed = streaming.Slide(5, rows, &ctx);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(streaming.epoch(), epoch);
+  EXPECT_EQ(streaming.size(), 20u);
+
+  // The degraded plane still answers — byte-identically to before.
+  const auto after = RankWithSubspaces(streaming, subspaces, scorer);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+
+  // The same slide retried without the armed injector succeeds and
+  // matches a cold rebuild: nothing was poisoned by the failure. (Fault
+  // ordinals are epoch-keyed, so a retry *with* the injector re-fires
+  // deterministically — the rule is positional, not one-shot.)
+  EXPECT_EQ(injector.FiredCount("stream.slide"), 1u);
+  ASSERT_TRUE(streaming.Slide(5, rows).ok());
+  EXPECT_EQ(streaming.epoch(), epoch + 1);
+  const auto cold_ds = streaming.window();
+  const ShardedDataset cold(cold_ds, 2);
+  const auto streamed = RankWithSubspaces(
+      streaming, subspaces, scorer, ScoreAggregation::kAverage,
+      ShardedScoringPolicy::kRequireExactMerge, 2);
+  const auto colded = RankWithSubspacesSharded(
+      cold, subspaces, scorer, ScoreAggregation::kAverage,
+      ShardedScoringPolicy::kRequireExactMerge, 2);
+  ASSERT_TRUE(streamed.ok());
+  ASSERT_TRUE(colded.ok());
+  EXPECT_EQ(*streamed, *colded);
+}
+
+TEST(StreamingFaultTest, FailedShardRebuildDegradesWithoutPoisoning) {
+  Rng rng(53);
+  const std::size_t d = 3;
+  StreamingDataset streaming(d, {.capacity = 16, .num_shards = 2});
+  ASSERT_TRUE(streaming.Admit(InteriorRows(rng, 16, d)).ok());
+  const std::uint64_t epoch = streaming.epoch();
+  const Dataset before = streaming.window();
+
+  FaultInjector injector;
+  injector.FailNthCall("stream.slide.shard", 1,
+                       Status::Internal("injected shard rebuild fault"));
+  RunContext ctx;
+  ctx.SetFaultInjector(&injector);
+
+  const auto rows = InteriorRows(rng, 4, d);
+  ASSERT_FALSE(streaming.Slide(4, rows, &ctx).ok());
+  EXPECT_EQ(streaming.epoch(), epoch);
+  ExpectWindowEquals(streaming, before);
+
+  // Retry without the injector: the full slide applies atomically.
+  EXPECT_EQ(injector.FiredCount("stream.slide.shard"), 1u);
+  ASSERT_TRUE(streaming.Slide(4, rows).ok());
+  EXPECT_EQ(streaming.epoch(), epoch + 1);
+  EXPECT_EQ(streaming.size(), 16u);
+}
+
+TEST(StreamingFaultTest, RandomFaultSequenceNeverDivergesFromReplay) {
+  Rng rng(59);
+  const std::size_t d = 3;
+  StreamingDataset streaming(d, {.capacity = 18, .num_shards = 2});
+  ReferenceWindow reference(d);
+
+  FaultInjector injector;
+  injector.FailWithProbability("stream.slide", 0.35, /*seed=*/7,
+                               Status::Internal("injected"));
+  RunContext ctx;
+  ctx.SetFaultInjector(&injector);
+
+  GridDensityParams grid_params;
+  grid_params.bins_per_dim = 4;
+  const GridDensityScorer scorer(grid_params);
+  const std::vector<Subspace> subspaces = {Subspace{0, 2}};
+
+  for (int step = 0; step < 25; ++step) {
+    const std::size_t admit = 1 + rng.UniformIndex(4);
+    std::size_t evict =
+        streaming.size() > 2 ? rng.UniformIndex(streaming.size() / 2) : 0;
+    const std::size_t incoming = streaming.size() - evict + admit;
+    if (incoming > 18) evict += incoming - 18;
+    const auto rows = InteriorRows(rng, admit, d);
+    // Only successful slides advance the reference; failed ones must be
+    // invisible. A failed epoch re-fails deterministically (the draw is
+    // keyed on the epoch ordinal), so the clean retry drops the injector
+    // — exactly the caller's recover-and-retry path.
+    if (streaming.Slide(evict, rows, &ctx).ok()) {
+      reference.Slide(evict, rows);
+    } else {
+      ExpectWindowEquals(streaming, reference.AsDataset());
+      ASSERT_TRUE(streaming.Slide(evict, rows).ok());
+      reference.Slide(evict, rows);
+    }
+    ExpectWindowEquals(streaming, reference.AsDataset());
+    if (streaming.size() >= 6) {
+      const auto streamed = RankWithSubspaces(
+          streaming, subspaces, scorer, ScoreAggregation::kAverage,
+          ShardedScoringPolicy::kRequireExactMerge, 2);
+      ASSERT_TRUE(streamed.ok());
+      const Dataset cold_ds = reference.AsDataset();
+      if (streaming.num_shards() == 1) {
+        const PreparedDataset cold(cold_ds);
+        EXPECT_EQ(*streamed, RankWithSubspaces(cold, subspaces, scorer));
+      } else {
+        const ShardedDataset cold(cold_ds, 2);
+        const auto colded = RankWithSubspacesSharded(
+            cold, subspaces, scorer, ScoreAggregation::kAverage,
+            ShardedScoringPolicy::kRequireExactMerge, 2);
+        ASSERT_TRUE(colded.ok());
+        EXPECT_EQ(*streamed, *colded);
+      }
+    }
+  }
+  EXPECT_GT(injector.FiredCount("stream.slide"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental SubspaceGrid maintenance (the carry substrate).
+
+TEST(StreamingGridOpsTest, AdmitAndRetireReproduceAColdRebuild) {
+  Rng rng(61);
+  const std::size_t n = 40;
+  Dataset ds(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.Set(i, 0, rng.UniformDouble());
+    ds.Set(i, 1, rng.UniformDouble());
+  }
+  const Subspace subspace{0, 1};
+  std::vector<std::pair<double, double>> ranges = {{0.0, 1.0}, {0.0, 1.0}};
+  GridOptions options;
+  options.bins_per_dim = 4;
+
+  // Start from rows [4, 40), retire nothing, admit rows [0, 4) — must
+  // equal the grid over all 40 rows; then retire them again.
+  std::vector<std::vector<double>> tail_cols(2);
+  for (std::size_t a = 0; a < 2; ++a) {
+    tail_cols[a].assign(ds.Column(a).begin() + 4, ds.Column(a).end());
+  }
+  Dataset tail =
+      std::move(Dataset::FromColumns(std::move(tail_cols))).ValueOrDie();
+  SubspaceGrid incremental(
+      tail, subspace, std::span<const std::pair<double, double>>(ranges),
+      options);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double row[2] = {ds.Get(i, 0), ds.Get(i, 1)};
+    incremental.AdmitRow(std::span<const double>(row, 2));
+  }
+  const SubspaceGrid full(
+      ds, subspace, std::span<const std::pair<double, double>>(ranges),
+      options);
+  EXPECT_EQ(incremental.NonEmptyCells(), full.NonEmptyCells());
+  EXPECT_EQ(incremental.total_objects(), full.total_objects());
+  EXPECT_EQ(incremental.Entropy(), full.Entropy());
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double row[2] = {ds.Get(i, 0), ds.Get(i, 1)};
+    incremental.RetireRow(std::span<const double>(row, 2));
+  }
+  const SubspaceGrid tail_grid(
+      tail, subspace, std::span<const std::pair<double, double>>(ranges),
+      options);
+  EXPECT_EQ(incremental.NonEmptyCells(), tail_grid.NonEmptyCells());
+}
+
+TEST(StreamingGridOpsTest, AddSubtractCountsMatchAFreshMerge) {
+  Rng rng(67);
+  const std::size_t n = 30;
+  Dataset a(n, 2), b(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.Set(i, 0, rng.UniformDouble());
+    a.Set(i, 1, rng.UniformDouble());
+    b.Set(i, 0, rng.UniformDouble());
+    b.Set(i, 1, rng.UniformDouble());
+  }
+  const Subspace subspace{0, 1};
+  std::vector<std::pair<double, double>> ranges = {{0.0, 1.0}, {0.0, 1.0}};
+  GridOptions options;
+  options.bins_per_dim = 5;
+
+  const SubspaceGrid ga(
+      a, subspace, std::span<const std::pair<double, double>>(ranges),
+      options);
+  const SubspaceGrid gb(
+      b, subspace, std::span<const std::pair<double, double>>(ranges),
+      options);
+
+  SubspaceGrid sum = ga;
+  sum.AddCounts(gb);
+  const SubspaceGrid* both[] = {&ga, &gb};
+  const SubspaceGrid merged =
+      SubspaceGrid::MergeShards(std::span<const SubspaceGrid* const>(both, 2));
+  EXPECT_EQ(sum.NonEmptyCells(), merged.NonEmptyCells());
+  EXPECT_EQ(sum.total_objects(), merged.total_objects());
+
+  sum.SubtractCounts(gb);
+  EXPECT_EQ(sum.NonEmptyCells(), ga.NonEmptyCells());
+  EXPECT_EQ(sum.total_objects(), ga.total_objects());
+}
+
+TEST(StreamingGridOpsTest, GridArtifactKeyEncodesRangeBits) {
+  std::vector<std::pair<double, double>> r1 = {{0.0, 1.0}, {0.25, 0.75}};
+  std::vector<std::pair<double, double>> r2 = r1;
+  const std::string k1 = GridArtifactKey(8, false, r1);
+  EXPECT_EQ(k1, GridArtifactKey(8, false, r2));
+  EXPECT_NE(k1, GridArtifactKey(9, false, r1));
+  EXPECT_NE(k1, GridArtifactKey(8, true, r1));
+  // One ULP of range shift must change the key.
+  r2[1].second = std::nextafter(r2[1].second, 1.0);
+  EXPECT_NE(k1, GridArtifactKey(8, false, r2));
+}
+
+}  // namespace
+}  // namespace hics
